@@ -1,0 +1,161 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo bench -p hiss-bench --bench figures             # full grids
+//! HISS_FIGURES=quick cargo bench -p hiss-bench --bench figures
+//! ```
+//!
+//! Output is the textual equivalent of each artifact: the same rows and
+//! series the paper plots, produced by the simulator. EXPERIMENTS.md
+//! records the paper-vs-measured comparison for the most recent full run.
+
+use std::time::Instant;
+
+use hiss::experiments::{extensions, fig12, fig3, fig4, fig5, fig6, fig9, pareto, section4c, tables};
+use hiss::SystemConfig;
+
+fn quick() -> bool {
+    std::env::var("HISS_FIGURES").map(|v| v == "quick").unwrap_or(false)
+}
+
+fn cpu_apps() -> Vec<&'static str> {
+    if quick() {
+        hiss::experiments::test_cpu_subset()
+    } else {
+        hiss::parsec_suite().iter().map(|s| s.name).collect()
+    }
+}
+
+fn gpu_apps() -> Vec<&'static str> {
+    if quick() {
+        hiss::experiments::test_gpu_subset()
+    } else {
+        hiss::gpu_suite().iter().map(|s| s.name).collect()
+    }
+}
+
+fn banner(title: &str) {
+    println!("\n{}", "=".repeat(74));
+    println!("{title}");
+    println!("{}", "=".repeat(74));
+}
+
+fn main() {
+    let t0 = Instant::now();
+    let cfg = SystemConfig::a10_7850k();
+    let cpu = cpu_apps();
+    let gpu = gpu_apps();
+
+    banner("Table I — GPU system service requests");
+    println!("{}", tables::render_table1(&tables::table1(&cfg)));
+
+    banner("Table II — test system configuration");
+    println!("{}", tables::render_table2(&tables::table2(&cfg)));
+
+    banner("Fig. 3a — normalised CPU application performance under GPU SSRs");
+    let rows3 = fig3::fig3_with(&cfg, &cpu, &gpu);
+    println!("{}", fig3::render(&rows3, |r| r.cpu_perf));
+
+    banner("Fig. 3b — normalised GPU performance under CPU interference");
+    println!("{}", fig3::render(&rows3, |r| r.gpu_perf));
+    let s = fig3::summarize(&rows3);
+    println!("{s:#?}");
+
+    banner("Fig. 4 — CC6 residency with and without SSRs");
+    println!("{}", fig4::render(&fig4::fig4_with(&cfg, &gpu)));
+
+    banner("Fig. 5 — µarchitectural effects of ubench SSRs");
+    println!("{}", fig5::render(&fig5::fig5_with(&cfg, &cpu)));
+
+    banner("§IV-C — interrupt distribution, IPIs, coalescing");
+    println!("{}", section4c::render(&section4c::section4c(&cfg)));
+
+    for technique in fig6::Technique::ALL {
+        banner(&format!("Fig. 6 — {} (CPU and GPU ratios vs default)", technique.label()));
+        let rows = fig6::fig6_technique(&cfg, technique, &cpu, &gpu);
+        println!("{}", fig6::render(&rows));
+    }
+
+    banner("Fig. 7 — Pareto: mitigation combinations under ubench");
+    let p7 = if quick() {
+        pareto::pareto_with(&cfg, &cpu, &["ubench"], &hiss::Mitigation::all_combinations())
+    } else {
+        pareto::fig7(&cfg)
+    };
+    println!("{}", pareto::render(&p7));
+
+    banner("Fig. 8 — Pareto: mitigation combinations, full GPU applications");
+    let p8 = if quick() {
+        let gpu8: Vec<&str> = gpu.iter().copied().filter(|g| *g != "ubench").collect();
+        pareto::pareto_with(&cfg, &cpu, &gpu8, &hiss::Mitigation::all_combinations())
+    } else {
+        pareto::fig8(&cfg)
+    };
+    println!("{}", pareto::render(&p8));
+
+    banner("Fig. 9 — mitigation techniques vs CC6 residency (ubench)");
+    println!("{}", fig9::render(&fig9::fig9(&cfg)));
+
+    banner("Fig. 12 — QoS throttling (default / th_25 / th_5 / th_1)");
+    println!("{}", fig12::render(&fig12::fig12_with(&cfg, &cpu)));
+
+    banner("Extension — multi-accelerator scaling (x264 vs N × sssp)");
+    println!(
+        "{}",
+        extensions::render_scaling(&extensions::multi_gpu_scaling(&cfg, "x264", "sssp", 4))
+    );
+
+    banner("Extension — coalescing window sweep (x264 vs ubench)");
+    for w in extensions::coalescing_window_sweep(&cfg, "x264", "ubench", &[0, 2, 5, 9, 13]) {
+        println!(
+            "  window {:>8}: CPU {:.3}  GPU ratio {:.3}  interrupts/SSR {:.2}",
+            w.window.to_string(),
+            w.cpu_perf,
+            w.gpu_ratio,
+            w.interrupts_per_ssr
+        );
+    }
+
+    banner("Extension — outstanding-SSR-limit sweep (QoS leverage)");
+    for l in extensions::outstanding_limit_sweep(&cfg, &[8, 16, 64, 256]) {
+        println!(
+            "  limit {:>4}: throttled ubench at {:.1}% of unhindered",
+            l.limit,
+            l.throttled_ratio * 100.0
+        );
+    }
+
+    banner("Extension — adaptive QoS threshold (x264 within 10%)");
+    let a = extensions::adaptive_qos(&cfg, "x264", "ubench", 0.10, 5);
+    println!(
+        "  threshold th_{:.2}: CPU {:.3}, ubench {:.3}",
+        a.threshold_percent, a.cpu_perf, a.gpu_perf
+    );
+
+    banner("Extension — module pairing (shared-L2 siblings, steered handlers)");
+    let mp = extensions::module_pairing(&cfg, "ubench");
+    println!(
+        "  victim on core 0: steer to sibling core 1 -> {:.3}; steer to remote core 2 -> {:.3}",
+        mp.sibling_perf, mp.remote_perf
+    );
+
+    banner("Replication — x264 + ubench over 3 seeds (paper §III methodology)");
+    let reps = hiss::replicate(
+        hiss::ExperimentBuilder::new(cfg).cpu_app("x264").gpu_app("ubench"),
+        3,
+    );
+    println!(
+        "  runtime {:.3} ms ± {:.3} (95% CI over {} seeds); SSR rate {:.0} ± {:.0}",
+        reps.cpu_runtime_s.mean * 1e3,
+        reps.cpu_runtime_s.ci95(reps.n) * 1e3,
+        reps.n,
+        reps.ssr_rate.mean,
+        reps.ssr_rate.ci95(reps.n)
+    );
+
+    println!(
+        "\nAll artifacts regenerated in {:.1}s ({} mode).",
+        t0.elapsed().as_secs_f64(),
+        if quick() { "quick" } else { "full" }
+    );
+}

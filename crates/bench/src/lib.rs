@@ -1,0 +1,11 @@
+//! # hiss-bench — benchmark harness
+//!
+//! Two `cargo bench` targets:
+//!
+//! - **`figures`**: regenerates every table and figure of the paper's
+//!   evaluation from the simulator and prints them in the paper's layout
+//!   (`cargo bench -p hiss-bench --bench figures`). Set
+//!   `HISS_FIGURES=quick` for a scaled-down grid.
+//! - **`simperf`**: Criterion micro/meso benchmarks of the simulation
+//!   engine itself (event calendar, structural cache, warmth model, full
+//!   co-run throughput).

@@ -1,0 +1,235 @@
+//! `hiss-cli` — run HISS experiments from the command line.
+//!
+//! ```text
+//! hiss-cli list
+//! hiss-cli run --cpu x264 --gpu ubench [--steer] [--coalesce] [--mono]
+//!              [--qos <percent>] [--seed <n>] [--gpus <n>] [--json]
+//! hiss-cli timeline --cpu x264 --gpu ubench --from-us 5000 --to-us 5400
+//! hiss-cli figures [--quick]
+//! ```
+
+use std::env;
+use std::process::ExitCode;
+
+use hiss::experiments::{fig12, fig3, fig4, fig9, tables};
+use hiss::{ExperimentBuilder, Mitigation, Ns, QosParams, RunReport, SystemConfig};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  hiss-cli list\n  hiss-cli run --cpu <app> --gpu <app> \
+         [--pinned] [--steer] [--coalesce] [--mono] [--qos <pct>] \
+         [--seed <n>] [--gpus <n>] [--json]\n  hiss-cli timeline --cpu <app> \
+         --gpu <app> --from-us <t0> --to-us <t1> [--width <cols>]\n  \
+         hiss-cli figures [--quick]"
+    );
+    ExitCode::FAILURE
+}
+
+/// Minimal flag parser: `--key value` and boolean `--flag`.
+struct Args {
+    items: Vec<String>,
+}
+
+impl Args {
+    fn flag(&self, name: &str) -> bool {
+        self.items.iter().any(|a| a == name)
+    }
+    fn value(&self, name: &str) -> Option<&str> {
+        self.items
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.items.get(i + 1))
+            .map(|s| s.as_str())
+    }
+}
+
+fn print_report(r: &RunReport, json: bool) {
+    if json {
+        println!("{}", report_json(r));
+        return;
+    }
+    println!("elapsed           : {}", r.elapsed);
+    if let Some(t) = r.cpu_app_runtime {
+        println!("CPU app runtime   : {t}");
+    }
+    println!("GPU throughput    : {:.3}", r.gpu_throughput);
+    println!("SSR rate          : {:.0}/s", r.ssr_rate);
+    println!("SSRs serviced     : {}", r.kernel.ssrs_serviced);
+    println!("mean SSR latency  : {}", r.kernel.mean_ssr_latency);
+    println!("p99 SSR latency   : {}", r.kernel.p99_ssr_latency);
+    println!("interrupts/core   : {:?}", r.kernel.interrupts_per_core);
+    println!("IPIs              : {}", r.kernel.ipis);
+    println!("QoS deferrals     : {}", r.kernel.qos_deferrals);
+    println!("CPU SSR overhead  : {:.2}%", r.cpu_ssr_overhead * 100.0);
+    println!("CC6 residency     : {:.1}%", r.cc6_residency * 100.0);
+    println!("CPU energy        : {:.3} J ({:.2} W avg)", r.energy.cpu_joules, r.energy.cpu_avg_watts);
+}
+
+/// Hand-rolled JSON encoding of the fields scripts typically plot.
+fn report_json(r: &RunReport) -> String {
+    let runtime = r
+        .cpu_app_runtime
+        .map(|t| t.as_nanos().to_string())
+        .unwrap_or_else(|| "null".into());
+    format!(
+        concat!(
+            "{{\"elapsed_ns\":{},\"cpu_app_runtime_ns\":{},",
+            "\"gpu_throughput\":{:.6},\"ssr_rate\":{:.3},",
+            "\"ssrs_serviced\":{},\"mean_ssr_latency_ns\":{},",
+            "\"p99_ssr_latency_ns\":{},\"interrupts_per_core\":{:?},",
+            "\"ipis\":{},\"qos_deferrals\":{},\"cpu_ssr_overhead\":{:.6},",
+            "\"cc6_residency\":{:.6},\"cpu_joules\":{:.6}}}"
+        ),
+        r.elapsed.as_nanos(),
+        runtime,
+        r.gpu_throughput,
+        r.ssr_rate,
+        r.kernel.ssrs_serviced,
+        r.kernel.mean_ssr_latency.as_nanos(),
+        r.kernel.p99_ssr_latency.as_nanos(),
+        r.kernel.interrupts_per_core,
+        r.kernel.ipis,
+        r.kernel.qos_deferrals,
+        r.cpu_ssr_overhead,
+        r.cc6_residency,
+        r.energy.cpu_joules,
+    )
+}
+
+fn build(cfg: SystemConfig, args: &Args) -> Option<ExperimentBuilder> {
+    let mut b = ExperimentBuilder::new(cfg);
+    if let Some(cpu) = args.value("--cpu") {
+        if hiss::CpuAppSpec::by_name(cpu).is_none() {
+            eprintln!("unknown CPU app {cpu:?}; see `hiss-cli list`");
+            return None;
+        }
+        b = b.cpu_app(cpu);
+    }
+    let n_gpus: usize = args
+        .value("--gpus")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    if let Some(gpu) = args.value("--gpu") {
+        if hiss::GpuAppSpec::by_name(gpu).is_none() {
+            eprintln!("unknown GPU app {gpu:?}; see `hiss-cli list`");
+            return None;
+        }
+        for _ in 0..n_gpus {
+            b = if args.flag("--pinned") {
+                b.gpu_app_pinned(gpu)
+            } else {
+                b.gpu_app(gpu)
+            };
+        }
+    }
+    b = b.mitigation(Mitigation {
+        steer_single_core: args.flag("--steer"),
+        coalesce: args.flag("--coalesce"),
+        monolithic_bottom_half: args.flag("--mono"),
+    });
+    if let Some(pct) = args.value("--qos") {
+        match pct.parse::<f64>() {
+            Ok(p) if p > 0.0 && p <= 100.0 => b = b.qos(QosParams::threshold_percent(p)),
+            _ => {
+                eprintln!("--qos expects a percentage in (0, 100]");
+                return None;
+            }
+        }
+    }
+    if let Some(seed) = args.value("--seed").and_then(|v| v.parse().ok()) {
+        b = b.seed(seed);
+    }
+    Some(b)
+}
+
+fn main() -> ExitCode {
+    let mut argv: Vec<String> = env::args().skip(1).collect();
+    if argv.is_empty() {
+        return usage();
+    }
+    let command = argv.remove(0);
+    let args = Args { items: argv };
+    let cfg = SystemConfig::a10_7850k();
+
+    match command.as_str() {
+        "list" => {
+            println!("CPU applications (PARSEC 2.1 models):");
+            for s in hiss::parsec_suite() {
+                println!(
+                    "  {:>14}: {} threads, cache sens {:.2}, branch sens {:.2}",
+                    s.name, s.threads, s.cache_sensitivity, s.branch_sensitivity
+                );
+            }
+            println!("\nGPU applications (SSR generators):");
+            for s in hiss::gpu_suite() {
+                println!(
+                    "  {:>14}: ~{:.0} SSRs/iteration, blocking {:.0}%, kind {:?}",
+                    s.name,
+                    s.expected_ssrs(),
+                    s.profile.blocking_prob * 100.0,
+                    s.profile.kind
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "run" => {
+            let Some(b) = build(cfg, &args) else {
+                return ExitCode::FAILURE;
+            };
+            print_report(&b.run(), args.flag("--json"));
+            ExitCode::SUCCESS
+        }
+        "timeline" => {
+            let (Some(from), Some(to)) = (
+                args.value("--from-us").and_then(|v| v.parse::<u64>().ok()),
+                args.value("--to-us").and_then(|v| v.parse::<u64>().ok()),
+            ) else {
+                eprintln!("timeline requires --from-us and --to-us");
+                return ExitCode::FAILURE;
+            };
+            if to <= from {
+                eprintln!("--to-us must exceed --from-us");
+                return ExitCode::FAILURE;
+            }
+            let width = args
+                .value("--width")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(100);
+            let Some(b) = build(cfg, &args) else {
+                return ExitCode::FAILURE;
+            };
+            let report = b
+                .trace_window(Ns::from_micros(from), Ns::from_micros(to))
+                .run();
+            match report.trace {
+                Some(trace) => println!("{}", trace.render_gantt(cfg.num_cores, width)),
+                None => eprintln!("no trace recorded"),
+            }
+            ExitCode::SUCCESS
+        }
+        "figures" => {
+            // A curated subset here; the full harness is
+            // `cargo bench -p hiss-bench --bench figures`.
+            let quick = args.flag("--quick");
+            let cpu: Vec<&str> = if quick {
+                hiss::experiments::test_cpu_subset()
+            } else {
+                hiss::parsec_suite().iter().map(|s| s.name).collect()
+            };
+            let gpu: Vec<&str> = if quick {
+                hiss::experiments::test_gpu_subset()
+            } else {
+                hiss::gpu_suite().iter().map(|s| s.name).collect()
+            };
+            println!("{}", tables::render_table2(&tables::table2(&cfg)));
+            let rows = fig3::fig3_with(&cfg, &cpu, &gpu);
+            println!("Fig. 3a\n{}", fig3::render(&rows, |r| r.cpu_perf));
+            println!("Fig. 3b\n{}", fig3::render(&rows, |r| r.gpu_perf));
+            println!("Fig. 4\n{}", fig4::render(&fig4::fig4_with(&cfg, &gpu)));
+            println!("Fig. 9\n{}", fig9::render(&fig9::fig9(&cfg)));
+            println!("Fig. 12\n{}", fig12::render(&fig12::fig12_with(&cfg, &cpu)));
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

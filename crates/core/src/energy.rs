@@ -1,0 +1,116 @@
+//! Energy model (extension beyond the paper).
+//!
+//! The paper argues SSRs hurt energy efficiency via lost CC6 residency
+//! (§IV-B) but reports residency, not Joules. This module closes the
+//! loop with a simple state-power model so experiments can report energy
+//! as well; Figs. 4 and 9 are reproduced from residency alone.
+
+use hiss_cpu::{TimeBreakdown, TimeCategory};
+use hiss_sim::Ns;
+
+/// Per-state power draw in watts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyParams {
+    /// A core actively executing (user or kernel).
+    pub core_active_w: f64,
+    /// A core idling in a shallow C-state.
+    pub core_shallow_w: f64,
+    /// A core asleep in CC6 (power-gated).
+    pub core_cc6_w: f64,
+    /// A core in C-state transition.
+    pub core_transition_w: f64,
+}
+
+impl Default for EnergyParams {
+    /// Kaveri-class per-core numbers (order of magnitude: a 95 W SoC with
+    /// 4 cores + GPU).
+    fn default() -> Self {
+        EnergyParams {
+            core_active_w: 7.0,
+            core_shallow_w: 1.8,
+            core_cc6_w: 0.15,
+            core_transition_w: 4.0,
+        }
+    }
+}
+
+/// Energy consumed by the CPU cores over one run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyReport {
+    /// Total CPU core energy in joules.
+    pub cpu_joules: f64,
+    /// Average CPU power in watts.
+    pub cpu_avg_watts: f64,
+}
+
+impl EnergyReport {
+    /// Computes core energy from per-core ledgers over `elapsed`.
+    pub fn from_breakdowns(params: EnergyParams, cores: &[TimeBreakdown], elapsed: Ns) -> Self {
+        let mut joules = 0.0;
+        for b in cores {
+            let active: Ns = TimeCategory::ALL
+                .iter()
+                .filter(|c| {
+                    !matches!(
+                        c,
+                        TimeCategory::IdleShallow
+                            | TimeCategory::SleepCc6
+                            | TimeCategory::CStateTransition
+                    )
+                })
+                .map(|c| b.get(*c))
+                .sum();
+            joules += params.core_active_w * active.as_secs_f64()
+                + params.core_shallow_w * b.get(TimeCategory::IdleShallow).as_secs_f64()
+                + params.core_cc6_w * b.get(TimeCategory::SleepCc6).as_secs_f64()
+                + params.core_transition_w * b.get(TimeCategory::CStateTransition).as_secs_f64();
+        }
+        let avg = if elapsed == Ns::ZERO {
+            0.0
+        } else {
+            joules / elapsed.as_secs_f64()
+        };
+        EnergyReport {
+            cpu_joules: joules,
+            cpu_avg_watts: avg,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sleeping_core_is_cheap() {
+        let p = EnergyParams::default();
+        let mut awake = TimeBreakdown::new();
+        awake.add(TimeCategory::User, Ns::from_millis(100));
+        let mut asleep = TimeBreakdown::new();
+        asleep.add(TimeCategory::SleepCc6, Ns::from_millis(100));
+        let e_awake =
+            EnergyReport::from_breakdowns(p, &[awake], Ns::from_millis(100)).cpu_joules;
+        let e_asleep =
+            EnergyReport::from_breakdowns(p, &[asleep], Ns::from_millis(100)).cpu_joules;
+        assert!(e_asleep < e_awake / 20.0);
+    }
+
+    #[test]
+    fn average_power_is_energy_over_time() {
+        let p = EnergyParams::default();
+        let mut b = TimeBreakdown::new();
+        b.add(TimeCategory::User, Ns::from_millis(50));
+        b.add(TimeCategory::IdleShallow, Ns::from_millis(50));
+        let r = EnergyReport::from_breakdowns(p, &[b], Ns::from_millis(100));
+        let expected_j = 7.0 * 0.05 + 1.8 * 0.05;
+        assert!((r.cpu_joules - expected_j).abs() < 1e-9);
+        assert!((r.cpu_avg_watts - expected_j / 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_run_is_zero() {
+        let r = EnergyReport::from_breakdowns(EnergyParams::default(), &[], Ns::ZERO);
+        assert_eq!(r.cpu_joules, 0.0);
+        assert_eq!(r.cpu_avg_watts, 0.0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Ablation studies over the model's calibrated constants.
+//!
+//! DESIGN.md §5 lists the handler costs and pollution time constants the
+//! reproduction was calibrated with; these sweeps quantify how much each
+//! knob contributes to the headline interference numbers, separating the
+//! *mechanisms* (which are the paper's findings) from the *calibration*
+//! (which is ours).
+
+use hiss_mem::PollutionParams;
+use hiss_sim::Ns;
+
+use crate::config::SystemConfig;
+use crate::experiments::{cpu_baseline, render_table};
+use crate::soc::ExperimentBuilder;
+
+/// One row of an ablation sweep: a scale factor applied to a knob, and
+/// the resulting headline metrics for the x264 + ubench pairing.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Human-readable knob setting.
+    pub setting: String,
+    /// Normalised CPU performance (the Fig. 3a headline cell).
+    pub cpu_perf: f64,
+    /// ubench SSR rate (absolute, per second).
+    pub ssr_rate: f64,
+    /// Fraction of CPU time directly billed to SSR handling.
+    pub direct_overhead: f64,
+}
+
+fn measure(cfg: &SystemConfig) -> AblationRow {
+    let base = cpu_baseline(cfg, "x264", "ubench");
+    let run = ExperimentBuilder::new(*cfg)
+        .cpu_app("x264")
+        .gpu_app("ubench")
+        .run();
+    AblationRow {
+        setting: String::new(),
+        cpu_perf: run.cpu_perf_vs(&base).expect("runs finish"),
+        ssr_rate: run.ssr_rate,
+        direct_overhead: run.cpu_ssr_overhead,
+    }
+}
+
+/// Sweeps the microarchitectural-pollution strength: scales both decay
+/// and refill time constants (a factor of 0 disables pollution
+/// entirely, isolating the *direct* overhead component of Fig. 2).
+pub fn pollution_sweep(cfg: &SystemConfig, factors: &[f64]) -> Vec<AblationRow> {
+    factors
+        .iter()
+        .map(|&f| {
+            let mut c = *cfg;
+            let scale = |p: PollutionParams| {
+                if f == 0.0 {
+                    // Decay tau -> infinite-ish: kernel execution no longer
+                    // cools the structures.
+                    PollutionParams {
+                        kernel_decay_tau: Ns::from_secs(1),
+                        user_refill_tau: Ns::from_nanos(1),
+                    }
+                } else {
+                    PollutionParams {
+                        kernel_decay_tau: p.kernel_decay_tau.scale(1.0 / f),
+                        user_refill_tau: p.user_refill_tau.scale(f),
+                    }
+                }
+            };
+            c.cpu.cache_pollution = scale(c.cpu.cache_pollution);
+            c.cpu.branch_pollution = scale(c.cpu.branch_pollution);
+            let mut row = measure(&c);
+            row.setting = format!("pollution x{f}");
+            row
+        })
+        .collect()
+}
+
+/// Sweeps the worker-stage service cost (scales every handler stage).
+pub fn handler_cost_sweep(cfg: &SystemConfig, factors: &[f64]) -> Vec<AblationRow> {
+    factors
+        .iter()
+        .map(|&f| {
+            let mut c = *cfg;
+            c.costs.top_half_base = c.costs.top_half_base.scale(f);
+            c.costs.top_half_per_req = c.costs.top_half_per_req.scale(f);
+            c.costs.bottom_half_base = c.costs.bottom_half_base.scale(f);
+            c.costs.bottom_half_per_req = c.costs.bottom_half_per_req.scale(f);
+            c.costs.completion_notify = c.costs.completion_notify.scale(f);
+            let mut row = measure(&c);
+            row.setting = format!("handler costs x{f}");
+            row
+        })
+        .collect()
+}
+
+/// Sweeps the CC6 entry threshold and reports sleep residency for the
+/// GPU-only sssp run (the Fig. 4 mechanism).
+pub fn cstate_threshold_sweep(cfg: &SystemConfig, thresholds_us: &[u64]) -> Vec<(Ns, f64)> {
+    thresholds_us
+        .iter()
+        .map(|&us| {
+            let mut c = *cfg;
+            c.cpu.cstate.entry_threshold = Ns::from_micros(us);
+            let r = ExperimentBuilder::new(c).gpu_app("sssp").run();
+            (Ns::from_micros(us), r.cc6_residency)
+        })
+        .collect()
+}
+
+/// Renders ablation rows.
+pub fn render(rows: &[AblationRow]) -> String {
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.setting.clone(),
+                format!("{:.3}", r.cpu_perf),
+                format!("{:.0}", r.ssr_rate),
+                format!("{:.1}%", r.direct_overhead * 100.0),
+            ]
+        })
+        .collect();
+    render_table(&["setting", "CPU perf", "SSR/s", "direct overhead"], &data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pollution_is_a_major_interference_component() {
+        let cfg = SystemConfig::a10_7850k();
+        let rows = pollution_sweep(&cfg, &[0.0, 1.0]);
+        let without = rows[0].cpu_perf;
+        let with = rows[1].cpu_perf;
+        assert!(
+            without > with + 0.05,
+            "disabling pollution should recover noticeable CPU perf: {without} vs {with}"
+        );
+        // Even without pollution, direct overheads still hurt (Fig. 2's
+        // dark segments).
+        assert!(without < 0.99, "direct-only run shows no interference");
+    }
+
+    #[test]
+    fn cheaper_handlers_mean_less_interference_more_throughput() {
+        let cfg = SystemConfig::a10_7850k();
+        let rows = handler_cost_sweep(&cfg, &[0.5, 2.0]);
+        assert!(rows[0].cpu_perf > rows[1].cpu_perf);
+        assert!(rows[0].ssr_rate >= rows[1].ssr_rate * 0.95);
+    }
+
+    #[test]
+    fn deeper_thresholds_trade_sleep_for_latency() {
+        let cfg = SystemConfig::a10_7850k();
+        let rows = cstate_threshold_sweep(&cfg, &[50, 200, 1000]);
+        // A more eager governor (small threshold) sleeps more.
+        assert!(
+            rows[0].1 >= rows[2].1,
+            "eager CC6 entry should not sleep less: {rows:?}"
+        );
+    }
+}

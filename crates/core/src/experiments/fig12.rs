@@ -1,0 +1,157 @@
+//! Fig. 12 — the QoS governor under throttling thresholds.
+//!
+//! Each PARSEC benchmark runs against ubench under `default`, `th_25`,
+//! `th_5`, and `th_1` (throttle when more than 25 / 5 / 1 % of CPU time
+//! goes to SSR servicing):
+//!
+//! - **Fig. 12a**: CPU application performance, normalised to the same
+//!   benchmark with ubench generating no SSRs — higher is better, and a
+//!   threshold of x% should cap the loss near x%.
+//! - **Fig. 12b**: GPU (ubench) throughput, normalised to ubench with an
+//!   idle CPU and no throttling — the price paid for CPU QoS.
+
+use crate::config::SystemConfig;
+use crate::experiments::{cpu_baseline, gpu_idle_baseline, render_table};
+use crate::soc::ExperimentBuilder;
+use hiss_qos::QosParams;
+
+/// The paper's threshold sweep, plus the unthrottled default.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Throttle {
+    /// No governor.
+    Default,
+    /// `th_25`.
+    Th25,
+    /// `th_5`.
+    Th5,
+    /// `th_1`.
+    Th1,
+}
+
+impl Throttle {
+    /// All four configurations in figure order.
+    pub const ALL: [Throttle; 4] = [Throttle::Default, Throttle::Th25, Throttle::Th5, Throttle::Th1];
+
+    /// Governor parameters, if any.
+    pub fn params(self) -> Option<QosParams> {
+        match self {
+            Throttle::Default => None,
+            Throttle::Th25 => Some(QosParams::threshold_percent(25.0)),
+            Throttle::Th5 => Some(QosParams::threshold_percent(5.0)),
+            Throttle::Th1 => Some(QosParams::threshold_percent(1.0)),
+        }
+    }
+
+    /// Figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Throttle::Default => "default",
+            Throttle::Th25 => "th_25",
+            Throttle::Th5 => "th_5",
+            Throttle::Th1 => "th_1",
+        }
+    }
+}
+
+/// One bar group entry of Fig. 12.
+#[derive(Debug, Clone)]
+pub struct Fig12Row {
+    /// CPU benchmark.
+    pub cpu_app: String,
+    /// Throttle setting.
+    pub throttle: Throttle,
+    /// Fig. 12a: normalised CPU application performance.
+    pub cpu_perf: f64,
+    /// Fig. 12b: normalised ubench throughput.
+    pub gpu_perf: f64,
+    /// Measured fraction of CPU time spent on SSR servicing.
+    pub ssr_overhead: f64,
+}
+
+/// Runs Fig. 12 for an explicit CPU subset.
+pub fn fig12_with(cfg: &SystemConfig, cpu_apps: &[&str]) -> Vec<Fig12Row> {
+    let gpu_base = gpu_idle_baseline(cfg, "ubench");
+    let mut rows = Vec::new();
+    for cpu_app in cpu_apps {
+        let base = cpu_baseline(cfg, cpu_app, "ubench");
+        for throttle in Throttle::ALL {
+            let mut b = ExperimentBuilder::new(*cfg).cpu_app(cpu_app).gpu_app("ubench");
+            if let Some(p) = throttle.params() {
+                b = b.qos(p);
+            }
+            let run = b.run();
+            rows.push(Fig12Row {
+                cpu_app: cpu_app.to_string(),
+                throttle,
+                cpu_perf: run.cpu_perf_vs(&base).expect("runs finish"),
+                gpu_perf: run.ssr_rate_vs(&gpu_base),
+                ssr_overhead: run.cpu_ssr_overhead,
+            });
+        }
+    }
+    rows
+}
+
+/// Runs the full 13-benchmark Fig. 12.
+pub fn fig12(cfg: &SystemConfig) -> Vec<Fig12Row> {
+    let cpu: Vec<&str> = hiss_workloads::parsec_suite()
+        .iter()
+        .map(|s| s.name)
+        .collect();
+    fig12_with(cfg, &cpu)
+}
+
+/// Renders Fig. 12 as text.
+pub fn render(rows: &[Fig12Row]) -> String {
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.cpu_app.clone(),
+                r.throttle.label().to_string(),
+                format!("{:.3}", r.cpu_perf),
+                format!("{:.3}", r.gpu_perf),
+                format!("{:.1}%", r.ssr_overhead * 100.0),
+            ]
+        })
+        .collect();
+    render_table(
+        &["CPU app", "throttle", "CPU perf", "ubench perf", "SSR overhead"],
+        &data,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tighter_thresholds_trade_gpu_for_cpu() {
+        let cfg = SystemConfig::a10_7850k();
+        let rows = fig12_with(&cfg, &["x264"]);
+        let get = |t: Throttle| rows.iter().find(|r| r.throttle == t).unwrap();
+        let default = get(Throttle::Default);
+        let th1 = get(Throttle::Th1);
+        // th_1 must sharply improve CPU performance over default…
+        assert!(
+            th1.cpu_perf > default.cpu_perf + 0.05,
+            "th_1 {} vs default {}",
+            th1.cpu_perf,
+            default.cpu_perf
+        );
+        // …while collapsing ubench throughput (paper: to ~5%).
+        assert!(
+            th1.gpu_perf < default.gpu_perf * 0.4,
+            "th_1 gpu {} vs default {}",
+            th1.gpu_perf,
+            default.gpu_perf
+        );
+        // Monotonicity across the sweep.
+        let th5 = get(Throttle::Th5);
+        let th25 = get(Throttle::Th25);
+        assert!(th1.gpu_perf <= th5.gpu_perf + 0.02);
+        assert!(th5.gpu_perf <= th25.gpu_perf + 0.02);
+        assert!(th1.ssr_overhead <= th5.ssr_overhead + 0.01);
+        assert!(th5.ssr_overhead <= th25.ssr_overhead + 0.01);
+    }
+}

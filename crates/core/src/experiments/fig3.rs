@@ -1,0 +1,188 @@
+//! Fig. 3 — performance implications of GPU SSRs.
+//!
+//! - **Fig. 3a**: performance of each CPU application while a GPU
+//!   application creates SSRs, normalised to the same pair with no SSRs.
+//! - **Fig. 3b**: performance of each SSR-generating GPU application
+//!   while a CPU application runs, normalised to the GPU running with
+//!   idle CPUs.
+
+use crate::config::SystemConfig;
+use crate::experiments::{cpu_baseline, gpu_idle_baseline, render_table};
+use crate::soc::ExperimentBuilder;
+
+/// One grid cell of Fig. 3.
+#[derive(Debug, Clone)]
+pub struct Fig3Row {
+    /// CPU (PARSEC) benchmark.
+    pub cpu_app: String,
+    /// GPU benchmark.
+    pub gpu_app: String,
+    /// Fig. 3a y-value: normalised CPU application performance (<1 means
+    /// the SSRs slowed the CPU application).
+    pub cpu_perf: f64,
+    /// Fig. 3b y-value: normalised GPU performance (<1 means the CPU
+    /// application delayed SSR handling).
+    pub gpu_perf: f64,
+}
+
+/// Runs the Fig. 3 grid over explicit workload subsets.
+pub fn fig3_with(cfg: &SystemConfig, cpu_apps: &[&str], gpu_apps: &[&str]) -> Vec<Fig3Row> {
+    let mut rows = Vec::new();
+    for gpu_app in gpu_apps {
+        let gpu_base = gpu_idle_baseline(cfg, gpu_app);
+        for cpu_app in cpu_apps {
+            let noisy = ExperimentBuilder::new(*cfg)
+                .cpu_app(cpu_app)
+                .gpu_app(gpu_app)
+                .run();
+            let base = cpu_baseline(cfg, cpu_app, gpu_app);
+            let cpu_perf = noisy
+                .cpu_perf_vs(&base)
+                .expect("both runs finish the CPU application");
+            // ubench's metric is SSR throughput; full applications use
+            // work throughput (identical normalisation semantics).
+            let gpu_perf = if *gpu_app == "ubench" {
+                noisy.ssr_rate_vs(&gpu_base)
+            } else {
+                noisy.gpu_perf_vs(&gpu_base)
+            };
+            rows.push(Fig3Row {
+                cpu_app: cpu_app.to_string(),
+                gpu_app: gpu_app.to_string(),
+                cpu_perf,
+                gpu_perf,
+            });
+        }
+    }
+    rows
+}
+
+/// Runs the full 13 × 6 grid of the paper.
+pub fn fig3(cfg: &SystemConfig) -> Vec<Fig3Row> {
+    let cpu: Vec<&str> = hiss_workloads::parsec_suite()
+        .iter()
+        .map(|s| s.name)
+        .collect();
+    let gpu: Vec<&str> = hiss_workloads::gpu_suite().iter().map(|s| s.name).collect();
+    fig3_with(cfg, &cpu, &gpu)
+}
+
+/// Summary statistics the paper quotes in §IV-A.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig3Summary {
+    /// Worst CPU degradation from a full GPU application (paper: −31%,
+    /// fluidanimate with SSSP).
+    pub worst_cpu_full_apps: f64,
+    /// Mean CPU performance across the full-application grid (paper
+    /// quotes a 12% average loss for the worst full app).
+    pub mean_cpu_full_apps: f64,
+    /// Worst CPU degradation under ubench (paper: −44%, x264).
+    pub worst_cpu_ubench: f64,
+    /// Mean CPU performance under ubench (paper: −28% average).
+    pub mean_cpu_ubench: f64,
+    /// Worst GPU degradation from CPU interference (paper: −18%, SSSP
+    /// with streamcluster).
+    pub worst_gpu: f64,
+    /// Mean GPU performance across the grid (paper: −4% average).
+    pub mean_gpu: f64,
+}
+
+/// Reduces Fig. 3 rows to the paper's headline numbers.
+pub fn summarize(rows: &[Fig3Row]) -> Fig3Summary {
+    let full: Vec<&Fig3Row> = rows.iter().filter(|r| r.gpu_app != "ubench").collect();
+    let ubench: Vec<&Fig3Row> = rows.iter().filter(|r| r.gpu_app == "ubench").collect();
+    let min = |v: &[f64]| v.iter().copied().fold(f64::INFINITY, f64::min);
+    let cpu_full: Vec<f64> = full.iter().map(|r| r.cpu_perf).collect();
+    let cpu_u: Vec<f64> = ubench.iter().map(|r| r.cpu_perf).collect();
+    let gpu_all: Vec<f64> = rows.iter().map(|r| r.gpu_perf).collect();
+    Fig3Summary {
+        worst_cpu_full_apps: min(&cpu_full),
+        mean_cpu_full_apps: hiss_sim::mean(&cpu_full),
+        worst_cpu_ubench: min(&cpu_u),
+        mean_cpu_ubench: hiss_sim::mean(&cpu_u),
+        worst_gpu: min(&gpu_all),
+        mean_gpu: hiss_sim::mean(&gpu_all),
+    }
+}
+
+/// Renders the grid in the paper's layout: one row per CPU application,
+/// one column per GPU application.
+pub fn render(rows: &[Fig3Row], metric: impl Fn(&Fig3Row) -> f64) -> String {
+    let mut cpu_apps: Vec<String> = Vec::new();
+    for r in rows {
+        if !cpu_apps.contains(&r.cpu_app) {
+            cpu_apps.push(r.cpu_app.clone());
+        }
+    }
+    let mut gpu_apps: Vec<String> = rows.iter().map(|r| r.gpu_app.clone()).collect();
+    gpu_apps.sort();
+    gpu_apps.dedup();
+    let mut header = vec!["CPU app"];
+    let gpu_headers: Vec<&str> = gpu_apps.iter().map(|s| s.as_str()).collect();
+    header.extend(gpu_headers);
+    let mut data = Vec::new();
+    for cpu_app in &cpu_apps {
+        let mut row = vec![cpu_app.clone()];
+        for gpu_app in &gpu_apps {
+            let cell = rows
+                .iter()
+                .find(|r| &r.cpu_app == cpu_app && &r.gpu_app == gpu_app)
+                .map(|r| format!("{:.3}", metric(r)))
+                .unwrap_or_else(|| "-".into());
+            row.push(cell);
+        }
+        data.push(row);
+    }
+    render_table(&header, &data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subset_grid_shows_interference_both_ways() {
+        let cfg = SystemConfig::a10_7850k();
+        let rows = fig3_with(&cfg, &["fluidanimate", "raytrace"], &["sssp", "ubench"]);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(
+                r.cpu_perf > 0.3 && r.cpu_perf <= 1.02,
+                "{}+{} cpu_perf {}",
+                r.cpu_app,
+                r.gpu_app,
+                r.cpu_perf
+            );
+            assert!(
+                r.gpu_perf > 0.3 && r.gpu_perf <= 1.25,
+                "{}+{} gpu_perf {}",
+                r.cpu_app,
+                r.gpu_app,
+                r.gpu_perf
+            );
+        }
+        // ubench hurts the CPU more than sssp does, for each CPU app.
+        let perf = |c: &str, g: &str| {
+            rows.iter()
+                .find(|r| r.cpu_app == c && r.gpu_app == g)
+                .unwrap()
+                .cpu_perf
+        };
+        assert!(perf("fluidanimate", "ubench") < perf("fluidanimate", "sssp"));
+        // raytrace (single-threaded) suffers less than fluidanimate.
+        assert!(perf("raytrace", "ubench") > perf("fluidanimate", "ubench"));
+    }
+
+    #[test]
+    fn render_produces_grid() {
+        let rows = vec![Fig3Row {
+            cpu_app: "x264".into(),
+            gpu_app: "ubench".into(),
+            cpu_perf: 0.56,
+            gpu_perf: 0.97,
+        }];
+        let text = render(&rows, |r| r.cpu_perf);
+        assert!(text.contains("x264"));
+        assert!(text.contains("0.560"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Fig. 5 — microarchitectural effects of GPU SSRs.
+//!
+//! The paper measures, with hardware performance counters, how much the
+//! microbenchmark's SSRs *increase* each CPU application's L1D miss rate
+//! (Fig. 5a) and branch misprediction rate (Fig. 5b). The simulator's
+//! equivalent observable is time-averaged structure *coldness* (the
+//! statistical dual of occupancy stolen by kernel handlers — see
+//! `hiss-mem`); the mapping to a relative rate increase uses the same
+//! first-order model that drives the IPC penalty:
+//!
+//! ```text
+//! extra_miss_rate   = coldness × cache_sensitivity × K
+//! relative increase = extra_miss_rate / native_miss_rate
+//! ```
+//!
+//! with `K` the fraction of a fully-cold application's accesses that
+//! miss again while re-warming (one constant for the whole suite).
+
+use crate::config::SystemConfig;
+use crate::experiments::render_table;
+use crate::soc::ExperimentBuilder;
+
+/// Calibrated cold-miss conversion constant (see module docs).
+const K_CACHE: f64 = 0.022;
+/// Branch-predictor analogue.
+const K_BRANCH: f64 = 0.024;
+
+/// One bar pair of Fig. 5.
+#[derive(Debug, Clone)]
+pub struct Fig5Row {
+    /// CPU benchmark.
+    pub cpu_app: String,
+    /// Relative L1D miss-rate increase caused by ubench SSRs (Fig. 5a;
+    /// 0.25 = “25 % more misses than the native run”).
+    pub l1d_miss_increase: f64,
+    /// Relative branch-misprediction increase (Fig. 5b).
+    pub branch_miss_increase: f64,
+}
+
+/// Runs Fig. 5 for an explicit CPU subset (always against ubench, as in
+/// the paper).
+pub fn fig5_with(cfg: &SystemConfig, cpu_apps: &[&str]) -> Vec<Fig5Row> {
+    cpu_apps
+        .iter()
+        .map(|cpu_app| {
+            let spec = hiss_workloads::CpuAppSpec::by_name(cpu_app)
+                .unwrap_or_else(|| panic!("unknown CPU benchmark {cpu_app:?}"));
+            let noisy = ExperimentBuilder::new(*cfg)
+                .cpu_app(cpu_app)
+                .gpu_app("ubench")
+                .run();
+            let l1d = noisy.avg_cache_coldness * spec.cache_sensitivity * K_CACHE
+                / spec.base_l1d_miss_rate;
+            let branch = noisy.avg_branch_coldness * spec.branch_sensitivity * K_BRANCH
+                / spec.base_branch_miss_rate;
+            Fig5Row {
+                cpu_app: cpu_app.to_string(),
+                l1d_miss_increase: l1d,
+                branch_miss_increase: branch,
+            }
+        })
+        .collect()
+}
+
+/// Runs the full 13-application Fig. 5.
+pub fn fig5(cfg: &SystemConfig) -> Vec<Fig5Row> {
+    let cpu: Vec<&str> = hiss_workloads::parsec_suite()
+        .iter()
+        .map(|s| s.name)
+        .collect();
+    fig5_with(cfg, &cpu)
+}
+
+/// Renders both panels as one table.
+pub fn render(rows: &[Fig5Row]) -> String {
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.cpu_app.clone(),
+                format!("{:.1}%", r.l1d_miss_increase * 100.0),
+                format!("{:.1}%", r.branch_miss_increase * 100.0),
+            ]
+        })
+        .collect();
+    render_table(
+        &["CPU app", "L1D miss increase", "branch mispredict increase"],
+        &data,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pollution_is_visible_and_app_dependent() {
+        let cfg = SystemConfig::a10_7850k();
+        let rows = fig5_with(&cfg, &["fluidanimate", "canneal", "x264"]);
+        for r in &rows {
+            assert!(
+                r.l1d_miss_increase > 0.0,
+                "{} shows no cache pollution",
+                r.cpu_app
+            );
+            assert!(
+                r.branch_miss_increase > 0.0,
+                "{} shows no branch pollution",
+                r.cpu_app
+            );
+        }
+        // canneal's native miss rate is huge, so its *relative* increase
+        // is small (matches the paper's low canneal bar).
+        let get = |n: &str| rows.iter().find(|r| r.cpu_app == n).unwrap();
+        assert!(get("canneal").l1d_miss_increase < get("fluidanimate").l1d_miss_increase);
+        // x264 dominates the branch panel.
+        assert!(get("x264").branch_miss_increase > get("canneal").branch_miss_increase);
+    }
+}

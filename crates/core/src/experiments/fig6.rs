@@ -1,0 +1,206 @@
+//! Fig. 6 — each mitigation technique in isolation.
+//!
+//! Six panels: for interrupt steering (a/b), interrupt coalescing (c/d),
+//! and the monolithic bottom-half handler (e/f), the paper reports CPU
+//! and GPU application performance *normalised to the default
+//! configuration* (interrupts spread, no coalescing, split handler) while
+//! SSRs flow.
+
+use crate::config::{Mitigation, SystemConfig};
+use crate::experiments::render_table;
+use crate::soc::ExperimentBuilder;
+
+/// Which single technique a Fig. 6 panel isolates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Technique {
+    /// §V-A, panels a/b.
+    SteerSingleCore,
+    /// §V-B, panels c/d.
+    Coalescing,
+    /// §V-C, panels e/f.
+    MonolithicBottomHalf,
+}
+
+impl Technique {
+    /// All three, in panel order.
+    pub const ALL: [Technique; 3] = [
+        Technique::SteerSingleCore,
+        Technique::Coalescing,
+        Technique::MonolithicBottomHalf,
+    ];
+
+    /// The mitigation switch set this technique corresponds to.
+    pub fn mitigation(self) -> Mitigation {
+        match self {
+            Technique::SteerSingleCore => Mitigation {
+                steer_single_core: true,
+                ..Mitigation::DEFAULT
+            },
+            Technique::Coalescing => Mitigation {
+                coalesce: true,
+                ..Mitigation::DEFAULT
+            },
+            Technique::MonolithicBottomHalf => Mitigation {
+                monolithic_bottom_half: true,
+                ..Mitigation::DEFAULT
+            },
+        }
+    }
+
+    /// Figure-legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Technique::SteerSingleCore => "Intr_to_single_core",
+            Technique::Coalescing => "Intr_coalescing",
+            Technique::MonolithicBottomHalf => "Monolithic_bottom_half",
+        }
+    }
+}
+
+/// One grid cell of one Fig. 6 panel pair.
+#[derive(Debug, Clone)]
+pub struct Fig6Row {
+    /// Technique under test.
+    pub technique: Technique,
+    /// CPU benchmark.
+    pub cpu_app: String,
+    /// GPU benchmark.
+    pub gpu_app: String,
+    /// CPU application performance relative to the default configuration
+    /// (>1: the technique helped the CPU).
+    pub cpu_ratio: f64,
+    /// GPU performance relative to the default configuration.
+    pub gpu_ratio: f64,
+}
+
+/// Runs one technique over a workload grid.
+pub fn fig6_technique(
+    cfg: &SystemConfig,
+    technique: Technique,
+    cpu_apps: &[&str],
+    gpu_apps: &[&str],
+) -> Vec<Fig6Row> {
+    let mut rows = Vec::new();
+    for gpu_app in gpu_apps {
+        for cpu_app in cpu_apps {
+            let run = |m: Mitigation| {
+                ExperimentBuilder::new(*cfg)
+                    .cpu_app(cpu_app)
+                    .gpu_app(gpu_app)
+                    .mitigation(m)
+                    .run()
+            };
+            let default = run(Mitigation::DEFAULT);
+            let treated = run(technique.mitigation());
+            let cpu_ratio = treated
+                .cpu_perf_vs(&default)
+                .expect("both runs finish the CPU application");
+            let gpu_ratio = if *gpu_app == "ubench" {
+                treated.ssr_rate_vs(&default)
+            } else {
+                treated.gpu_perf_vs(&default)
+            };
+            rows.push(Fig6Row {
+                technique,
+                cpu_app: cpu_app.to_string(),
+                gpu_app: gpu_app.to_string(),
+                cpu_ratio,
+                gpu_ratio,
+            });
+        }
+    }
+    rows
+}
+
+/// Runs all three techniques over the full 13 × 6 grid (all six panels).
+pub fn fig6(cfg: &SystemConfig) -> Vec<Fig6Row> {
+    let cpu: Vec<&str> = hiss_workloads::parsec_suite()
+        .iter()
+        .map(|s| s.name)
+        .collect();
+    let gpu: Vec<&str> = hiss_workloads::gpu_suite().iter().map(|s| s.name).collect();
+    Technique::ALL
+        .iter()
+        .flat_map(|t| fig6_technique(cfg, *t, &cpu, &gpu))
+        .collect()
+}
+
+/// Renders one technique's panel pair.
+pub fn render(rows: &[Fig6Row]) -> String {
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.technique.label().to_string(),
+                r.cpu_app.clone(),
+                r.gpu_app.clone(),
+                format!("{:.3}", r.cpu_ratio),
+                format!("{:.3}", r.gpu_ratio),
+            ]
+        })
+        .collect();
+    render_table(
+        &["technique", "CPU app", "GPU app", "CPU ratio", "GPU ratio"],
+        &data,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monolithic_helps_gpu_throughput() {
+        let cfg = SystemConfig::a10_7850k();
+        // Busy 4-thread apps: the kthread wake+IPI saving is on the
+        // critical path (idle-CPU runs are dominated by CC6 wake latency
+        // instead, which monolithic does not change).
+        let rows = fig6_technique(
+            &cfg,
+            Technique::MonolithicBottomHalf,
+            &["fluidanimate"],
+            &["sssp", "ubench"],
+        );
+        for r in &rows {
+            assert!(
+                r.gpu_ratio > 1.1,
+                "{}+{}: monolithic should speed the GPU, got {}",
+                r.cpu_app,
+                r.gpu_app,
+                r.gpu_ratio
+            );
+        }
+    }
+
+    #[test]
+    fn coalescing_slows_latency_bound_gpu_apps() {
+        let cfg = SystemConfig::a10_7850k();
+        let rows = fig6_technique(&cfg, Technique::Coalescing, &["blackscholes"], &["sssp"]);
+        // The paper sees up to a 50% slowdown for SSSP: its blocking SSRs
+        // wait out the coalescing window.
+        assert!(
+            rows[0].gpu_ratio < 0.95,
+            "coalescing should hurt sssp, got {}",
+            rows[0].gpu_ratio
+        );
+    }
+
+    #[test]
+    fn steering_concentrates_harm() {
+        let cfg = SystemConfig::a10_7850k();
+        let rows = fig6_technique(
+            &cfg,
+            Technique::SteerSingleCore,
+            &["x264"],
+            &["ubench"],
+        );
+        // With ubench inundating all cores by default, steering moves the
+        // interrupts off three of the four cores; CPU performance must
+        // not collapse (paper: steering *helps* under ubench).
+        assert!(
+            rows[0].cpu_ratio > 0.9,
+            "steering under ubench should not hurt broadly, got {}",
+            rows[0].cpu_ratio
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Experiment runners regenerating every table and figure of the paper's
+//! evaluation.
+//!
+//! Each submodule corresponds to one artifact and returns structured rows
+//! plus a plain-text rendering identical in shape to what the paper
+//! reports:
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`tables`] | Table I (SSR catalogue), Table II (system configuration) |
+//! | [`fig3`] | Fig. 3a/3b — CPU and GPU performance under SSR interference |
+//! | [`fig4`] | Fig. 4 — CC6 residency with and without SSRs |
+//! | [`fig5`] | Fig. 5a/5b — µarchitectural pollution from ubench SSRs |
+//! | [`section4c`] | §IV-C — interrupt spreading, IPI inflation, coalescing reduction |
+//! | [`fig6`] | Fig. 6 — each mitigation technique in isolation |
+//! | [`pareto`] | Figs. 7/8 — mitigation-combination Pareto frontiers |
+//! | [`fig9`] | Fig. 9 — CC6 residency across mitigation combinations |
+//! | [`fig12`] | Fig. 12a/12b — QoS throttling (`th_25`/`th_5`/`th_1`) |
+//! | [`extensions`] | beyond the paper: multi-GPU scaling, window/limit sweeps, adaptive QoS |
+//! | [`ablation`] | calibration-knob sweeps separating mechanisms from calibration |
+//!
+//! Full-grid functions (13 CPU × 6 GPU applications) are what the bench
+//! harness runs; every function also accepts explicit workload subsets so
+//! tests can run scaled-down grids.
+
+pub mod fig12;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig9;
+pub mod pareto;
+pub mod section4c;
+pub mod tables;
+
+pub mod ablation;
+pub mod extensions;
+
+use crate::config::SystemConfig;
+use crate::metrics::RunReport;
+use crate::soc::ExperimentBuilder;
+
+/// Runs `cpu_app` against the pinned (no-SSR) variant of `gpu_app` — the
+/// paper's Fig. 3a normalisation baseline ("the same pair of
+/// applications, but without the GPU application generating any SSRs").
+pub(crate) fn cpu_baseline(cfg: &SystemConfig, cpu_app: &str, gpu_app: &str) -> RunReport {
+    ExperimentBuilder::new(*cfg)
+        .cpu_app(cpu_app)
+        .gpu_app_pinned(gpu_app)
+        .run()
+}
+
+/// Runs `gpu_app` alone on idle CPUs — the Fig. 3b normalisation baseline.
+pub(crate) fn gpu_idle_baseline(cfg: &SystemConfig, gpu_app: &str) -> RunReport {
+    ExperimentBuilder::new(*cfg).gpu_app(gpu_app).run()
+}
+
+/// Renders a fixed-width text table: a header row plus data rows.
+pub(crate) fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// A scaled-down CPU-application subset for integration tests (full
+/// grids belong in `cargo bench`).
+pub fn test_cpu_subset() -> Vec<&'static str> {
+    vec!["fluidanimate", "raytrace", "streamcluster", "x264"]
+}
+
+/// GPU subset matching [`test_cpu_subset`].
+pub fn test_gpu_subset() -> Vec<&'static str> {
+    vec!["bfs", "sssp", "ubench"]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_table_aligns_columns() {
+        let s = render_table(
+            &["app", "perf"],
+            &[
+                vec!["x264".into(), "0.56".into()],
+                vec!["fluidanimate".into(), "0.69".into()],
+            ],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("app"));
+        assert!(lines[2].ends_with("0.56"));
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn baselines_are_quiet() {
+        let cfg = SystemConfig::a10_7850k();
+        let base = cpu_baseline(&cfg, "swaptions", "bfs");
+        assert_eq!(base.kernel.ssrs_serviced, 0);
+        assert!(base.cpu_app_runtime.is_some());
+        let idle = gpu_idle_baseline(&cfg, "bfs");
+        assert!(idle.kernel.ssrs_serviced > 0);
+        assert!(idle.cpu_app_runtime.is_none());
+    }
+}

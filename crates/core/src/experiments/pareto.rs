@@ -1,0 +1,185 @@
+//! Figs. 7 and 8 — Pareto trade-offs across mitigation combinations.
+//!
+//! For each of the eight §V-D combinations:
+//!
+//! - **Fig. 7** (the accelerator-rich-future projection): x = geometric
+//!   mean of CPU workload performance while running with *ubench*
+//!   (normalised to the no-SSR pairing), y = geometric mean of ubench SSR
+//!   throughput across those CPU workloads (normalised to ubench with
+//!   idle CPUs under the default configuration).
+//! - **Fig. 8** (today's applications): the same construction over the
+//!   five non-microbenchmark GPU applications.
+
+use crate::config::{Mitigation, SystemConfig};
+use crate::experiments::{cpu_baseline, gpu_idle_baseline, render_table};
+use crate::soc::ExperimentBuilder;
+
+/// One point of a Pareto chart.
+#[derive(Debug, Clone)]
+pub struct ParetoPoint {
+    /// The mitigation combination.
+    pub mitigation: Mitigation,
+    /// Geometric-mean normalised CPU workload performance (x-axis,
+    /// right is better).
+    pub cpu_geomean: f64,
+    /// Geometric-mean normalised GPU performance (y-axis, up is better).
+    pub gpu_geomean: f64,
+}
+
+impl ParetoPoint {
+    /// `true` if `other` dominates this point (better or equal on both
+    /// axes, strictly better on one).
+    pub fn dominated_by(&self, other: &ParetoPoint) -> bool {
+        other.cpu_geomean >= self.cpu_geomean
+            && other.gpu_geomean >= self.gpu_geomean
+            && (other.cpu_geomean > self.cpu_geomean || other.gpu_geomean > self.gpu_geomean)
+    }
+}
+
+/// Marks the Pareto-optimal subset of `points`.
+pub fn pareto_frontier(points: &[ParetoPoint]) -> Vec<bool> {
+    points
+        .iter()
+        .map(|p| !points.iter().any(|q| p.dominated_by(q)))
+        .collect()
+}
+
+/// Computes the Pareto points for the given GPU applications over the
+/// given CPU applications, one point per mitigation combination.
+pub fn pareto_with(
+    cfg: &SystemConfig,
+    cpu_apps: &[&str],
+    gpu_apps: &[&str],
+    combos: &[Mitigation],
+) -> Vec<ParetoPoint> {
+    combos
+        .iter()
+        .map(|m| {
+            let mut cpu_perfs = Vec::new();
+            let mut gpu_perfs = Vec::new();
+            for gpu_app in gpu_apps {
+                let gpu_base = gpu_idle_baseline(cfg, gpu_app);
+                for cpu_app in cpu_apps {
+                    let run = ExperimentBuilder::new(*cfg)
+                        .cpu_app(cpu_app)
+                        .gpu_app(gpu_app)
+                        .mitigation(*m)
+                        .run();
+                    let base = cpu_baseline(cfg, cpu_app, gpu_app);
+                    cpu_perfs.push(run.cpu_perf_vs(&base).expect("runs finish"));
+                    gpu_perfs.push(if *gpu_app == "ubench" {
+                        run.ssr_rate_vs(&gpu_base)
+                    } else {
+                        run.gpu_perf_vs(&gpu_base)
+                    });
+                }
+            }
+            ParetoPoint {
+                mitigation: *m,
+                cpu_geomean: hiss_sim::geomean(&cpu_perfs),
+                gpu_geomean: hiss_sim::geomean(&gpu_perfs),
+            }
+        })
+        .collect()
+}
+
+/// Fig. 7: all eight combinations, ubench, full PARSEC suite.
+pub fn fig7(cfg: &SystemConfig) -> Vec<ParetoPoint> {
+    let cpu: Vec<&str> = hiss_workloads::parsec_suite()
+        .iter()
+        .map(|s| s.name)
+        .collect();
+    pareto_with(cfg, &cpu, &["ubench"], &Mitigation::all_combinations())
+}
+
+/// Fig. 8: all eight combinations, the five full GPU applications,
+/// full PARSEC suite.
+pub fn fig8(cfg: &SystemConfig) -> Vec<ParetoPoint> {
+    let cpu: Vec<&str> = hiss_workloads::parsec_suite()
+        .iter()
+        .map(|s| s.name)
+        .collect();
+    let gpu: Vec<&str> = hiss_workloads::gpu_suite()
+        .iter()
+        .map(|s| s.name)
+        .filter(|n| *n != "ubench")
+        .collect();
+    pareto_with(cfg, &cpu, &gpu, &Mitigation::all_combinations())
+}
+
+/// Renders a Pareto chart as a table, flagging frontier points.
+pub fn render(points: &[ParetoPoint]) -> String {
+    let frontier = pareto_frontier(points);
+    let data: Vec<Vec<String>> = points
+        .iter()
+        .zip(&frontier)
+        .map(|(p, on)| {
+            vec![
+                p.mitigation.label(),
+                format!("{:.3}", p.cpu_geomean),
+                format!("{:.3}", p.gpu_geomean),
+                if *on { "pareto".into() } else { "".into() },
+            ]
+        })
+        .collect();
+    render_table(
+        &["combination", "CPU geomean", "GPU geomean", ""],
+        &data,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(cpu: f64, gpu: f64) -> ParetoPoint {
+        ParetoPoint {
+            mitigation: Mitigation::DEFAULT,
+            cpu_geomean: cpu,
+            gpu_geomean: gpu,
+        }
+    }
+
+    #[test]
+    fn frontier_marks_non_dominated_points() {
+        let pts = vec![point(0.5, 1.8), point(0.7, 1.0), point(0.6, 0.9), point(0.4, 0.5)];
+        let frontier = pareto_frontier(&pts);
+        assert_eq!(frontier, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn dominance_is_strict() {
+        let a = point(0.5, 1.0);
+        let b = point(0.5, 1.0);
+        assert!(!a.dominated_by(&b));
+        assert!(a.dominated_by(&point(0.5, 1.1)));
+    }
+
+    #[test]
+    fn subset_pareto_default_is_not_optimal() {
+        // The paper's key observation: the default configuration is not
+        // Pareto optimal in either chart.
+        let cfg = SystemConfig::a10_7850k();
+        let combos = vec![
+            Mitigation::DEFAULT,
+            Mitigation {
+                coalesce: true,
+                ..Mitigation::DEFAULT
+            },
+            Mitigation {
+                coalesce: true,
+                monolithic_bottom_half: true,
+                ..Mitigation::DEFAULT
+            },
+        ];
+        let pts = pareto_with(&cfg, &["x264", "raytrace"], &["ubench"], &combos);
+        let frontier = pareto_frontier(&pts);
+        assert!(
+            !frontier[0],
+            "default should be dominated: {:?}",
+            pts.iter()
+                .map(|p| (p.cpu_geomean, p.gpu_geomean))
+                .collect::<Vec<_>>()
+        );
+    }
+}

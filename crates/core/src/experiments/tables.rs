@@ -1,0 +1,119 @@
+//! Tables I and II.
+
+use hiss_gpu::SsrKind;
+use hiss_kernel::HandlerCosts;
+
+use crate::config::SystemConfig;
+use crate::experiments::render_table;
+
+/// One row of Table I: an SSR class, its description, the paper's
+/// qualitative complexity, and this model's calibrated worker-service
+/// cost realising that complexity.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Service class.
+    pub kind: SsrKind,
+    /// Description (paper Table I).
+    pub description: &'static str,
+    /// Qualitative complexity (paper Table I).
+    pub complexity: &'static str,
+    /// Modelled worker-thread service time.
+    pub service: hiss_sim::Ns,
+}
+
+/// Regenerates Table I.
+pub fn table1(cfg: &SystemConfig) -> Vec<Table1Row> {
+    let costs: HandlerCosts = cfg.costs;
+    SsrKind::ALL
+        .iter()
+        .map(|&kind| Table1Row {
+            kind,
+            description: kind.description(),
+            complexity: kind.complexity(),
+            service: costs.worker(kind),
+        })
+        .collect()
+}
+
+/// Renders Table I as text.
+pub fn render_table1(rows: &[Table1Row]) -> String {
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:?}", r.kind),
+                r.description.to_string(),
+                r.complexity.to_string(),
+                r.service.to_string(),
+            ]
+        })
+        .collect();
+    render_table(&["SSR", "Description", "Complexity", "Modelled cost"], &data)
+}
+
+/// Regenerates Table II (the test-system configuration) as label/value
+/// pairs.
+pub fn table2(cfg: &SystemConfig) -> Vec<(String, String)> {
+    vec![
+        ("SoC".into(), "simulated AMD A10-7850K".into()),
+        (
+            "CPU".into(),
+            format!("{}x {:.1}GHz AMD Family 15h-class cores", cfg.num_cores, cfg.cpu.freq_ghz),
+        ),
+        (
+            "Accelerator".into(),
+            format!(
+                "{} MHz GCN 1.1-class GPU, {} CUs, {} outstanding SSRs",
+                cfg.gpu.freq_mhz, cfg.gpu.cu_count, cfg.gpu.max_outstanding
+            ),
+        ),
+        (
+            "Software".into(),
+            "modelled Linux 4.0 + amd_iommu_v2-style SSR path".into(),
+        ),
+        (
+            "Coalescing".into(),
+            format!("up to {} (PCIe D0F2xF4_x93)", cfg.coalesce_window),
+        ),
+    ]
+}
+
+/// Renders Table II as text.
+pub fn render_table2(rows: &[(String, String)]) -> String {
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(k, v)| vec![k.clone(), v.clone()])
+        .collect();
+    render_table(&["Parameter", "Value"], &data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_all_six_services() {
+        let rows = table1(&SystemConfig::a10_7850k());
+        assert_eq!(rows.len(), 6);
+        let rendered = render_table1(&rows);
+        assert!(rendered.contains("SoftPageFault"));
+        assert!(rendered.contains("un-pinned memory"));
+    }
+
+    #[test]
+    fn table1_costs_order_matches_complexity() {
+        let rows = table1(&SystemConfig::a10_7850k());
+        let get = |k: SsrKind| rows.iter().find(|r| r.kind == k).unwrap().service;
+        assert!(get(SsrKind::Signal) < get(SsrKind::SoftPageFault));
+        assert!(get(SsrKind::SoftPageFault) < get(SsrKind::FileSystem));
+    }
+
+    #[test]
+    fn table2_mentions_the_testbed() {
+        let rows = table2(&SystemConfig::a10_7850k());
+        let rendered = render_table2(&rows);
+        assert!(rendered.contains("A10-7850K"));
+        assert!(rendered.contains("3.7GHz"));
+        assert!(rendered.contains("720 MHz"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Run-level measurement report.
+
+use hiss_cpu::TimeBreakdown;
+use hiss_iommu::IommuStats;
+use hiss_sim::Ns;
+
+use crate::energy::EnergyReport;
+use crate::trace::Trace;
+
+/// Kernel-side counters copied out of the run (a plain-data snapshot of
+/// [`hiss_kernel::KernelStats`]).
+#[derive(Debug, Clone, Default)]
+pub struct KernelSnapshot {
+    /// SSR interrupts per core (`/proc/interrupts` view).
+    pub interrupts_per_core: Vec<u64>,
+    /// IPIs sent to wake kernel threads.
+    pub ipis: u64,
+    /// SSRs fully serviced.
+    pub ssrs_serviced: u64,
+    /// Mean end-to-end SSR latency.
+    pub mean_ssr_latency: Ns,
+    /// 99th-percentile SSR latency (bucket upper bound).
+    pub p99_ssr_latency: Ns,
+    /// Mean requests per interrupt.
+    pub mean_batch: f64,
+    /// QoS deferral episodes.
+    pub qos_deferrals: u64,
+}
+
+/// Everything measured in one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Wall-clock length of the run.
+    pub elapsed: Ns,
+    /// When the CPU application's last thread finished (its runtime), if
+    /// a CPU application was present and finished.
+    pub cpu_app_runtime: Option<Ns>,
+    /// Total GPU work completed (across loop iterations), in full-speed
+    /// execution nanoseconds.
+    pub gpu_progress: Ns,
+    /// GPU throughput: progress per second of wall time (1.0 = a GPU that
+    /// never stalls).
+    pub gpu_throughput: f64,
+    /// GPU kernel iterations completed.
+    pub gpu_iterations: u64,
+    /// SSR completions per second of wall time (the ubench metric).
+    pub ssr_rate: f64,
+    /// Mean CC6 residency across cores (Fig. 4 / Fig. 9 y-axis).
+    pub cc6_residency: f64,
+    /// Fraction of aggregate CPU time spent on SSR overhead.
+    pub cpu_ssr_overhead: f64,
+    /// Time-averaged L1D coldness across cores running user threads
+    /// (proxy for the Fig. 5a miss-rate increase).
+    pub avg_cache_coldness: f64,
+    /// Time-averaged branch-predictor coldness (Fig. 5b proxy).
+    pub avg_branch_coldness: f64,
+    /// Per-core time ledgers.
+    pub per_core: Vec<TimeBreakdown>,
+    /// Kernel counters.
+    pub kernel: KernelSnapshot,
+    /// IOMMU counters.
+    pub iommu: IommuStats,
+    /// Requests still sitting in the PPR log when the run ended (a
+    /// coalescing window that never expired); `iommu.drained +
+    /// pending_at_end == iommu.requests` always holds.
+    pub pending_at_end: usize,
+    /// CPU energy (extension).
+    pub energy: EnergyReport,
+    /// Activity trace, when requested via
+    /// [`ExperimentBuilder::trace_window`](crate::ExperimentBuilder::trace_window).
+    pub trace: Option<Trace>,
+}
+
+impl RunReport {
+    /// CPU-application performance of this run normalised to a baseline
+    /// run (1.0 = no slowdown; the paper's Fig. 3a/6/12a y-axis).
+    ///
+    /// Returns `None` if either run lacks a finished CPU application.
+    pub fn cpu_perf_vs(&self, baseline: &RunReport) -> Option<f64> {
+        let mine = self.cpu_app_runtime?;
+        let base = baseline.cpu_app_runtime?;
+        Some(base.as_nanos() as f64 / mine.as_nanos() as f64)
+    }
+
+    /// GPU throughput of this run normalised to a baseline run (the
+    /// paper's Fig. 3b/6/12b y-axis).
+    pub fn gpu_perf_vs(&self, baseline: &RunReport) -> f64 {
+        if baseline.gpu_throughput == 0.0 {
+            return 0.0;
+        }
+        self.gpu_throughput / baseline.gpu_throughput
+    }
+
+    /// SSR rate normalised to a baseline (the ubench performance metric
+    /// in Figs. 6–7).
+    pub fn ssr_rate_vs(&self, baseline: &RunReport) -> f64 {
+        if baseline.ssr_rate == 0.0 {
+            return 0.0;
+        }
+        self.ssr_rate / baseline.ssr_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalisation_math() {
+        let fast = RunReport {
+            cpu_app_runtime: Some(Ns::from_millis(10)),
+            gpu_throughput: 0.8,
+            ssr_rate: 50_000.0,
+            ..RunReport::default()
+        };
+        let slow = RunReport {
+            cpu_app_runtime: Some(Ns::from_millis(20)),
+            gpu_throughput: 0.4,
+            ssr_rate: 25_000.0,
+            ..RunReport::default()
+        };
+        assert_eq!(slow.cpu_perf_vs(&fast), Some(0.5));
+        assert_eq!(slow.gpu_perf_vs(&fast), 0.5);
+        assert_eq!(slow.ssr_rate_vs(&fast), 0.5);
+    }
+
+    #[test]
+    fn missing_runtime_yields_none() {
+        let a = RunReport::default();
+        let b = RunReport {
+            cpu_app_runtime: Some(Ns::from_millis(1)),
+            ..RunReport::default()
+        };
+        assert_eq!(a.cpu_perf_vs(&b), None);
+        assert_eq!(b.cpu_perf_vs(&a), None);
+    }
+
+    #[test]
+    fn zero_baseline_throughput_is_zero_not_nan() {
+        let a = RunReport {
+            gpu_throughput: 0.5,
+            ..RunReport::default()
+        };
+        let zero = RunReport::default();
+        assert_eq!(a.gpu_perf_vs(&zero), 0.0);
+        assert_eq!(a.ssr_rate_vs(&zero), 0.0);
+    }
+}

@@ -1,0 +1,1145 @@
+//! The simulated SoC: event loop composing CPU cores, GPU(s), IOMMU, and
+//! the kernel substrate.
+//!
+//! # Architecture
+//!
+//! The SoC owns every component and drives them through a single
+//! deterministic event calendar:
+//!
+//! - **GPU self-events**: the GPU reports when it will next raise an SSR
+//!   or finish its kernel; a generation counter discards events that a
+//!   stall/unstall made stale.
+//! - **IOMMU**: SSRs are logged; depending on the coalescing
+//!   configuration the IOMMU raises an MSI immediately or arms a timer.
+//! - **Kernel occupancy**: `hiss_kernel::Kernel` expands each interrupt
+//!   into a cascade of core-occupancy intervals (top half → IPI → bottom
+//!   half → worker) with absolute times; the SoC replays them as
+//!   `OccupyStart`/`OccupyEnd` events, billing user preemption,
+//!   mode-switch costs, idle/C-state gaps, and µarch pollution at the
+//!   moment they happen.
+//! - **User threads**: thread *i* of the CPU application is pinned to
+//!   core *i* and executes whenever no kernel work occupies its core;
+//!   its projected completion is re-estimated whenever pollution changes
+//!   its speed.
+//!
+//! Wall-clock time on each core is fully attributed: user execution,
+//! handler categories, mode switches, shallow idle, CC6 (entered only
+//! after the governor threshold of uninterrupted idleness), and C-state
+//! transitions.
+
+use hiss_cpu::{Core, CoreId, TimeCategory};
+use hiss_mem::WarmthModel;
+use hiss_gpu::{Gpu, SsrId, SsrRequest};
+use hiss_iommu::{Iommu, IommuDecision, PageWalker, WalkerConfig};
+use hiss_kernel::{CoreHost, Kernel, KernelConfig, KernelOutput};
+use hiss_qos::QosParams;
+use hiss_sim::{EventQueue, Ns, Rng};
+use hiss_workloads::{CpuAppSpec, GpuAppSpec};
+
+use crate::config::{Mitigation, MitigationConfig, SystemConfig};
+use crate::energy::{EnergyParams, EnergyReport};
+use crate::metrics::{KernelSnapshot, RunReport};
+use crate::trace::Tracer;
+
+/// One user thread of the CPU application, pinned to its core.
+#[derive(Debug, Clone)]
+struct UserThread {
+    remaining: Ns,
+    finished_at: Option<Ns>,
+}
+
+/// What a core is doing right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Activity {
+    Idle { since: Ns },
+    User { since: Ns },
+    Kernel,
+}
+
+/// A GPU plus its workload bookkeeping (kernels may loop).
+#[derive(Debug)]
+struct GpuRun {
+    gpu: Gpu,
+    looping: bool,
+    iterations: u64,
+    /// Busy/stall/SSR totals from *completed* iterations.
+    done_busy: Ns,
+    done_stalled: Ns,
+    done_completed: u64,
+    rng: Rng,
+}
+
+impl GpuRun {
+    fn total_progress(&self) -> Ns {
+        self.done_busy + self.gpu.stats().busy
+    }
+    fn total_completed(&self) -> u64 {
+        self.done_completed + self.gpu.stats().ssrs_completed
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// The GPU's next self-event (SSR raise or kernel finish).
+    Gpu { gpu: usize, gen: u64 },
+    /// IOMMU coalescing timer expiry.
+    CoalesceTimer { deadline: Ns },
+    /// A kernel occupancy interval begins on `core`.
+    OccupyStart {
+        core: usize,
+        dur: Ns,
+        category: TimeCategory,
+        shared: bool,
+    },
+    /// A kernel occupancy interval ends on `core`.
+    OccupyEnd { core: usize },
+    /// Projected completion of the user thread on `core`.
+    UserDone { core: usize, gen: u64 },
+    /// An SSR finished service; notify the GPU.
+    SsrDone { gpu: usize, id: SsrId },
+    /// Periodic OS scheduler tick on `core`.
+    Tick { core: usize },
+    /// The IOMMU finished walking the page table for a faulting access;
+    /// the request now reaches the PPR log.
+    WalkDone { request: SsrRequest },
+}
+
+/// Snapshot of core states handed to the kernel model (it cannot borrow
+/// the SoC mutably and immutably at once).
+struct HostView {
+    busy: Vec<bool>,
+    preempt: Vec<Ns>,
+    wake: Vec<Ns>,
+}
+
+impl CoreHost for HostView {
+    fn num_cores(&self) -> usize {
+        self.busy.len()
+    }
+    fn user_active(&self, core: CoreId) -> bool {
+        self.busy[core.0]
+    }
+    fn preempt_delay(&self, core: CoreId) -> Ns {
+        self.preempt[core.0]
+    }
+    fn wake_delay(&self, core: CoreId) -> Ns {
+        self.wake[core.0]
+    }
+}
+
+/// The simulated heterogeneous SoC.
+///
+/// Construct one through [`ExperimentBuilder`]; drive it with
+/// [`Soc::run`]. See the crate docs for a complete example.
+#[derive(Debug)]
+pub struct Soc {
+    cfg: SystemConfig,
+    now: Ns,
+    queue: EventQueue<Event>,
+    cores: Vec<Core>,
+    activity: Vec<Activity>,
+    user_gen: Vec<u64>,
+    users: Vec<Option<UserThread>>,
+    cpu_spec: Option<CpuAppSpec>,
+    gpus: Vec<GpuRun>,
+    iommu: Iommu,
+    kernel: Kernel,
+    occupied_until: Vec<Ns>,
+    truncated: bool,
+    tracer: Option<Tracer>,
+    walker: PageWalker,
+    /// Module-shared L2 warmth, one per 2-core "Steamroller" module:
+    /// kernel noise on either sibling cools it; user time on either
+    /// rewarms it (which is why the refill constant is pre-halved in
+    /// `CpuParams::l2_pollution`).
+    module_warmth: Vec<WarmthModel>,
+}
+
+impl Soc {
+    fn new(
+        cfg: SystemConfig,
+        mit: MitigationConfig,
+        cpu_spec: Option<CpuAppSpec>,
+        gpu_specs: Vec<GpuAppSpec>,
+        looping: bool,
+        seed: u64,
+    ) -> Self {
+        let mut rng = Rng::new(seed);
+        let cores: Vec<Core> = (0..cfg.num_cores)
+            .map(|i| Core::new(CoreId(i), cfg.cpu))
+            .collect();
+        let users: Vec<Option<UserThread>> = (0..cfg.num_cores)
+            .map(|i| {
+                cpu_spec
+                    .filter(|s| i < s.threads)
+                    .map(|s| UserThread {
+                        remaining: s.work_per_thread,
+                        finished_at: None,
+                    })
+            })
+            .collect();
+        let activity: Vec<Activity> = users
+            .iter()
+            .map(|u| {
+                if u.is_some() {
+                    Activity::User { since: Ns::ZERO }
+                } else {
+                    Activity::Idle { since: Ns::ZERO }
+                }
+            })
+            .collect();
+        let gpus: Vec<GpuRun> = gpu_specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let mut grng = rng.fork(spec.name);
+                let gpu = Gpu::new(i, cfg.gpu, spec.profile, spec.total_work, grng.fork("iter0"));
+                GpuRun {
+                    gpu,
+                    looping,
+                    iterations: 0,
+                    done_busy: Ns::ZERO,
+                    done_stalled: Ns::ZERO,
+                    done_completed: 0,
+                    rng: grng,
+                }
+            })
+            .collect();
+        let iommu = Iommu::with_coalescing(
+            cfg.steering(mit.mitigation),
+            cfg.num_cores,
+            cfg.window(mit.mitigation),
+        );
+        let kernel = Kernel::new(
+            KernelConfig {
+                costs: cfg.costs,
+                monolithic_bottom_half: mit.mitigation.monolithic_bottom_half,
+                bh_affinity: mit
+                    .mitigation
+                    .steer_single_core
+                    .then_some(cfg.steer_target),
+                qos: mit.qos,
+            },
+            cfg.num_cores,
+        );
+        Soc {
+            now: Ns::ZERO,
+            queue: EventQueue::new(),
+            activity,
+            user_gen: vec![0; cfg.num_cores],
+            users,
+            cpu_spec,
+            gpus,
+            iommu,
+            kernel,
+            occupied_until: vec![Ns::ZERO; cfg.num_cores],
+            cores,
+            truncated: false,
+            tracer: None,
+            walker: PageWalker::new(WalkerConfig::default()),
+            module_warmth: (0..cfg.num_cores.div_ceil(2))
+                .map(|_| {
+                    WarmthModel::with_params(cfg.cpu.l2_pollution, cfg.cpu.l2_pollution)
+                })
+                .collect(),
+            cfg,
+        }
+    }
+
+    fn module_of(core: usize) -> usize {
+        core / 2
+    }
+
+    // ----- helpers ------------------------------------------------------
+
+    fn host_view(&self) -> HostView {
+        let n = self.cfg.num_cores;
+        let mut busy = vec![false; n];
+        let mut preempt = vec![Ns::ZERO; n];
+        let mut wake = vec![Ns::ZERO; n];
+        for c in 0..n {
+            let user_alive = self.users[c]
+                .as_ref()
+                .is_some_and(|u| u.finished_at.is_none());
+            busy[c] = user_alive;
+            if let Some(spec) = self.cpu_spec {
+                preempt[c] = spec.preempt_delay;
+            }
+            if let Activity::Idle { since } = self.activity[c] {
+                wake[c] = self.cores[c].predicted_wake_penalty(self.now - since);
+            }
+        }
+        HostView {
+            busy,
+            preempt,
+            wake,
+        }
+    }
+
+    fn integrate_user(&mut self, core: usize) {
+        if let Activity::User { since } = self.activity[core] {
+            let dur = self.now - since;
+            if dur > Ns::ZERO {
+                if let Some(tr) = &mut self.tracer {
+                    tr.record(core, since, self.now, TimeCategory::User);
+                }
+                let spec = self.cpu_spec.expect("user activity implies a CPU app");
+                let done = self.cores[core].run_user(
+                    dur,
+                    spec.cache_sensitivity,
+                    spec.branch_sensitivity,
+                );
+                // Module-shared L2: an additional, smaller penalty from
+                // whatever kernel work ran on either sibling core,
+                // averaged over the slice (long slices re-warm the L2).
+                let module = &mut self.module_warmth[Self::module_of(core)];
+                let l2_slow = module.user_slowdown(dur, spec.l2_sensitivity, 0.0);
+                module.on_user(dur);
+                let done = done.scale(1.0 / l2_slow);
+                if let Some(user) = self.users[core].as_mut() {
+                    user.remaining = user.remaining.saturating_sub(done);
+                }
+            }
+            self.activity[core] = Activity::User { since: self.now };
+        }
+    }
+
+    /// Bills an idle gap ending now, recording its shallow/transition/CC6
+    /// phases with the tracer.
+    fn bill_idle(&mut self, core: usize, since: Ns) {
+        let gap = self.now - since;
+        if gap == Ns::ZERO {
+            return;
+        }
+        let acc = self.cores[core].account_idle(gap);
+        if let Some(tr) = &mut self.tracer {
+            let mut t = since;
+            tr.record(core, t, t + acc.shallow, TimeCategory::IdleShallow);
+            t += acc.shallow;
+            tr.record(core, t, t + acc.transition, TimeCategory::CStateTransition);
+            t += acc.transition;
+            tr.record(core, t, t + acc.cc6, TimeCategory::SleepCc6);
+        }
+    }
+
+    fn trace_kernel(&mut self, core: usize, dur: Ns, category: TimeCategory) {
+        if let Some(tr) = &mut self.tracer {
+            tr.record(core, self.now, self.now + dur, category);
+        }
+    }
+
+    fn schedule_user_done(&mut self, core: usize) {
+        let Some(spec) = self.cpu_spec else { return };
+        let Some(user) = self.users[core].as_ref() else {
+            return;
+        };
+        if user.finished_at.is_some() {
+            return;
+        }
+        let wall = self.cores[core]
+            .user_wall_time(
+                user.remaining,
+                spec.cache_sensitivity,
+                spec.branch_sensitivity,
+            )
+            .max(Ns::from_nanos(1));
+        self.queue.push(
+            self.now + wall,
+            Event::UserDone {
+                core,
+                gen: self.user_gen[core],
+            },
+        );
+    }
+
+    fn arm_gpu(&mut self, g: usize) {
+        let run = &self.gpus[g];
+        if let Some((t, _kind)) = run.gpu.next_event(self.now) {
+            self.queue.push(
+                t,
+                Event::Gpu {
+                    gpu: g,
+                    gen: run.gpu.generation(),
+                },
+            );
+        }
+    }
+
+    /// Entry point for a newly-raised SSR: page-fault-class requests
+    /// first pay the IOMMU's page-table walk (paper §II-C), everything
+    /// else reaches the interrupt path directly.
+    fn route_request(&mut self, req: SsrRequest) {
+        if req.kind.uses_iommu() {
+            if let Some(page) = req.page {
+                let walk = self.walker.walk(page.0 << 12);
+                self.queue
+                    .push(self.now + walk, Event::WalkDone { request: req });
+                return;
+            }
+        }
+        self.log_request(req);
+    }
+
+    fn log_request(&mut self, req: SsrRequest) {
+        match self.iommu.on_request(req, self.now) {
+            IommuDecision::Interrupt(core) => self.deliver_interrupt(core),
+            IommuDecision::ArmTimer(deadline) => {
+                self.queue
+                    .push(deadline, Event::CoalesceTimer { deadline });
+            }
+            IommuDecision::Absorbed => {}
+        }
+    }
+
+    fn deliver_interrupt(&mut self, core: CoreId) {
+        let batch = self.iommu.drain();
+        if batch.is_empty() {
+            return;
+        }
+        let view = self.host_view();
+        let outputs = self.kernel.on_interrupt(&view, core, batch, self.now);
+        for out in outputs {
+            match out {
+                KernelOutput::Occupy {
+                    core,
+                    start,
+                    dur,
+                    category,
+                    shared,
+                } => {
+                    self.queue.push(
+                        start,
+                        Event::OccupyStart {
+                            core: core.0,
+                            dur,
+                            category,
+                            shared,
+                        },
+                    );
+                }
+                KernelOutput::SsrComplete { request, at } => {
+                    self.queue.push(
+                        at,
+                        Event::SsrDone {
+                            gpu: request.gpu,
+                            id: request.id,
+                        },
+                    );
+                }
+                KernelOutput::Ipi { .. } => {}
+            }
+        }
+    }
+
+    fn handle_gpu_finish(&mut self, g: usize) {
+        let run = &mut self.gpus[g];
+        run.iterations += 1;
+        if run.looping {
+            // Bank the finished iteration's stats before replacing the GPU
+            // (non-looping runs keep reading them from the GPU itself).
+            let stats = run.gpu.stats();
+            run.done_busy += stats.busy;
+            run.done_stalled += stats.stalled;
+            run.done_completed += stats.ssrs_completed;
+            let iter_label = format!("iter{}", run.iterations);
+            run.gpu = run.gpu.relaunch(run.rng.fork(&iter_label), self.now);
+            self.arm_gpu(g);
+        }
+    }
+
+    fn handle(&mut self, event: Event) {
+        match event {
+            Event::Gpu { gpu, gen } => {
+                if gen != self.gpus[gpu].gpu.generation() {
+                    return; // stale
+                }
+                self.gpus[gpu].gpu.advance_to(self.now);
+                if self.gpus[gpu].gpu.is_finished() {
+                    self.handle_gpu_finish(gpu);
+                    return;
+                }
+                if let Some(req) = self.gpus[gpu].gpu.raise_ssr(self.now) {
+                    self.route_request(req);
+                }
+                self.arm_gpu(gpu);
+            }
+            Event::CoalesceTimer { deadline } => {
+                if let Some(core) = self.iommu.on_timer(deadline) {
+                    self.deliver_interrupt(core);
+                }
+            }
+            Event::OccupyStart {
+                core,
+                dur,
+                category,
+                shared,
+            } => {
+                let kernel_half = if shared { dur / 2 } else { dur };
+                match self.activity[core] {
+                    Activity::User { .. } => {
+                        self.integrate_user(core);
+                        self.cores[core].run_kernel_with_switch(kernel_half, category);
+                    }
+                    Activity::Idle { since } => {
+                        self.bill_idle(core, since);
+                        self.cores[core].run_kernel(kernel_half, category);
+                    }
+                    Activity::Kernel => {
+                        self.cores[core].run_kernel(kernel_half, category);
+                    }
+                }
+                self.trace_kernel(core, dur, category);
+                self.module_warmth[Self::module_of(core)].on_kernel(kernel_half);
+                if shared {
+                    // The user thread keeps its CFS share of the interval.
+                    if let Some(spec) = self.cpu_spec {
+                        let done = self.cores[core].run_user(
+                            dur - kernel_half,
+                            spec.cache_sensitivity,
+                            spec.branch_sensitivity,
+                        );
+                        let module = &mut self.module_warmth[Self::module_of(core)];
+                        let l2_slow =
+                            module.user_slowdown(dur - kernel_half, spec.l2_sensitivity, 0.0);
+                        module.on_user(dur - kernel_half);
+                        let done = done.scale(1.0 / l2_slow);
+                        if let Some(user) = self.users[core].as_mut() {
+                            user.remaining = user.remaining.saturating_sub(done);
+                        }
+                    }
+                }
+                self.activity[core] = Activity::Kernel;
+                self.occupied_until[core] = self.occupied_until[core].max(self.now + dur);
+                self.user_gen[core] += 1;
+                self.queue.push(self.now + dur, Event::OccupyEnd { core });
+            }
+            Event::OccupyEnd { core } => {
+                if self.now < self.occupied_until[core] {
+                    return; // a later interval is still running
+                }
+                if self.activity[core] != Activity::Kernel {
+                    return; // duplicate end at the same timestamp
+                }
+                let user_alive = self.users[core]
+                    .as_ref()
+                    .is_some_and(|u| u.finished_at.is_none());
+                if user_alive {
+                    self.activity[core] = Activity::User { since: self.now };
+                    self.user_gen[core] += 1;
+                    self.schedule_user_done(core);
+                } else {
+                    self.activity[core] = Activity::Idle { since: self.now };
+                }
+            }
+            Event::UserDone { core, gen } => {
+                if gen != self.user_gen[core] {
+                    return; // pollution changed the projection
+                }
+                if !matches!(self.activity[core], Activity::User { .. }) {
+                    return;
+                }
+                self.integrate_user(core);
+                let finished = self.users[core]
+                    .as_ref()
+                    .is_some_and(|u| u.remaining == Ns::ZERO);
+                if finished {
+                    if let Some(u) = self.users[core].as_mut() {
+                        u.finished_at = Some(self.now);
+                    }
+                    self.activity[core] = Activity::Idle { since: self.now };
+                } else {
+                    self.user_gen[core] += 1;
+                    self.schedule_user_done(core);
+                }
+            }
+            Event::SsrDone { gpu, id } => {
+                self.gpus[gpu].gpu.on_ssr_complete(id, self.now);
+                self.arm_gpu(gpu);
+            }
+            Event::WalkDone { request } => {
+                self.log_request(request);
+            }
+            Event::Tick { core } => {
+                let cost = self.cfg.tick_cost;
+                // A core already in kernel context absorbs the tick.
+                if self.activity[core] != Activity::Kernel && cost > Ns::ZERO {
+                    match self.activity[core] {
+                        Activity::User { .. } => self.integrate_user(core),
+                        Activity::Idle { since } => self.bill_idle(core, since),
+                        Activity::Kernel => unreachable!(),
+                    }
+                    self.cores[core].run_kernel(cost, TimeCategory::OsTick);
+                    self.trace_kernel(core, cost, TimeCategory::OsTick);
+                    self.module_warmth[Self::module_of(core)].on_kernel(cost);
+                    self.activity[core] = Activity::Kernel;
+                    self.occupied_until[core] = self.occupied_until[core].max(self.now + cost);
+                    self.user_gen[core] += 1;
+                    self.queue.push(self.now + cost, Event::OccupyEnd { core });
+                }
+                if self.cfg.timer_tick > Ns::ZERO {
+                    self.queue
+                        .push(self.now + self.cfg.timer_tick, Event::Tick { core });
+                }
+            }
+        }
+    }
+
+    fn cpu_app_done(&self) -> bool {
+        self.cpu_spec.is_some()
+            && self
+                .users
+                .iter()
+                .flatten()
+                .all(|u| u.finished_at.is_some())
+    }
+
+    fn gpus_done(&self) -> bool {
+        self.gpus
+            .iter()
+            .all(|r| r.iterations >= 1 || r.gpu.is_finished())
+    }
+
+    /// Runs the simulation to its natural end and returns the report.
+    ///
+    /// With a CPU application configured, the run ends when its last
+    /// thread finishes (GPU kernels loop to keep interference stationary,
+    /// matching the paper's concurrent-run methodology). Without one, the
+    /// run ends when every GPU finishes one kernel.
+    pub fn run(mut self) -> RunReport {
+        for g in 0..self.gpus.len() {
+            self.arm_gpu(g);
+        }
+        for core in 0..self.cfg.num_cores {
+            self.schedule_user_done(core);
+            if self.cfg.timer_tick > Ns::ZERO {
+                // Phase-shift per core, as Linux staggers its ticks.
+                let offset = self.cfg.timer_tick * (core as u64 + 1) / self.cfg.num_cores as u64;
+                self.queue.push(offset, Event::Tick { core });
+            }
+        }
+        let has_cpu = self.cpu_spec.is_some();
+        let has_gpu = !self.gpus.is_empty();
+        while let Some((t, event)) = self.queue.pop() {
+            if t > self.cfg.max_sim_time {
+                self.truncated = true;
+                self.now = self.cfg.max_sim_time;
+                break;
+            }
+            self.now = t;
+            self.handle(event);
+            if has_cpu && self.cpu_app_done() {
+                break;
+            }
+            if !has_cpu && has_gpu && self.gpus_done() {
+                break;
+            }
+        }
+        self.finalize()
+    }
+
+    fn finalize(mut self) -> RunReport {
+        let end = self.now;
+        for core in 0..self.cfg.num_cores {
+            match self.activity[core] {
+                Activity::User { .. } => self.integrate_user(core),
+                Activity::Idle { since } => self.bill_idle(core, since),
+                Activity::Kernel => {}
+            }
+        }
+        for run in &mut self.gpus {
+            run.gpu.advance_to(end);
+        }
+
+        let per_core: Vec<_> = self.cores.iter().map(|c| c.breakdown().clone()).collect();
+        let cpu_app_runtime = if self.cpu_app_done() {
+            // Blend barrier semantics (slowest thread) with dynamic
+            // work-rebalancing (mean of thread finish times) per the
+            // application's `rebalance` factor: pipeline apps shift work
+            // away from an interference-hammered core, statically
+            // partitioned ones cannot.
+            let finishes: Vec<Ns> = self
+                .users
+                .iter()
+                .flatten()
+                .filter_map(|u| u.finished_at)
+                .collect();
+            let max = finishes.iter().copied().max().unwrap_or(Ns::ZERO);
+            let mean = if finishes.is_empty() {
+                Ns::ZERO
+            } else {
+                finishes.iter().copied().sum::<Ns>() / finishes.len() as u64
+            };
+            let reb = self.cpu_spec.map(|s| s.rebalance).unwrap_or(0.0);
+            Some(max.scale(1.0 - reb) + mean.scale(reb))
+        } else {
+            None
+        };
+        let gpu_progress: Ns = self.gpus.iter().map(|r| r.total_progress()).sum();
+        let elapsed_s = end.as_secs_f64();
+        let gpu_throughput = if elapsed_s > 0.0 {
+            gpu_progress.as_secs_f64() / elapsed_s
+        } else {
+            0.0
+        };
+        let total_completed: u64 = self.gpus.iter().map(|r| r.total_completed()).sum();
+        let ssr_rate = if elapsed_s > 0.0 {
+            total_completed as f64 / elapsed_s
+        } else {
+            0.0
+        };
+        let cc6_residency = if per_core.is_empty() {
+            0.0
+        } else {
+            per_core.iter().map(|b| b.cc6_residency()).sum::<f64>() / per_core.len() as f64
+        };
+        let mut whole = hiss_cpu::TimeBreakdown::new();
+        for b in &per_core {
+            whole.merge(b);
+        }
+        let user_cores: Vec<usize> = (0..self.cfg.num_cores)
+            .filter(|c| self.users[*c].is_some())
+            .collect();
+        let (cache_cold, branch_cold) = if user_cores.is_empty() {
+            (0.0, 0.0)
+        } else {
+            let c = user_cores
+                .iter()
+                .map(|&c| self.cores[c].warmth().avg_cache_coldness())
+                .sum::<f64>()
+                / user_cores.len() as f64;
+            let b = user_cores
+                .iter()
+                .map(|&c| self.cores[c].warmth().avg_branch_coldness())
+                .sum::<f64>()
+                / user_cores.len() as f64;
+            (c, b)
+        };
+        let ks = self.kernel.stats();
+        let kernel = KernelSnapshot {
+            interrupts_per_core: ks.interrupts_per_core.clone(),
+            ipis: ks.ipis,
+            ssrs_serviced: ks.ssrs_serviced,
+            mean_ssr_latency: ks.mean_latency(),
+            p99_ssr_latency: ks.latency.quantile(0.99),
+            mean_batch: ks.batch_size.mean(),
+            qos_deferrals: ks.qos_deferrals,
+        };
+        let energy = EnergyReport::from_breakdowns(EnergyParams::default(), &per_core, end);
+        RunReport {
+            elapsed: end,
+            cpu_app_runtime,
+            gpu_progress,
+            gpu_throughput,
+            gpu_iterations: self.gpus.iter().map(|r| r.iterations).sum(),
+            ssr_rate,
+            cc6_residency,
+            cpu_ssr_overhead: whole.ssr_overhead_fraction(),
+            avg_cache_coldness: cache_cold,
+            avg_branch_coldness: branch_cold,
+            per_core,
+            kernel,
+            iommu: self.iommu.stats(),
+            pending_at_end: self.iommu.pending(),
+            trace: self.tracer.take().map(Tracer::into_trace),
+            energy,
+        }
+    }
+}
+
+/// Fluent builder for one simulation run.
+///
+/// # Example
+///
+/// ```
+/// use hiss::{ExperimentBuilder, SystemConfig};
+///
+/// let report = ExperimentBuilder::new(SystemConfig::a10_7850k())
+///     .cpu_app("x264")
+///     .gpu_app("ubench")
+///     .run();
+/// assert!(report.cpu_app_runtime.is_some());
+/// assert!(report.kernel.ssrs_serviced > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExperimentBuilder {
+    config: SystemConfig,
+    mitigation: MitigationConfig,
+    cpu: Option<CpuAppSpec>,
+    gpus: Vec<GpuAppSpec>,
+    seed: Option<u64>,
+    trace: Option<(Ns, Ns)>,
+}
+
+impl ExperimentBuilder {
+    /// Starts a builder from a system configuration.
+    pub fn new(config: SystemConfig) -> Self {
+        ExperimentBuilder {
+            config,
+            mitigation: MitigationConfig::default(),
+            cpu: None,
+            gpus: Vec::new(),
+            seed: None,
+            trace: None,
+        }
+    }
+
+    /// Applies a §V mitigation combination.
+    pub fn mitigation(mut self, m: Mitigation) -> Self {
+        self.mitigation.mitigation = m;
+        self
+    }
+
+    /// Enables the §VI QoS governor.
+    pub fn qos(mut self, params: QosParams) -> Self {
+        self.mitigation.qos = Some(params);
+        self
+    }
+
+    /// Runs a PARSEC benchmark on the CPU cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not in the catalog.
+    pub fn cpu_app(mut self, name: &str) -> Self {
+        let spec = CpuAppSpec::by_name(name)
+            .unwrap_or_else(|| panic!("unknown CPU benchmark {name:?}"));
+        self.cpu = Some(spec);
+        self
+    }
+
+    /// Runs an explicit CPU application spec.
+    pub fn cpu_spec(mut self, spec: CpuAppSpec) -> Self {
+        self.cpu = Some(spec);
+        self
+    }
+
+    /// Adds a GPU benchmark (with its SSR profile).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not in the catalog.
+    pub fn gpu_app(mut self, name: &str) -> Self {
+        let spec = GpuAppSpec::by_name(name)
+            .unwrap_or_else(|| panic!("unknown GPU benchmark {name:?}"));
+        self.gpus.push(spec);
+        self
+    }
+
+    /// Adds the pinned-memory (no-SSR) variant of a GPU benchmark — the
+    /// paper's baseline configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not in the catalog.
+    pub fn gpu_app_pinned(mut self, name: &str) -> Self {
+        let spec = GpuAppSpec::by_name(name)
+            .unwrap_or_else(|| panic!("unknown GPU benchmark {name:?}"));
+        self.gpus.push(spec.pinned());
+        self
+    }
+
+    /// Adds an explicit GPU application spec.
+    pub fn gpu_spec(mut self, spec: GpuAppSpec) -> Self {
+        self.gpus.push(spec);
+        self
+    }
+
+    /// Overrides the RNG seed (defaults to the system configuration's).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// The seed this builder would run with (for replication).
+    pub fn base_seed(&self) -> u64 {
+        self.seed.unwrap_or(self.config.seed)
+    }
+
+    /// Records a per-core activity trace over `[from, to)` (the paper's
+    /// Fig. 2 timeline); retrieve it from [`RunReport::trace`] and render
+    /// with [`Trace::render_gantt`](crate::trace::Trace::render_gantt).
+    pub fn trace_window(mut self, from: Ns, to: Ns) -> Self {
+        self.trace = Some((from, to));
+        self
+    }
+
+    /// Builds and runs the simulation.
+    pub fn run(self) -> RunReport {
+        let looping = self.cpu.is_some();
+        let seed = self.seed.unwrap_or(self.config.seed);
+        let mut soc = Soc::new(
+            self.config,
+            self.mitigation,
+            self.cpu,
+            self.gpus,
+            looping,
+            seed,
+        );
+        if let Some((from, to)) = self.trace {
+            soc.tracer = Some(Tracer::new(from, to));
+        }
+        soc.run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SystemConfig {
+        SystemConfig::a10_7850k()
+    }
+
+    #[test]
+    fn cpu_app_alone_runs_at_full_speed() {
+        let report = ExperimentBuilder::new(cfg()).cpu_app("blackscholes").run();
+        let runtime = report.cpu_app_runtime.expect("app finishes");
+        // 20ms of work per thread; only OS timer ticks (~0.2%) intervene.
+        assert!(runtime >= Ns::from_millis(20));
+        assert!(runtime < Ns::from_millis(21), "runtime {runtime}");
+        assert_eq!(report.kernel.ssrs_serviced, 0);
+        assert_eq!(report.cpu_ssr_overhead, 0.0);
+    }
+
+    #[test]
+    fn pinned_gpu_causes_no_interference() {
+        let base = ExperimentBuilder::new(cfg()).cpu_app("fluidanimate").run();
+        let with_pinned = ExperimentBuilder::new(cfg())
+            .cpu_app("fluidanimate")
+            .gpu_app_pinned("sssp")
+            .run();
+        assert_eq!(base.cpu_app_runtime, with_pinned.cpu_app_runtime);
+        assert_eq!(with_pinned.kernel.ssrs_serviced, 0);
+        assert!(with_pinned.gpu_progress > Ns::ZERO);
+    }
+
+    #[test]
+    fn ssrs_slow_down_the_cpu_app() {
+        let base = ExperimentBuilder::new(cfg())
+            .cpu_app("fluidanimate")
+            .gpu_app_pinned("sssp")
+            .run();
+        let noisy = ExperimentBuilder::new(cfg())
+            .cpu_app("fluidanimate")
+            .gpu_app("sssp")
+            .run();
+        assert!(noisy.kernel.ssrs_serviced > 0);
+        let perf = noisy.cpu_perf_vs(&base).expect("both finish");
+        assert!(perf < 1.0, "expected slowdown, got perf {perf}");
+        assert!(perf > 0.4, "implausibly strong interference: {perf}");
+    }
+
+    #[test]
+    fn busy_cpus_slow_down_gpu_service() {
+        let idle_cpu = ExperimentBuilder::new(cfg()).gpu_app("sssp").run();
+        assert!(idle_cpu.cpu_app_runtime.is_none());
+        assert!(idle_cpu.gpu_iterations >= 1);
+        let busy = ExperimentBuilder::new(cfg())
+            .cpu_app("streamcluster")
+            .gpu_app("sssp")
+            .run();
+        let perf = busy.gpu_perf_vs(&idle_cpu);
+        assert!(perf < 1.0, "busy CPUs should delay SSRs, got {perf}");
+    }
+
+    #[test]
+    fn gpu_only_run_mostly_sleeps_without_ssrs() {
+        let report = ExperimentBuilder::new(cfg()).gpu_app_pinned("ubench").run();
+        assert!(
+            report.cc6_residency > 0.8,
+            "idle cores should sleep, residency {}",
+            report.cc6_residency
+        );
+    }
+
+    #[test]
+    fn ssrs_destroy_sleep_residency() {
+        let quiet = ExperimentBuilder::new(cfg()).gpu_app_pinned("ubench").run();
+        let noisy = ExperimentBuilder::new(cfg()).gpu_app("ubench").run();
+        assert!(
+            noisy.cc6_residency < quiet.cc6_residency - 0.2,
+            "SSRs should cut CC6 residency: {} vs {}",
+            noisy.cc6_residency,
+            quiet.cc6_residency
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = ExperimentBuilder::new(cfg())
+            .cpu_app("x264")
+            .gpu_app("ubench")
+            .run();
+        let b = ExperimentBuilder::new(cfg())
+            .cpu_app("x264")
+            .gpu_app("ubench")
+            .run();
+        assert_eq!(a.cpu_app_runtime, b.cpu_app_runtime);
+        assert_eq!(a.kernel.ssrs_serviced, b.kernel.ssrs_serviced);
+        assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(a.kernel.ipis, b.kernel.ipis);
+    }
+
+    #[test]
+    fn different_seeds_vary_but_agree_qualitatively() {
+        let a = ExperimentBuilder::new(cfg())
+            .cpu_app("x264")
+            .gpu_app("ubench")
+            .seed(1)
+            .run();
+        let b = ExperimentBuilder::new(cfg())
+            .cpu_app("x264")
+            .gpu_app("ubench")
+            .seed(2)
+            .run();
+        let ra = a.cpu_app_runtime.unwrap().as_nanos() as f64;
+        let rb = b.cpu_app_runtime.unwrap().as_nanos() as f64;
+        assert!((ra / rb - 1.0).abs() < 0.2, "seeds wildly disagree");
+    }
+
+    #[test]
+    fn interrupts_spread_by_default_steered_when_configured() {
+        let spread = ExperimentBuilder::new(cfg())
+            .cpu_app("x264")
+            .gpu_app("ubench")
+            .run();
+        let counts = &spread.kernel.interrupts_per_core;
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        assert!(min > 0.0 && max / min < 1.5, "not spread: {counts:?}");
+
+        let steered = ExperimentBuilder::new(cfg())
+            .cpu_app("x264")
+            .gpu_app("ubench")
+            .mitigation(Mitigation {
+                steer_single_core: true,
+                ..Mitigation::DEFAULT
+            })
+            .run();
+        let counts = &steered.kernel.interrupts_per_core;
+        assert!(counts[0] > 0);
+        assert_eq!(counts[1..].iter().sum::<u64>(), 0, "not steered: {counts:?}");
+    }
+
+    #[test]
+    fn coalescing_reduces_interrupts() {
+        let plain = ExperimentBuilder::new(cfg())
+            .cpu_app("x264")
+            .gpu_app("ubench")
+            .run();
+        let coal = ExperimentBuilder::new(cfg())
+            .cpu_app("x264")
+            .gpu_app("ubench")
+            .mitigation(Mitigation {
+                coalesce: true,
+                ..Mitigation::DEFAULT
+            })
+            .run();
+        let total = |r: &RunReport| r.kernel.interrupts_per_core.iter().sum::<u64>();
+        assert!(
+            total(&coal) < total(&plain),
+            "coalescing should cut interrupts: {} vs {}",
+            total(&coal),
+            total(&plain)
+        );
+        assert!(coal.kernel.mean_batch > plain.kernel.mean_batch);
+    }
+
+    #[test]
+    fn qos_throttling_caps_cpu_overhead_and_guts_gpu_throughput() {
+        let default = ExperimentBuilder::new(cfg())
+            .cpu_app("x264")
+            .gpu_app("ubench")
+            .run();
+        let throttled = ExperimentBuilder::new(cfg())
+            .cpu_app("x264")
+            .gpu_app("ubench")
+            .qos(QosParams::threshold_percent(1.0))
+            .run();
+        assert!(throttled.kernel.qos_deferrals > 0);
+        assert!(
+            throttled.cpu_ssr_overhead < default.cpu_ssr_overhead,
+            "QoS should cut overhead: {} vs {}",
+            throttled.cpu_ssr_overhead,
+            default.cpu_ssr_overhead
+        );
+        assert!(
+            throttled.ssr_rate < default.ssr_rate / 2.0,
+            "QoS should throttle SSRs: {} vs {}",
+            throttled.ssr_rate,
+            default.ssr_rate
+        );
+    }
+
+    #[test]
+    fn monolithic_bottom_half_speeds_up_ssr_service() {
+        // Run against a busy 4-thread CPU app: with idle CPUs the CC6
+        // wake latency dominates the chain and masks the kthread-wake
+        // saving (the paper's Fig. 6f likewise measures co-runs).
+        let plain = ExperimentBuilder::new(cfg())
+            .cpu_app("fluidanimate")
+            .gpu_app("sssp")
+            .run();
+        let mono = ExperimentBuilder::new(cfg())
+            .cpu_app("fluidanimate")
+            .gpu_app("sssp")
+            .mitigation(Mitigation {
+                monolithic_bottom_half: true,
+                ..Mitigation::DEFAULT
+            })
+            .run();
+        assert!(
+            mono.kernel.mean_ssr_latency < plain.kernel.mean_ssr_latency,
+            "monolithic should cut latency: {} vs {}",
+            mono.kernel.mean_ssr_latency,
+            plain.kernel.mean_ssr_latency
+        );
+        assert!(
+            mono.gpu_throughput > plain.gpu_throughput * 1.05,
+            "monolithic should lift GPU throughput: {} vs {}",
+            mono.gpu_throughput,
+            plain.gpu_throughput
+        );
+    }
+
+    #[test]
+    fn ledgers_cover_wall_time() {
+        let report = ExperimentBuilder::new(cfg())
+            .cpu_app("ferret")
+            .gpu_app("spmv")
+            .run();
+        for (i, b) in report.per_core.iter().enumerate() {
+            let total = b.total().as_nanos() as f64;
+            let elapsed = report.elapsed.as_nanos() as f64;
+            let ratio = total / elapsed;
+            assert!(
+                (0.97..1.03).contains(&ratio),
+                "core {i} ledger covers {ratio} of wall time"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_gpu_increases_pressure() {
+        // Use a non-saturating GPU app: ubench alone already saturates
+        // the SSR service chain, so extra copies of it cannot add CPU
+        // pressure (they only starve each other).
+        let one = ExperimentBuilder::new(cfg())
+            .cpu_app("x264")
+            .gpu_app("sssp")
+            .run();
+        let two = ExperimentBuilder::new(cfg())
+            .cpu_app("x264")
+            .gpu_app("sssp")
+            .gpu_app("sssp")
+            .run();
+        assert!(two.kernel.ssrs_serviced > one.kernel.ssrs_serviced);
+        assert!(two.cpu_app_runtime.unwrap() > one.cpu_app_runtime.unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown CPU benchmark")]
+    fn unknown_cpu_app_panics() {
+        let _ = ExperimentBuilder::new(cfg()).cpu_app("quake");
+    }
+}

@@ -1,0 +1,246 @@
+//! Execution tracing: per-core activity timelines.
+//!
+//! The paper's Fig. 2 explains SSR overheads with a timeline — user work
+//! interrupted by the top half, IPI, bottom half, and worker segments.
+//! [`Tracer`] records exactly that from a live simulation: every interval
+//! of every core's time within a requested window, renderable as an ASCII
+//! Gantt chart ([`Trace::render_gantt`]).
+//!
+//! Enable tracing with
+//! [`ExperimentBuilder::trace_window`](crate::ExperimentBuilder::trace_window);
+//! the recorded [`Trace`] is returned in
+//! [`RunReport::trace`](crate::RunReport::trace).
+
+use hiss_cpu::TimeCategory;
+use hiss_sim::Ns;
+
+/// One recorded activity interval on one core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// Core index.
+    pub core: usize,
+    /// Interval start (absolute simulation time).
+    pub start: Ns,
+    /// Interval end.
+    pub end: Ns,
+    /// What the core was doing.
+    pub category: TimeCategory,
+}
+
+/// A completed trace over a time window.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Window start.
+    pub from: Ns,
+    /// Window end.
+    pub to: Ns,
+    /// Recorded spans, clipped to the window, in recording order (per
+    /// core this is time order; across cores it interleaves).
+    pub spans: Vec<TraceSpan>,
+}
+
+impl Trace {
+    /// The glyph used for a category in the Gantt rendering.
+    pub fn glyph(category: TimeCategory) -> char {
+        match category {
+            TimeCategory::User => 'U',
+            TimeCategory::TopHalf => 'T',
+            TimeCategory::Ipi => 'i',
+            TimeCategory::BottomHalf => 'B',
+            TimeCategory::Worker => 'W',
+            TimeCategory::ModeSwitch => 's',
+            TimeCategory::IdleShallow => '.',
+            TimeCategory::SleepCc6 => 'z',
+            TimeCategory::CStateTransition => '~',
+            TimeCategory::QosAccounting => 'q',
+            TimeCategory::OsTick => 't',
+        }
+    }
+
+    /// Renders the trace as an ASCII Gantt chart: one row per core,
+    /// `width` time buckets; each bucket shows the category that covered
+    /// most of it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn render_gantt(&self, num_cores: usize, width: usize) -> String {
+        assert!(width > 0, "gantt width must be positive");
+        let span = (self.to - self.from).as_nanos().max(1);
+        let bucket_ns = span as f64 / width as f64;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "time window {} .. {} ({} per column)\n",
+            self.from,
+            self.to,
+            Ns::from_nanos(bucket_ns as u64)
+        ));
+        for core in 0..num_cores {
+            // Accumulate per-bucket occupancy per category.
+            let mut buckets: Vec<[f64; TimeCategory::ALL.len()]> =
+                vec![[0.0; TimeCategory::ALL.len()]; width];
+            for s in self.spans.iter().filter(|s| s.core == core) {
+                let s0 = (s.start - self.from).as_nanos() as f64;
+                let s1 = (s.end - self.from).as_nanos() as f64;
+                let cat_idx = TimeCategory::ALL
+                    .iter()
+                    .position(|c| *c == s.category)
+                    .expect("category in ALL");
+                let first = (s0 / bucket_ns).floor().max(0.0) as usize;
+                let last = ((s1 / bucket_ns).ceil() as usize).min(width);
+                for (b, bucket) in buckets.iter_mut().enumerate().take(last).skip(first) {
+                    let b0 = b as f64 * bucket_ns;
+                    let b1 = b0 + bucket_ns;
+                    let overlap = (s1.min(b1) - s0.max(b0)).max(0.0);
+                    bucket[cat_idx] += overlap;
+                }
+            }
+            out.push_str(&format!("cpu{core} |"));
+            for b in &buckets {
+                let best = b
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .and_then(|(i, v)| if *v > 0.0 { Some(i) } else { None });
+                out.push(match best {
+                    Some(i) => Self::glyph(TimeCategory::ALL[i]),
+                    None => ' ',
+                });
+            }
+            out.push_str("|\n");
+        }
+        out.push_str(
+            "legend: U user  T top-half  i IPI  B bottom-half  W worker  s mode-switch\n\
+                     . idle  z CC6  ~ transition  q QoS  t tick\n",
+        );
+        out
+    }
+
+    /// Total recorded time per category within the window.
+    pub fn totals(&self) -> Vec<(TimeCategory, Ns)> {
+        TimeCategory::ALL
+            .iter()
+            .map(|&c| {
+                let t: Ns = self
+                    .spans
+                    .iter()
+                    .filter(|s| s.category == c)
+                    .map(|s| s.end - s.start)
+                    .sum();
+                (c, t)
+            })
+            .filter(|(_, t)| *t > Ns::ZERO)
+            .collect()
+    }
+}
+
+/// Live recorder owned by the SoC while a run executes.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    from: Ns,
+    to: Ns,
+    spans: Vec<TraceSpan>,
+}
+
+impl Tracer {
+    /// Creates a recorder for the window `[from, to)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty.
+    pub fn new(from: Ns, to: Ns) -> Self {
+        assert!(to > from, "trace window must be non-empty");
+        Tracer {
+            from,
+            to,
+            spans: Vec::new(),
+        }
+    }
+
+    /// Records an interval, clipping it to the window; intervals wholly
+    /// outside are dropped.
+    pub fn record(&mut self, core: usize, start: Ns, end: Ns, category: TimeCategory) {
+        let s = start.max(self.from);
+        let e = end.min(self.to);
+        if e > s {
+            self.spans.push(TraceSpan {
+                core,
+                start: s,
+                end: e,
+                category,
+            });
+        }
+    }
+
+    /// Finishes recording.
+    pub fn into_trace(self) -> Trace {
+        Trace {
+            from: self.from,
+            to: self.to,
+            spans: self.spans,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> Ns {
+        Ns::from_micros(n)
+    }
+
+    #[test]
+    fn records_clip_to_window() {
+        let mut t = Tracer::new(us(10), us(20));
+        t.record(0, us(5), us(12), TimeCategory::User); // clipped left
+        t.record(0, us(18), us(25), TimeCategory::Worker); // clipped right
+        t.record(0, us(30), us(40), TimeCategory::User); // dropped
+        let trace = t.into_trace();
+        assert_eq!(trace.spans.len(), 2);
+        assert_eq!(trace.spans[0].start, us(10));
+        assert_eq!(trace.spans[0].end, us(12));
+        assert_eq!(trace.spans[1].end, us(20));
+    }
+
+    #[test]
+    fn gantt_renders_dominant_category() {
+        let mut t = Tracer::new(Ns::ZERO, us(10));
+        t.record(0, Ns::ZERO, us(6), TimeCategory::User);
+        t.record(0, us(6), us(10), TimeCategory::Worker);
+        t.record(1, Ns::ZERO, us(10), TimeCategory::SleepCc6);
+        let g = t.into_trace().render_gantt(2, 10);
+        let lines: Vec<&str> = g.lines().collect();
+        assert!(lines[1].starts_with("cpu0 |UUUUUUWWWW|"), "got {:?}", lines[1]);
+        assert!(lines[2].starts_with("cpu1 |zzzzzzzzzz|"), "got {:?}", lines[2]);
+    }
+
+    #[test]
+    fn totals_sum_spans() {
+        let mut t = Tracer::new(Ns::ZERO, us(100));
+        t.record(0, Ns::ZERO, us(40), TimeCategory::User);
+        t.record(1, us(10), us(30), TimeCategory::User);
+        t.record(0, us(40), us(45), TimeCategory::TopHalf);
+        let totals = t.into_trace().totals();
+        let user = totals
+            .iter()
+            .find(|(c, _)| *c == TimeCategory::User)
+            .unwrap()
+            .1;
+        assert_eq!(user, us(60));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_window_panics() {
+        Tracer::new(us(5), us(5));
+    }
+
+    #[test]
+    fn every_category_has_a_distinct_glyph() {
+        let mut glyphs: Vec<char> = TimeCategory::ALL.iter().map(|c| Trace::glyph(*c)).collect();
+        glyphs.sort_unstable();
+        glyphs.dedup();
+        assert_eq!(glyphs.len(), TimeCategory::ALL.len());
+    }
+}

@@ -1,0 +1,245 @@
+//! Per-core time accounting.
+//!
+//! Every nanosecond of simulated core time is attributed to exactly one
+//! [`TimeCategory`]; the experiment harness derives CPU overhead, CC6
+//! residency (Figs. 4, 9), and the direct/indirect overhead split (Fig. 2)
+//! from these ledgers.
+
+use hiss_sim::Ns;
+
+/// What a core was doing during an interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimeCategory {
+    /// User-mode application execution.
+    User,
+    /// Hard-IRQ context: the top-half interrupt handler (step 3).
+    TopHalf,
+    /// Sending/receiving inter-processor interrupts (step 3a).
+    Ipi,
+    /// Bottom-half kthread pre-processing (step 4).
+    BottomHalf,
+    /// Kernel worker thread performing the actual service (step 5).
+    Worker,
+    /// User↔kernel mode transitions (the 'a' segments of Fig. 2).
+    ModeSwitch,
+    /// Awake but idle in a shallow state (C0/C1).
+    IdleShallow,
+    /// Deep sleep (Core C6).
+    SleepCc6,
+    /// C-state entry/exit transition latency.
+    CStateTransition,
+    /// QoS-governor bookkeeping time (the background accounting thread of
+    /// paper §VI).
+    QosAccounting,
+    /// Background OS housekeeping unrelated to SSRs (scheduler timer
+    /// ticks); the reason even a quiet system does not reach 100% CC6
+    /// residency.
+    OsTick,
+}
+
+impl TimeCategory {
+    /// All categories, for iteration and report rendering.
+    pub const ALL: [TimeCategory; 11] = [
+        TimeCategory::User,
+        TimeCategory::TopHalf,
+        TimeCategory::Ipi,
+        TimeCategory::BottomHalf,
+        TimeCategory::Worker,
+        TimeCategory::ModeSwitch,
+        TimeCategory::IdleShallow,
+        TimeCategory::SleepCc6,
+        TimeCategory::CStateTransition,
+        TimeCategory::QosAccounting,
+        TimeCategory::OsTick,
+    ];
+
+    /// `true` for the categories the paper counts as *direct or indirect
+    /// SSR overhead* on a CPU (everything kernel-side plus transitions).
+    pub fn is_ssr_overhead(self) -> bool {
+        matches!(
+            self,
+            TimeCategory::TopHalf
+                | TimeCategory::Ipi
+                | TimeCategory::BottomHalf
+                | TimeCategory::Worker
+                | TimeCategory::ModeSwitch
+                | TimeCategory::QosAccounting
+        )
+    }
+
+    fn index(self) -> usize {
+        match self {
+            TimeCategory::User => 0,
+            TimeCategory::TopHalf => 1,
+            TimeCategory::Ipi => 2,
+            TimeCategory::BottomHalf => 3,
+            TimeCategory::Worker => 4,
+            TimeCategory::ModeSwitch => 5,
+            TimeCategory::IdleShallow => 6,
+            TimeCategory::SleepCc6 => 7,
+            TimeCategory::CStateTransition => 8,
+            TimeCategory::QosAccounting => 9,
+            TimeCategory::OsTick => 10,
+        }
+    }
+}
+
+/// A ledger attributing a core's time to categories.
+///
+/// # Example
+///
+/// ```
+/// use hiss_cpu::{TimeBreakdown, TimeCategory};
+/// use hiss_sim::Ns;
+///
+/// let mut b = TimeBreakdown::new();
+/// b.add(TimeCategory::User, Ns::from_micros(90));
+/// b.add(TimeCategory::TopHalf, Ns::from_micros(10));
+/// assert_eq!(b.total(), Ns::from_micros(100));
+/// assert!((b.fraction(TimeCategory::TopHalf) - 0.1).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TimeBreakdown {
+    buckets: [Ns; 11],
+}
+
+impl TimeBreakdown {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        TimeBreakdown::default()
+    }
+
+    /// Adds `dur` to `category`.
+    pub fn add(&mut self, category: TimeCategory, dur: Ns) {
+        self.buckets[category.index()] += dur;
+    }
+
+    /// Time recorded for `category`.
+    pub fn get(&self, category: TimeCategory) -> Ns {
+        self.buckets[category.index()]
+    }
+
+    /// Sum over all categories.
+    pub fn total(&self) -> Ns {
+        self.buckets.iter().copied().sum()
+    }
+
+    /// `category / total`, 0.0 when nothing has been recorded.
+    pub fn fraction(&self, category: TimeCategory) -> f64 {
+        self.get(category).fraction_of(self.total())
+    }
+
+    /// Total SSR-overhead time (direct handlers + transitions + QoS).
+    pub fn ssr_overhead(&self) -> Ns {
+        TimeCategory::ALL
+            .iter()
+            .filter(|c| c.is_ssr_overhead())
+            .map(|c| self.get(*c))
+            .sum()
+    }
+
+    /// Fraction of all recorded time spent on SSR overhead.
+    pub fn ssr_overhead_fraction(&self) -> f64 {
+        self.ssr_overhead().fraction_of(self.total())
+    }
+
+    /// Fraction of all recorded time asleep in CC6 (Fig. 4 / Fig. 9 y-axis).
+    pub fn cc6_residency(&self) -> f64 {
+        self.fraction(TimeCategory::SleepCc6)
+    }
+
+    /// Merges another ledger into this one (for whole-SoC summaries).
+    pub fn merge(&mut self, other: &TimeBreakdown) {
+        for (i, v) in other.buckets.iter().enumerate() {
+            self.buckets[i] += *v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_ledger_is_zero() {
+        let b = TimeBreakdown::new();
+        assert_eq!(b.total(), Ns::ZERO);
+        assert_eq!(b.fraction(TimeCategory::User), 0.0);
+        assert_eq!(b.cc6_residency(), 0.0);
+    }
+
+    #[test]
+    fn add_and_get_roundtrip() {
+        let mut b = TimeBreakdown::new();
+        for (i, c) in TimeCategory::ALL.iter().enumerate() {
+            b.add(*c, Ns::from_nanos((i as u64 + 1) * 10));
+        }
+        for (i, c) in TimeCategory::ALL.iter().enumerate() {
+            assert_eq!(b.get(*c), Ns::from_nanos((i as u64 + 1) * 10));
+        }
+        assert_eq!(b.total(), Ns::from_nanos(660));
+    }
+
+    #[test]
+    fn ssr_overhead_includes_only_kernel_side() {
+        let mut b = TimeBreakdown::new();
+        b.add(TimeCategory::User, Ns::from_micros(50));
+        b.add(TimeCategory::TopHalf, Ns::from_micros(1));
+        b.add(TimeCategory::Ipi, Ns::from_micros(2));
+        b.add(TimeCategory::BottomHalf, Ns::from_micros(3));
+        b.add(TimeCategory::Worker, Ns::from_micros(4));
+        b.add(TimeCategory::ModeSwitch, Ns::from_micros(5));
+        b.add(TimeCategory::QosAccounting, Ns::from_micros(6));
+        b.add(TimeCategory::SleepCc6, Ns::from_micros(29));
+        assert_eq!(b.ssr_overhead(), Ns::from_micros(21));
+        assert!((b.ssr_overhead_fraction() - 0.21).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cc6_residency_fraction() {
+        let mut b = TimeBreakdown::new();
+        b.add(TimeCategory::SleepCc6, Ns::from_micros(86));
+        b.add(TimeCategory::IdleShallow, Ns::from_micros(14));
+        assert!((b.cc6_residency() - 0.86).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = TimeBreakdown::new();
+        a.add(TimeCategory::User, Ns::from_nanos(5));
+        let mut b = TimeBreakdown::new();
+        b.add(TimeCategory::User, Ns::from_nanos(7));
+        b.add(TimeCategory::Worker, Ns::from_nanos(3));
+        a.merge(&b);
+        assert_eq!(a.get(TimeCategory::User), Ns::from_nanos(12));
+        assert_eq!(a.get(TimeCategory::Worker), Ns::from_nanos(3));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn category(i: u8) -> TimeCategory {
+        TimeCategory::ALL[i as usize % TimeCategory::ALL.len()]
+    }
+
+    proptest! {
+        /// Total always equals the sum of individual gets, and fractions
+        /// sum to ~1 when non-empty.
+        #[test]
+        fn totals_consistent(entries in proptest::collection::vec((any::<u8>(), 0u64..1_000_000), 1..100)) {
+            let mut b = TimeBreakdown::new();
+            for (c, ns) in &entries {
+                b.add(category(*c), Ns::from_nanos(*ns));
+            }
+            let sum: Ns = TimeCategory::ALL.iter().map(|c| b.get(*c)).sum();
+            prop_assert_eq!(sum, b.total());
+            if b.total() > Ns::ZERO {
+                let frac_sum: f64 = TimeCategory::ALL.iter().map(|c| b.fraction(*c)).sum();
+                prop_assert!((frac_sum - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+}

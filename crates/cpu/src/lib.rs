@@ -1,0 +1,27 @@
+//! # hiss-cpu — CPU core models
+//!
+//! Per-core state for the HISS simulator: where every nanosecond of a
+//! core's time goes ([`TimeBreakdown`]), how idle periods map onto sleep
+//! states ([`CStateMachine`], paper §IV-B), and how fast user code runs
+//! given its current microarchitectural warmth ([`Core`]).
+//!
+//! The paper's Fig. 2 decomposes SSR overhead into:
+//!
+//! - **direct** overhead — kernel instructions executed in the top half,
+//!   IPI, bottom half, and worker thread ([`TimeCategory::TopHalf`] …
+//!   [`TimeCategory::Worker`]),
+//! - **indirect 'a'** — user↔kernel mode transitions
+//!   ([`TimeCategory::ModeSwitch`]),
+//! - **indirect 'b'** — user code running slower on polluted
+//!   microarchitectural state (captured by stretching user execution via
+//!   [`hiss_mem::WarmthModel`]).
+//!
+//! All three are first-class, separately-reported quantities here.
+
+pub mod breakdown;
+pub mod core;
+pub mod cstate;
+
+pub use crate::core::{Core, CoreId, CpuParams};
+pub use breakdown::{TimeBreakdown, TimeCategory};
+pub use cstate::{CStateMachine, CStateParams, IdleAccounting};

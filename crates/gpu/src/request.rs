@@ -1,0 +1,190 @@
+//! System-service request descriptors and per-application SSR profiles.
+
+use hiss_mem::PageId;
+use hiss_sim::Ns;
+
+/// Unique identifier of one SSR within a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SsrId(pub u64);
+
+/// The kind of system service requested (paper Table I).
+///
+/// The service cost model for each kind lives in `hiss-kernel`; the GPU
+/// only chooses *which* service it needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SsrKind {
+    /// Signal another process (low complexity — wake the target).
+    Signal,
+    /// Soft page fault: page is allocate-on-demand but not disk-backed
+    /// (moderate complexity; the paper's main workload).
+    SoftPageFault,
+    /// Hard page fault requiring swap/file-system I/O (moderate-to-high).
+    HardPageFault,
+    /// Memory allocation from the GPU (moderate).
+    MemoryAlloc,
+    /// Direct file-system access (high).
+    FileSystem,
+    /// GPU-initiated page migration in a NUMA system (high).
+    PageMigration,
+}
+
+impl SsrKind {
+    /// All kinds, in Table I order.
+    pub const ALL: [SsrKind; 6] = [
+        SsrKind::Signal,
+        SsrKind::SoftPageFault,
+        SsrKind::HardPageFault,
+        SsrKind::MemoryAlloc,
+        SsrKind::FileSystem,
+        SsrKind::PageMigration,
+    ];
+
+    /// Qualitative complexity label from Table I.
+    pub fn complexity(self) -> &'static str {
+        match self {
+            SsrKind::Signal => "Low",
+            SsrKind::SoftPageFault => "Moderate",
+            SsrKind::HardPageFault => "Moderate to High",
+            SsrKind::MemoryAlloc => "Moderate",
+            SsrKind::FileSystem => "High",
+            SsrKind::PageMigration => "High",
+        }
+    }
+
+    /// Short description from Table I.
+    pub fn description(self) -> &'static str {
+        match self {
+            SsrKind::Signal => "Allows GPUs to communicate with other processes",
+            SsrKind::SoftPageFault => "Enables GPUs to use un-pinned memory",
+            SsrKind::HardPageFault => "Page fault backed by swap or file data",
+            SsrKind::MemoryAlloc => "Allocate and free memory from the GPU",
+            SsrKind::FileSystem => "Directly access/modify files from GPU",
+            SsrKind::PageMigration => "GPU initiated memory migration",
+        }
+    }
+
+    /// Whether this request is routed through the IOMMU's PPR path (page
+    /// faults) or delivered as a doorbell interrupt (everything else, e.g.
+    /// the `S_SENDMSG` signal path of §II-C).
+    pub fn uses_iommu(self) -> bool {
+        matches!(
+            self,
+            SsrKind::SoftPageFault | SsrKind::HardPageFault | SsrKind::PageMigration
+        )
+    }
+}
+
+/// One system-service request in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SsrRequest {
+    /// Unique id within the run.
+    pub id: SsrId,
+    /// Which accelerator raised it (multi-GPU extension).
+    pub gpu: usize,
+    /// Service requested.
+    pub kind: SsrKind,
+    /// Faulting page for page-fault-class requests.
+    pub page: Option<PageId>,
+    /// When the GPU raised the request.
+    pub raised_at: Ns,
+    /// Whether the raising wavefront blocks until completion.
+    pub blocking: bool,
+}
+
+/// Statistical shape of an application's SSR stream.
+///
+/// The six GPU workloads of the paper differ along exactly these axes
+/// (§III, §IV-A): request *rate*, temporal *clustering*, how often a
+/// request is on the *critical path*, and which *service* is requested.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SsrProfile {
+    /// Mean GPU progress (full-speed execution time) between SSRs while
+    /// in the SSR-generating phase. [`Ns::MAX`] means "no SSRs".
+    pub mean_gap: Ns,
+    /// Fraction of total kernel progress during which SSRs are generated
+    /// (BFS clusters its faults near the start: ≈0.2; streaming apps: 1.0).
+    pub active_fraction: f64,
+    /// Probability that a raised SSR blocks GPU progress until served.
+    pub blocking_prob: f64,
+    /// Uniform jitter applied to inter-SSR gaps (±fraction).
+    pub jitter: f64,
+    /// Probability that the *next* SSR follows almost immediately
+    /// (`mean_gap / 20`) instead of after a full gap — wavefronts fault
+    /// in bursts, which is what gives interrupt coalescing (§V-B)
+    /// something to merge.
+    pub burst_prob: f64,
+    /// The service requested (the paper's experiments use soft page
+    /// faults; signals exercise the non-IOMMU path).
+    pub kind: SsrKind,
+}
+
+impl SsrProfile {
+    /// A profile that never generates SSRs (baseline / pinned memory).
+    pub fn silent() -> Self {
+        SsrProfile {
+            mean_gap: Ns::MAX,
+            active_fraction: 0.0,
+            blocking_prob: 0.0,
+            jitter: 0.0,
+            burst_prob: 0.0,
+            kind: SsrKind::SoftPageFault,
+        }
+    }
+
+    /// Mean progress between SSRs accounting for bursts.
+    pub fn effective_mean_gap(&self) -> Ns {
+        if self.mean_gap == Ns::MAX {
+            return Ns::MAX;
+        }
+        let g = self.mean_gap.as_nanos() as f64;
+        let eff = self.burst_prob * (g / 20.0) + (1.0 - self.burst_prob) * g;
+        Ns::from_nanos(eff as u64)
+    }
+
+    /// `true` if this profile generates any SSRs at all.
+    pub fn is_active(&self) -> bool {
+        self.active_fraction > 0.0 && self.mean_gap < Ns::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_catalogue_is_complete() {
+        assert_eq!(SsrKind::ALL.len(), 6);
+        for kind in SsrKind::ALL {
+            assert!(!kind.description().is_empty());
+            assert!(!kind.complexity().is_empty());
+        }
+    }
+
+    #[test]
+    fn page_faults_route_through_iommu() {
+        assert!(SsrKind::SoftPageFault.uses_iommu());
+        assert!(SsrKind::HardPageFault.uses_iommu());
+        assert!(SsrKind::PageMigration.uses_iommu());
+        assert!(!SsrKind::Signal.uses_iommu());
+        assert!(!SsrKind::MemoryAlloc.uses_iommu());
+        assert!(!SsrKind::FileSystem.uses_iommu());
+    }
+
+    #[test]
+    fn silent_profile_is_inactive() {
+        assert!(!SsrProfile::silent().is_active());
+    }
+
+    #[test]
+    fn active_profile_detected() {
+        let p = SsrProfile {
+            mean_gap: Ns::from_micros(50),
+            active_fraction: 1.0,
+            blocking_prob: 0.5,
+            jitter: 0.2,
+            burst_prob: 0.0,
+            kind: SsrKind::SoftPageFault,
+        };
+        assert!(p.is_active());
+    }
+}

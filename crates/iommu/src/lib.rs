@@ -1,0 +1,28 @@
+//! # hiss-iommu — IO memory-management unit model
+//!
+//! The hardware block that turns GPU system-service requests into CPU
+//! interrupts (paper §II-C). When a GPU memory access faults, the IOMMU
+//! writes a **peripheral page request** (PPR) into a memory-resident log
+//! and raises an MSI interrupt at a CPU core. Two of the paper's three
+//! mitigation techniques are literally configurations of this block:
+//!
+//! - **Interrupt steering** (§V-A): the MSI target register decides which
+//!   core takes the interrupt — spread across all cores (the default the
+//!   paper measured via `/proc/interrupts`) or pinned to one
+//!   ([`MsiSteering`]).
+//! - **Interrupt coalescing** (§V-B): PCIe register `D0F2xF4_x93` lets the
+//!   IOMMU wait up to 13 µs, batching every request that arrives in the
+//!   window into a single interrupt ([`Iommu::with_coalescing`]).
+//!
+//! The model is a passive state machine: the SoC event loop feeds it
+//! requests ([`Iommu::on_request`]) and timer expirations
+//! ([`Iommu::on_timer`]); the top-half interrupt handler drains the PPR
+//! log ([`Iommu::drain`]).
+
+pub mod steering;
+pub mod unit;
+pub mod walker;
+
+pub use steering::MsiSteering;
+pub use unit::{Iommu, IommuDecision, IommuStats};
+pub use walker::{PageWalker, WalkerConfig, WalkerStats};

@@ -1,0 +1,103 @@
+//! MSI interrupt-steering policies.
+
+use hiss_cpu::CoreId;
+
+/// Which CPU core the IOMMU's MSI interrupts target.
+///
+/// The paper observes (§IV-C) that by default SSR interrupts are spread
+/// evenly across all CPUs, so *every* core suffers direct overheads;
+/// steering them to a single core (§V-A) trades fairness for isolation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MsiSteering {
+    /// Distribute interrupts round-robin over all cores (default
+    /// behaviour the paper measured via `/proc/interrupts`).
+    Spread {
+        /// Next core in rotation.
+        next: usize,
+    },
+    /// Pin every SSR interrupt to one core.
+    Single(CoreId),
+}
+
+impl MsiSteering {
+    /// The default spread policy.
+    pub fn spread() -> Self {
+        MsiSteering::Spread { next: 0 }
+    }
+
+    /// Pin to `core`.
+    pub fn single(core: CoreId) -> Self {
+        MsiSteering::Single(core)
+    }
+
+    /// Chooses the target core for the next interrupt.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_cores` is zero or a pinned target is out of range.
+    pub fn target(&mut self, num_cores: usize) -> CoreId {
+        assert!(num_cores > 0, "system must have at least one core");
+        match self {
+            MsiSteering::Spread { next } => {
+                let core = CoreId(*next % num_cores);
+                *next = (*next + 1) % num_cores;
+                core
+            }
+            MsiSteering::Single(core) => {
+                assert!(
+                    core.0 < num_cores,
+                    "steering target {core} out of range ({num_cores} cores)"
+                );
+                *core
+            }
+        }
+    }
+}
+
+impl Default for MsiSteering {
+    fn default() -> Self {
+        Self::spread()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spread_rotates_over_all_cores() {
+        let mut s = MsiSteering::spread();
+        let targets: Vec<usize> = (0..8).map(|_| s.target(4).0).collect();
+        assert_eq!(targets, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn single_always_hits_same_core() {
+        let mut s = MsiSteering::single(CoreId(2));
+        for _ in 0..10 {
+            assert_eq!(s.target(4), CoreId(2));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn single_out_of_range_panics() {
+        MsiSteering::single(CoreId(7)).target(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_panics() {
+        MsiSteering::spread().target(0);
+    }
+
+    #[test]
+    fn spread_is_uniform() {
+        let mut s = MsiSteering::spread();
+        let mut counts = [0u32; 4];
+        for _ in 0..400 {
+            counts[s.target(4).0] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 100), "counts {counts:?}");
+    }
+}

@@ -1,0 +1,431 @@
+//! The IOMMU state machine: PPR log, coalescing timer, MSI generation.
+
+use hiss_cpu::CoreId;
+use hiss_gpu::SsrRequest;
+use hiss_sim::Ns;
+
+use crate::steering::MsiSteering;
+
+/// What the SoC event loop must do after handing the IOMMU a stimulus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IommuDecision {
+    /// Nothing: the request was absorbed (a timer or interrupt is already
+    /// pending and will cover it).
+    Absorbed,
+    /// Arm (or re-arm) the coalescing timer to fire at the given time.
+    ArmTimer(Ns),
+    /// Raise an MSI at the given core now.
+    Interrupt(CoreId),
+}
+
+/// IOMMU counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IommuStats {
+    /// SSR requests logged.
+    pub requests: u64,
+    /// MSI interrupts raised.
+    pub interrupts: u64,
+    /// Coalescing-timer expirations that raised an interrupt.
+    pub timer_fires: u64,
+    /// Interrupts raised early because the PPR log filled.
+    pub log_full_flushes: u64,
+    /// Total requests delivered via drain (should equal `requests` at
+    /// quiescence).
+    pub drained: u64,
+}
+
+/// IO memory-management unit with optional interrupt coalescing.
+///
+/// # Example
+///
+/// ```
+/// use hiss_cpu::CoreId;
+/// use hiss_gpu::{SsrId, SsrKind, SsrRequest};
+/// use hiss_iommu::{Iommu, IommuDecision, MsiSteering};
+/// use hiss_sim::Ns;
+///
+/// let mut iommu = Iommu::new(MsiSteering::spread(), 4);
+/// let req = SsrRequest {
+///     id: SsrId(0), gpu: 0, kind: SsrKind::SoftPageFault,
+///     page: None, raised_at: Ns::ZERO, blocking: false,
+/// };
+/// // Without coalescing, a request interrupts a CPU immediately.
+/// assert_eq!(iommu.on_request(req, Ns::ZERO), IommuDecision::Interrupt(CoreId(0)));
+/// let batch = iommu.drain();
+/// assert_eq!(batch.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Iommu {
+    steering: MsiSteering,
+    num_cores: usize,
+    /// Coalescing window; zero disables coalescing.
+    coalesce_window: Ns,
+    /// PPR log capacity; filling it forces an immediate interrupt.
+    log_capacity: usize,
+    log: Vec<SsrRequest>,
+    /// Deadline of the armed coalescing timer, if any.
+    timer_deadline: Option<Ns>,
+    /// An MSI has been raised but the top half has not drained yet;
+    /// further requests ride along for free.
+    interrupt_in_flight: bool,
+    stats: IommuStats,
+}
+
+impl Iommu {
+    /// Maximum coalescing delay supported by the hardware register
+    /// (PCIe `D0F2xF4_x93`): 13 µs.
+    pub const MAX_COALESCE_WINDOW: Ns = Ns::from_micros(13);
+
+    /// Default PPR log capacity (entries) before a forced flush.
+    pub const DEFAULT_LOG_CAPACITY: usize = 128;
+
+    /// Creates an IOMMU with coalescing disabled.
+    pub fn new(steering: MsiSteering, num_cores: usize) -> Self {
+        Self::with_coalescing(steering, num_cores, Ns::ZERO)
+    }
+
+    /// Creates an IOMMU that coalesces interrupts over `window`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` exceeds [`Iommu::MAX_COALESCE_WINDOW`] or
+    /// `num_cores` is zero.
+    pub fn with_coalescing(steering: MsiSteering, num_cores: usize, window: Ns) -> Self {
+        assert!(num_cores > 0, "system must have at least one core");
+        assert!(
+            window <= Self::MAX_COALESCE_WINDOW,
+            "coalescing window {window} exceeds the 13µs hardware maximum"
+        );
+        Iommu {
+            steering,
+            num_cores,
+            coalesce_window: window,
+            log_capacity: Self::DEFAULT_LOG_CAPACITY,
+            log: Vec::new(),
+            timer_deadline: None,
+            interrupt_in_flight: false,
+            stats: IommuStats::default(),
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> IommuStats {
+        self.stats
+    }
+
+    /// The configured coalescing window (zero when disabled).
+    pub fn coalesce_window(&self) -> Ns {
+        self.coalesce_window
+    }
+
+    /// Number of requests waiting in the PPR log.
+    pub fn pending(&self) -> usize {
+        self.log.len()
+    }
+
+    /// The armed coalescing-timer deadline, if any (for event-staleness
+    /// checks by the SoC loop).
+    pub fn timer_deadline(&self) -> Option<Ns> {
+        self.timer_deadline
+    }
+
+    fn raise(&mut self) -> IommuDecision {
+        self.interrupt_in_flight = true;
+        self.timer_deadline = None;
+        self.stats.interrupts += 1;
+        IommuDecision::Interrupt(self.steering.target(self.num_cores))
+    }
+
+    /// Logs an SSR request arriving at `now` and decides what happens.
+    pub fn on_request(&mut self, request: SsrRequest, now: Ns) -> IommuDecision {
+        self.stats.requests += 1;
+        self.log.push(request);
+
+        if self.interrupt_in_flight {
+            // The pending drain will pick this request up.
+            return IommuDecision::Absorbed;
+        }
+        if self.log.len() >= self.log_capacity {
+            self.stats.log_full_flushes += 1;
+            return self.raise();
+        }
+        if self.coalesce_window == Ns::ZERO {
+            return self.raise();
+        }
+        match self.timer_deadline {
+            Some(_) => IommuDecision::Absorbed,
+            None => {
+                let deadline = now + self.coalesce_window;
+                self.timer_deadline = Some(deadline);
+                IommuDecision::ArmTimer(deadline)
+            }
+        }
+    }
+
+    /// Handles a coalescing-timer expiration scheduled for `deadline`.
+    /// Returns the MSI target, or `None` if the timer was stale (the log
+    /// was force-flushed in the meantime).
+    pub fn on_timer(&mut self, deadline: Ns) -> Option<CoreId> {
+        if self.timer_deadline != Some(deadline) {
+            return None; // stale timer event
+        }
+        if self.log.is_empty() {
+            self.timer_deadline = None;
+            return None;
+        }
+        self.stats.timer_fires += 1;
+        match self.raise() {
+            IommuDecision::Interrupt(core) => Some(core),
+            _ => unreachable!("raise always interrupts"),
+        }
+    }
+
+    /// The top-half handler drains every logged request (acknowledging
+    /// the interrupt, step 3b of Fig. 1).
+    pub fn drain(&mut self) -> Vec<SsrRequest> {
+        self.interrupt_in_flight = false;
+        self.stats.drained += self.log.len() as u64;
+        std::mem::take(&mut self.log)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiss_gpu::{SsrId, SsrKind};
+
+    fn req(id: u64, at: Ns) -> SsrRequest {
+        SsrRequest {
+            id: SsrId(id),
+            gpu: 0,
+            kind: SsrKind::SoftPageFault,
+            page: None,
+            raised_at: at,
+            blocking: false,
+        }
+    }
+
+    #[test]
+    fn uncoalesced_request_interrupts_immediately() {
+        let mut i = Iommu::new(MsiSteering::spread(), 4);
+        assert_eq!(
+            i.on_request(req(0, Ns::ZERO), Ns::ZERO),
+            IommuDecision::Interrupt(CoreId(0))
+        );
+        assert_eq!(i.stats().interrupts, 1);
+    }
+
+    #[test]
+    fn spread_steering_rotates_targets() {
+        let mut i = Iommu::new(MsiSteering::spread(), 4);
+        let mut targets = Vec::new();
+        for n in 0..4 {
+            let t = Ns::from_micros(n);
+            if let IommuDecision::Interrupt(c) = i.on_request(req(n, t), t) {
+                targets.push(c.0);
+            }
+            i.drain();
+        }
+        assert_eq!(targets, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn requests_during_in_flight_interrupt_ride_along() {
+        let mut i = Iommu::new(MsiSteering::spread(), 4);
+        i.on_request(req(0, Ns::ZERO), Ns::ZERO);
+        // Interrupt raised but not yet drained; next requests are absorbed.
+        assert_eq!(
+            i.on_request(req(1, Ns::from_nanos(10)), Ns::from_nanos(10)),
+            IommuDecision::Absorbed
+        );
+        assert_eq!(
+            i.on_request(req(2, Ns::from_nanos(20)), Ns::from_nanos(20)),
+            IommuDecision::Absorbed
+        );
+        let batch = i.drain();
+        assert_eq!(batch.len(), 3);
+        assert_eq!(i.stats().interrupts, 1);
+        assert_eq!(i.stats().drained, 3);
+    }
+
+    #[test]
+    fn coalescing_arms_timer_then_batches() {
+        let w = Ns::from_micros(13);
+        let mut i = Iommu::with_coalescing(MsiSteering::spread(), 4, w);
+        let d0 = i.on_request(req(0, Ns::ZERO), Ns::ZERO);
+        assert_eq!(d0, IommuDecision::ArmTimer(w));
+        // More requests within the window are absorbed.
+        for n in 1..5 {
+            let t = Ns::from_micros(n);
+            assert_eq!(i.on_request(req(n, t), t), IommuDecision::Absorbed);
+        }
+        // Timer fires: one interrupt for 5 requests.
+        let core = i.on_timer(w).expect("timer fires");
+        assert_eq!(core, CoreId(0));
+        assert_eq!(i.drain().len(), 5);
+        assert_eq!(i.stats().interrupts, 1);
+        assert_eq!(i.stats().timer_fires, 1);
+    }
+
+    #[test]
+    fn stale_timer_is_ignored() {
+        let w = Ns::from_micros(10);
+        let mut i = Iommu::with_coalescing(MsiSteering::spread(), 4, w);
+        i.on_request(req(0, Ns::ZERO), Ns::ZERO);
+        // Fill the log to force an early flush.
+        for n in 1..Iommu::DEFAULT_LOG_CAPACITY as u64 {
+            let t = Ns::from_nanos(n);
+            i.on_request(req(n, t), t);
+        }
+        assert_eq!(i.stats().log_full_flushes, 1);
+        // The original timer is now stale.
+        assert_eq!(i.on_timer(w), None);
+    }
+
+    #[test]
+    fn timer_with_empty_log_is_noop() {
+        let w = Ns::from_micros(5);
+        let mut i = Iommu::with_coalescing(MsiSteering::spread(), 4, w);
+        i.on_request(req(0, Ns::ZERO), Ns::ZERO);
+        // Force-flush by a second path: drain after manual interrupt is
+        // not possible here, so emulate: timer fires, drains, then a
+        // second stale fire.
+        i.on_timer(w).unwrap();
+        i.drain();
+        assert_eq!(i.on_timer(w), None);
+    }
+
+    #[test]
+    fn log_full_forces_interrupt_even_with_coalescing() {
+        let w = Ns::from_micros(13);
+        let mut i = Iommu::with_coalescing(MsiSteering::spread(), 4, w);
+        let mut interrupted = false;
+        for n in 0..Iommu::DEFAULT_LOG_CAPACITY as u64 {
+            let t = Ns::from_nanos(n);
+            if let IommuDecision::Interrupt(_) = i.on_request(req(n, t), t) {
+                interrupted = true;
+            }
+        }
+        assert!(interrupted, "full log must force an interrupt");
+    }
+
+    #[test]
+    #[should_panic(expected = "13µs hardware maximum")]
+    fn oversized_window_panics() {
+        Iommu::with_coalescing(MsiSteering::spread(), 4, Ns::from_micros(14));
+    }
+
+    #[test]
+    fn coalescing_reduces_interrupt_count() {
+        // The §V-B observation: same request stream, fewer interrupts.
+        let stream: Vec<Ns> = (0..100).map(|n| Ns::from_micros(n * 4)).collect();
+
+        let mut plain = Iommu::new(MsiSteering::spread(), 4);
+        for (n, &t) in stream.iter().enumerate() {
+            plain.on_request(req(n as u64, t), t);
+            plain.drain(); // handler runs instantly
+        }
+
+        let mut coal = Iommu::with_coalescing(MsiSteering::spread(), 4, Ns::from_micros(13));
+        let mut deadline = None;
+        for (n, &t) in stream.iter().enumerate() {
+            // Fire any due timer first.
+            if let Some(d) = deadline {
+                if d <= t {
+                    if coal.on_timer(d).is_some() {
+                        coal.drain();
+                    }
+                    deadline = None;
+                }
+            }
+            if let IommuDecision::ArmTimer(d) = coal.on_request(req(n as u64, t), t) {
+                deadline = Some(d);
+            }
+        }
+        if let Some(d) = deadline {
+            coal.on_timer(d);
+            coal.drain();
+        }
+        assert!(
+            coal.stats().interrupts < plain.stats().interrupts,
+            "coalesced {} vs plain {}",
+            coal.stats().interrupts,
+            plain.stats().interrupts
+        );
+        assert_eq!(coal.stats().requests, plain.stats().requests);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use hiss_gpu::{SsrId, SsrKind};
+    use proptest::prelude::*;
+
+    fn req(id: u64, at: Ns) -> SsrRequest {
+        SsrRequest {
+            id: SsrId(id),
+            gpu: 0,
+            kind: SsrKind::SoftPageFault,
+            page: None,
+            raised_at: at,
+            blocking: false,
+        }
+    }
+
+    proptest! {
+        /// No request is ever lost: after draining at quiescence, drained
+        /// equals requests, regardless of arrival pattern or window.
+        #[test]
+        fn conservation_of_requests(
+            gaps in proptest::collection::vec(0u64..20_000, 1..200),
+            window_us in 0u64..13,
+        ) {
+            let mut i = Iommu::with_coalescing(
+                MsiSteering::spread(), 4, Ns::from_micros(window_us));
+            let mut now = Ns::ZERO;
+            let mut deadline: Option<Ns> = None;
+            for (n, gap) in gaps.iter().enumerate() {
+                now += Ns::from_nanos(*gap);
+                if let Some(d) = deadline {
+                    if d <= now {
+                        if i.on_timer(d).is_some() {
+                            i.drain();
+                        }
+                        deadline = None;
+                    }
+                }
+                match i.on_request(req(n as u64, now), now) {
+                    IommuDecision::ArmTimer(d) => deadline = Some(d),
+                    IommuDecision::Interrupt(_) => { i.drain(); deadline = None; }
+                    IommuDecision::Absorbed => {}
+                }
+            }
+            if let Some(d) = deadline {
+                if i.on_timer(d).is_some() {
+                    i.drain();
+                }
+            }
+            i.drain();
+            prop_assert_eq!(i.stats().drained, i.stats().requests);
+            prop_assert_eq!(i.pending(), 0);
+        }
+
+        /// Interrupt count never exceeds request count.
+        #[test]
+        fn interrupts_bounded_by_requests(
+            n in 1u64..100,
+            window_us in 0u64..13,
+        ) {
+            let mut i = Iommu::with_coalescing(
+                MsiSteering::spread(), 4, Ns::from_micros(window_us));
+            for k in 0..n {
+                let t = Ns::from_micros(k);
+                if let IommuDecision::Interrupt(_) = i.on_request(req(k, t), t) {
+                    i.drain();
+                }
+            }
+            prop_assert!(i.stats().interrupts <= i.stats().requests);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! CPU-time cost model of the SSR handling chain.
+
+use hiss_gpu::SsrKind;
+use hiss_sim::Ns;
+
+/// Calibrated CPU costs of each stage of the SSR pipeline.
+///
+/// Defaults are calibrated so that the simulated A10-7850K reproduces the
+/// paper's headline interference magnitudes (see `DESIGN.md` §5 and the
+/// calibration test suite). All fields are public so ablation studies can
+/// sweep them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HandlerCosts {
+    /// Fixed top-half cost per interrupt (hard-IRQ entry, IOMMU ACK).
+    pub top_half_base: Ns,
+    /// Additional top-half cost per drained PPR entry.
+    pub top_half_per_req: Ns,
+    /// Cost on the *receiving* core of an inter-processor interrupt.
+    pub ipi_receive: Ns,
+    /// Scheduling latency to wake the bottom-half kthread even on an idle
+    /// core (run-queue insertion, context switch). The monolithic
+    /// mitigation exists to eliminate exactly this.
+    pub bh_wake_delay: Ns,
+    /// Fixed bottom-half cost per batch (read request buffer, classify).
+    pub bottom_half_base: Ns,
+    /// Bottom-half pre-processing cost per request.
+    pub bottom_half_per_req: Ns,
+    /// Latency from work-queue insertion to the worker picking the item
+    /// up (per-batch, overlapped for subsequent items).
+    pub worker_wake_delay: Ns,
+    /// Completion notification cost appended to each service (step ⑥).
+    pub completion_notify: Ns,
+    /// Per-batch cost of the QoS governor's cycle accounting (the §VI
+    /// background thread), billed only when the governor is enabled.
+    pub qos_accounting: Ns,
+}
+
+impl Default for HandlerCosts {
+    fn default() -> Self {
+        HandlerCosts {
+            top_half_base: Ns::from_nanos(1_500),
+            top_half_per_req: Ns::from_nanos(250),
+            ipi_receive: Ns::from_nanos(700),
+            bh_wake_delay: Ns::from_micros(6),
+            bottom_half_base: Ns::from_nanos(2_000),
+            bottom_half_per_req: Ns::from_nanos(500),
+            worker_wake_delay: Ns::from_micros(2),
+            completion_notify: Ns::from_nanos(400),
+            qos_accounting: Ns::from_nanos(150),
+        }
+    }
+}
+
+impl HandlerCosts {
+    /// Top-half duration for a batch of `n` requests.
+    pub fn top_half(&self, n: usize) -> Ns {
+        self.top_half_base + self.top_half_per_req * n as u64
+    }
+
+    /// Bottom-half duration for a batch of `n` requests.
+    pub fn bottom_half(&self, n: usize) -> Ns {
+        self.bottom_half_base + self.bottom_half_per_req * n as u64
+    }
+
+    /// Worker-thread service time for one request of the given kind,
+    /// including the completion notification (paper Table I: complexity
+    /// varies from "little more than informing the receiving process" for
+    /// signals up to file-system and migration work).
+    pub fn worker(&self, kind: SsrKind) -> Ns {
+        let service = match kind {
+            SsrKind::Signal => Ns::from_nanos(1_200),
+            SsrKind::SoftPageFault => Ns::from_micros(2),
+            SsrKind::MemoryAlloc => Ns::from_micros(9),
+            SsrKind::PageMigration => Ns::from_micros(28),
+            SsrKind::FileSystem => Ns::from_micros(35),
+            SsrKind::HardPageFault => Ns::from_micros(45),
+        };
+        service + self.completion_notify
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_costs_scale_linearly() {
+        let c = HandlerCosts::default();
+        assert_eq!(c.top_half(0), c.top_half_base);
+        assert_eq!(
+            c.top_half(10) - c.top_half(0),
+            c.top_half_per_req * 10
+        );
+        assert_eq!(
+            c.bottom_half(4) - c.bottom_half(1),
+            c.bottom_half_per_req * 3
+        );
+    }
+
+    #[test]
+    fn complexity_ordering_matches_table1() {
+        let c = HandlerCosts::default();
+        // Signals are the cheapest; hard faults and filesystem the most
+        // expensive; soft faults in between (Table I).
+        assert!(c.worker(SsrKind::Signal) < c.worker(SsrKind::SoftPageFault));
+        assert!(c.worker(SsrKind::SoftPageFault) < c.worker(SsrKind::PageMigration));
+        assert!(c.worker(SsrKind::PageMigration) < c.worker(SsrKind::FileSystem));
+        assert!(c.worker(SsrKind::FileSystem) < c.worker(SsrKind::HardPageFault));
+    }
+
+    #[test]
+    fn worker_includes_completion() {
+        let c = HandlerCosts::default();
+        assert_eq!(
+            c.worker(SsrKind::Signal),
+            Ns::from_nanos(1_200) + c.completion_notify
+        );
+    }
+}

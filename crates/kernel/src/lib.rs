@@ -1,0 +1,45 @@
+//! # hiss-kernel — operating-system substrate
+//!
+//! The host-side half of the SSR pipeline (paper Fig. 1, steps 3–6): what
+//! the Linux kernel and the `amd_iommu_v2` driver do once the IOMMU (or a
+//! GPU doorbell) interrupts a CPU.
+//!
+//! ```text
+//! ③ top half      — hard-IRQ context on the interrupted core; ACKs the
+//!                   IOMMU, wakes the bottom-half kthread (IPI if it lives
+//!                   on another core)
+//! ④ bottom half   — kthread; drains the PPR log, pre-processes, queues
+//!                   one work item per request
+//! ⑤ worker thread — performs the actual service (page fault, signal, …);
+//!                   this is where the QoS governor gates (paper §VI)
+//! ⑥ completion    — notify the IOMMU/GPU
+//! ```
+//!
+//! [`Kernel`] is an *open* state machine: it owns kernel-side scheduling
+//! state (kthread placement, per-core kernel occupancy horizons, the work
+//! queue tail) and, for each interrupt, emits a list of [`KernelOutput`]s
+//! — core-occupancy intervals, IPIs, and SSR completions — that the SoC
+//! event loop turns into billing and GPU notifications. Host specifics
+//! (is a core running user work? how long does preemption take? is it
+//! asleep?) are abstracted behind [`CoreHost`].
+//!
+//! The three §V mitigations appear here and in `hiss-iommu`:
+//!
+//! - interrupt steering: IOMMU-side ([`hiss_iommu::MsiSteering`]), plus
+//!   [`KernelConfig::bh_affinity`] to pin the bottom-half kthread to the
+//!   steered core as the paper's setup does,
+//! - interrupt coalescing: IOMMU-side; the kernel amortises per-batch
+//!   costs automatically,
+//! - monolithic bottom half ([`KernelConfig::monolithic_bottom_half`]):
+//!   folds step ④ into the top half, trading hard-IRQ time for the
+//!   elimination of the IPI and the kthread scheduling delay.
+
+pub mod costs;
+pub mod kernel;
+pub mod placement;
+pub mod stats;
+
+pub use costs::HandlerCosts;
+pub use kernel::{CoreHost, Kernel, KernelConfig, KernelOutput};
+pub use placement::Kthread;
+pub use stats::KernelStats;

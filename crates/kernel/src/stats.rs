@@ -1,0 +1,95 @@
+//! Kernel-side counters, mirroring what the paper reads from
+//! `/proc/interrupts`, IPI counters, and driver instrumentation.
+
+use hiss_sim::{Histogram, Ns, OnlineStats};
+
+/// Counters for one simulation run.
+#[derive(Debug, Clone)]
+pub struct KernelStats {
+    /// SSR interrupts taken, per core (`/proc/interrupts` view; §IV-C
+    /// observes the default spreads these evenly across all CPUs).
+    pub interrupts_per_core: Vec<u64>,
+    /// Inter-processor interrupts sent to wake kernel threads (477×
+    /// inflation under the microbenchmark, §IV-C).
+    pub ipis: u64,
+    /// SSRs fully serviced.
+    pub ssrs_serviced: u64,
+    /// End-to-end SSR latency (raise → completion).
+    pub latency: Histogram,
+    /// Requests per interrupt batch (coalescing efficacy).
+    pub batch_size: OnlineStats,
+    /// QoS deferral episodes applied by the governor.
+    pub qos_deferrals: u64,
+}
+
+impl KernelStats {
+    /// Creates zeroed counters for `num_cores` CPUs.
+    pub fn new(num_cores: usize) -> Self {
+        KernelStats {
+            interrupts_per_core: vec![0; num_cores],
+            ipis: 0,
+            ssrs_serviced: 0,
+            latency: Histogram::new(),
+            batch_size: OnlineStats::new(),
+            qos_deferrals: 0,
+        }
+    }
+
+    /// Total SSR interrupts across all cores.
+    pub fn total_interrupts(&self) -> u64 {
+        self.interrupts_per_core.iter().sum()
+    }
+
+    /// Mean end-to-end SSR latency.
+    pub fn mean_latency(&self) -> Ns {
+        self.latency.mean()
+    }
+
+    /// Largest / smallest per-core interrupt count ratio — 1.0 means
+    /// perfectly even spreading (§IV-C), large values mean steering.
+    pub fn interrupt_imbalance(&self) -> f64 {
+        let max = self.interrupts_per_core.iter().copied().max().unwrap_or(0);
+        let min = self.interrupts_per_core.iter().copied().min().unwrap_or(0);
+        if min == 0 {
+            if max == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            max as f64 / min as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_on_creation() {
+        let s = KernelStats::new(4);
+        assert_eq!(s.total_interrupts(), 0);
+        assert_eq!(s.ipis, 0);
+        assert_eq!(s.mean_latency(), Ns::ZERO);
+        assert_eq!(s.interrupt_imbalance(), 1.0);
+    }
+
+    #[test]
+    fn imbalance_detects_steering() {
+        let mut s = KernelStats::new(4);
+        s.interrupts_per_core = vec![100, 100, 100, 100];
+        assert_eq!(s.interrupt_imbalance(), 1.0);
+        s.interrupts_per_core = vec![400, 0, 0, 0];
+        assert!(s.interrupt_imbalance().is_infinite());
+        s.interrupts_per_core = vec![300, 50, 25, 25];
+        assert_eq!(s.interrupt_imbalance(), 12.0);
+    }
+
+    #[test]
+    fn total_sums_cores() {
+        let mut s = KernelStats::new(2);
+        s.interrupts_per_core = vec![3, 9];
+        assert_eq!(s.total_interrupts(), 12);
+    }
+}

@@ -1,0 +1,238 @@
+//! Structural gshare branch predictor.
+//!
+//! Used to validate the branch-predictor half of the statistical pollution
+//! model: kernel handler execution trains the shared pattern-history table
+//! away from the user application's branches, raising the user
+//! misprediction rate after each interrupt (paper Fig. 5b).
+
+/// A gshare predictor: global history XOR branch PC indexes a table of
+/// 2-bit saturating counters.
+///
+/// # Example
+///
+/// ```
+/// use hiss_mem::GsharePredictor;
+///
+/// let mut bp = GsharePredictor::new(10); // 1024-entry PHT
+/// // A loop branch taken many times becomes predictable.
+/// for _ in 0..64 {
+///     bp.execute(0x400_100, true);
+/// }
+/// let before = bp.mispredicts();
+/// bp.execute(0x400_100, true);
+/// assert_eq!(bp.mispredicts(), before); // predicted correctly
+/// ```
+#[derive(Debug, Clone)]
+pub struct GsharePredictor {
+    /// 2-bit saturating counters: 0,1 predict not-taken; 2,3 predict taken.
+    pht: Vec<u8>,
+    index_bits: u32,
+    history: u64,
+    executed: u64,
+    mispredicted: u64,
+}
+
+impl GsharePredictor {
+    /// Creates a predictor with a `2^index_bits`-entry pattern history
+    /// table, counters initialised to weakly-not-taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits` is 0 or greater than 24 (16 M entries is far
+    /// beyond any real L1 predictor and signals a configuration mistake).
+    pub fn new(index_bits: u32) -> Self {
+        assert!(
+            (1..=24).contains(&index_bits),
+            "index_bits must be in 1..=24, got {index_bits}"
+        );
+        GsharePredictor {
+            pht: vec![1; 1 << index_bits],
+            index_bits,
+            history: 0,
+            executed: 0,
+            mispredicted: 0,
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        let mask = (1u64 << self.index_bits) - 1;
+        (((pc >> 2) ^ self.history) & mask) as usize
+    }
+
+    /// Predicts the branch at `pc` without updating any state.
+    pub fn predict(&self, pc: u64) -> bool {
+        self.pht[self.index(pc)] >= 2
+    }
+
+    /// Executes a branch: predicts, then updates the counter and global
+    /// history with the actual outcome. Returns `true` if the prediction
+    /// was correct.
+    pub fn execute(&mut self, pc: u64, taken: bool) -> bool {
+        let idx = self.index(pc);
+        let predicted = self.pht[idx] >= 2;
+        let correct = predicted == taken;
+        self.executed += 1;
+        if !correct {
+            self.mispredicted += 1;
+        }
+        let ctr = &mut self.pht[idx];
+        if taken {
+            *ctr = (*ctr + 1).min(3);
+        } else {
+            *ctr = ctr.saturating_sub(1);
+        }
+        self.history = (self.history << 1) | u64::from(taken);
+        correct
+    }
+
+    /// Branches executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Mispredictions so far.
+    pub fn mispredicts(&self) -> u64 {
+        self.mispredicted
+    }
+
+    /// Misprediction rate over all executed branches (0.0 when none).
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.executed == 0 {
+            0.0
+        } else {
+            self.mispredicted as f64 / self.executed as f64
+        }
+    }
+
+    /// Resets counters without touching predictor state.
+    pub fn reset_counters(&mut self) {
+        self.executed = 0;
+        self.mispredicted = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "index_bits")]
+    fn zero_bits_panics() {
+        GsharePredictor::new(0);
+    }
+
+    #[test]
+    fn monotone_branch_becomes_predictable() {
+        let mut bp = GsharePredictor::new(12);
+        for _ in 0..200 {
+            bp.execute(0x1000, true);
+        }
+        bp.reset_counters();
+        for _ in 0..100 {
+            bp.execute(0x1000, true);
+        }
+        assert_eq!(bp.mispredicts(), 0);
+    }
+
+    #[test]
+    fn alternating_history_is_learnable() {
+        // T,N,T,N … is perfectly predictable with global history once the
+        // PHT warms up.
+        let mut bp = GsharePredictor::new(12);
+        for i in 0..400u64 {
+            bp.execute(0x2000, i % 2 == 0);
+        }
+        bp.reset_counters();
+        for i in 0..100u64 {
+            bp.execute(0x2000, i % 2 == 0);
+        }
+        assert!(
+            bp.mispredict_rate() < 0.05,
+            "rate {} too high",
+            bp.mispredict_rate()
+        );
+    }
+
+    #[test]
+    fn kernel_stream_pollutes_user_prediction() {
+        let mut bp = GsharePredictor::new(10);
+        // Train user branches.
+        let user_pcs: Vec<u64> = (0..64).map(|i| 0x4000 + i * 16).collect();
+        for _ in 0..50 {
+            for &pc in &user_pcs {
+                bp.execute(pc, true);
+            }
+        }
+        bp.reset_counters();
+        for &pc in &user_pcs {
+            bp.execute(pc, true);
+        }
+        let clean_rate = bp.mispredict_rate();
+
+        // Kernel interlude: different PCs, biased not-taken, scrambles
+        // history and counters.
+        for i in 0..2000u64 {
+            bp.execute(0x8_0000 + (i % 128) * 8, i % 3 == 0);
+        }
+
+        bp.reset_counters();
+        for &pc in &user_pcs {
+            bp.execute(pc, true);
+        }
+        let polluted_rate = bp.mispredict_rate();
+        assert!(
+            polluted_rate > clean_rate,
+            "pollution did not raise mispredict rate ({clean_rate} -> {polluted_rate})"
+        );
+    }
+
+    #[test]
+    fn predict_is_pure() {
+        let bp = GsharePredictor::new(8);
+        let before = bp.clone();
+        let _ = bp.predict(0x1234);
+        assert_eq!(bp.executed(), before.executed());
+    }
+
+    #[test]
+    fn rate_zero_without_branches() {
+        assert_eq!(GsharePredictor::new(8).mispredict_rate(), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Mispredicts never exceed executed branches.
+        #[test]
+        fn counters_are_consistent(
+            branches in proptest::collection::vec((0u64..1 << 20, any::<bool>()), 0..500)
+        ) {
+            let mut bp = GsharePredictor::new(10);
+            for (pc, taken) in &branches {
+                bp.execute(*pc, *taken);
+            }
+            prop_assert_eq!(bp.executed(), branches.len() as u64);
+            prop_assert!(bp.mispredicts() <= bp.executed());
+        }
+
+        /// execute() returns the same verdict predict() would have given.
+        #[test]
+        fn execute_matches_predict(
+            seed_branches in proptest::collection::vec((0u64..1 << 16, any::<bool>()), 1..100),
+            pc in 0u64..1 << 16,
+            taken in any::<bool>(),
+        ) {
+            let mut bp = GsharePredictor::new(10);
+            for (p, t) in seed_branches {
+                bp.execute(p, t);
+            }
+            let predicted = bp.predict(pc);
+            let correct = bp.execute(pc, taken);
+            prop_assert_eq!(correct, predicted == taken);
+        }
+    }
+}

@@ -1,0 +1,459 @@
+//! Structural set-associative cache model.
+//!
+//! This is the "ground truth" model used to validate the fast statistical
+//! [`WarmthModel`](crate::pollution::WarmthModel): drive it with a user
+//! address stream, interleave kernel-handler streams, and observe how user
+//! hit rate degrades as kernel lines displace user lines.
+//!
+//! Each line is tagged with an [`Owner`] so pollution can be measured
+//! directly as occupancy stolen from the user working set — the mechanism
+//! behind Fig. 5a of the paper.
+
+use std::fmt;
+
+/// Who installed a cache line. The model only needs to distinguish the user
+/// application from kernel SSR-handling code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Owner {
+    /// User-mode application data.
+    User,
+    /// Kernel data touched while servicing SSRs (handlers, PPR queues,
+    /// page-table walks, …).
+    Kernel,
+}
+
+impl fmt::Display for Owner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Owner::User => write!(f, "user"),
+            Owner::Kernel => write!(f, "kernel"),
+        }
+    }
+}
+
+/// Outcome of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessResult {
+    /// Line present.
+    Hit,
+    /// Line absent; if it displaced a valid line, the previous owner is
+    /// reported so callers can attribute pollution.
+    Miss {
+        /// Owner of the line that was evicted to make room, if any.
+        evicted: Option<Owner>,
+    },
+}
+
+impl AccessResult {
+    /// `true` when the access hit.
+    pub fn is_hit(self) -> bool {
+        matches!(self, AccessResult::Hit)
+    }
+}
+
+/// Geometry of a [`Cache`].
+///
+/// The default mirrors the per-core L1D of the paper's AMD Family 15h
+/// "Steamroller" module: 16 KiB, 4-way, 64-byte lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Line size in bytes (must be a power of two).
+    pub line_bytes: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            capacity_bytes: 16 * 1024,
+            ways: 4,
+            line_bytes: 64,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero ways/line size, capacity
+    /// not divisible into whole sets, or non-power-of-two line size).
+    pub fn sets(&self) -> usize {
+        assert!(self.ways > 0, "cache must have at least one way");
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        let lines = self.capacity_bytes / self.line_bytes;
+        assert!(
+            lines >= self.ways && lines.is_multiple_of(self.ways),
+            "capacity {} does not divide into whole sets of {} ways",
+            self.capacity_bytes,
+            self.ways
+        );
+        lines / self.ways
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    owner: Owner,
+    /// LRU stamp: larger = more recently used.
+    lru: u64,
+    valid: bool,
+}
+
+const INVALID: Line = Line {
+    tag: 0,
+    owner: Owner::User,
+    lru: 0,
+    valid: false,
+};
+
+/// A set-associative, LRU-replacement cache with per-owner occupancy
+/// accounting.
+///
+/// # Example
+///
+/// ```
+/// use hiss_mem::{Cache, CacheConfig, Owner};
+///
+/// let mut cache = Cache::new(CacheConfig::default());
+/// assert!(!cache.access(0x1000, Owner::User).is_hit()); // cold miss
+/// assert!(cache.access(0x1000, Owner::User).is_hit());  // now resident
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: usize,
+    lines: Vec<Line>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    user_lines: usize,
+    kernel_lines: usize,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate geometry (see [`CacheConfig::sets`]).
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = config.sets();
+        Cache {
+            config,
+            sets,
+            lines: vec![INVALID; sets * config.ways],
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            user_lines: 0,
+            kernel_lines: 0,
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    fn set_of(&self, addr: u64) -> usize {
+        ((addr / self.config.line_bytes as u64) % self.sets as u64) as usize
+    }
+
+    fn tag_of(&self, addr: u64) -> u64 {
+        addr / (self.config.line_bytes as u64 * self.sets as u64)
+    }
+
+    /// Accesses `addr` on behalf of `owner`, installing the line on a miss.
+    pub fn access(&mut self, addr: u64, owner: Owner) -> AccessResult {
+        self.clock += 1;
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let base = set * self.config.ways;
+        let ways = &mut self.lines[base..base + self.config.ways];
+
+        if let Some(line) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = self.clock;
+            // A hit re-claims ownership (e.g. kernel touching a line the
+            // user loaded counts as kernel-resident from now on).
+            if line.owner != owner {
+                match line.owner {
+                    Owner::User => self.user_lines -= 1,
+                    Owner::Kernel => self.kernel_lines -= 1,
+                }
+                match owner {
+                    Owner::User => self.user_lines += 1,
+                    Owner::Kernel => self.kernel_lines += 1,
+                }
+                line.owner = owner;
+            }
+            self.hits += 1;
+            return AccessResult::Hit;
+        }
+
+        self.misses += 1;
+        // Choose victim: invalid line first, else true-LRU.
+        let victim = ways
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| if l.valid { l.lru } else { 0 })
+            .map(|(i, _)| i)
+            .expect("cache set has at least one way");
+        let line = &mut ways[victim];
+        let evicted = if line.valid {
+            match line.owner {
+                Owner::User => self.user_lines -= 1,
+                Owner::Kernel => self.kernel_lines -= 1,
+            }
+            Some(line.owner)
+        } else {
+            None
+        };
+        *line = Line {
+            tag,
+            owner,
+            lru: self.clock,
+            valid: true,
+        };
+        match owner {
+            Owner::User => self.user_lines += 1,
+            Owner::Kernel => self.kernel_lines += 1,
+        }
+        AccessResult::Miss { evicted }
+    }
+
+    /// Invalidates every line (e.g. entering the CC6 sleep state flushes
+    /// caches — one reason short sleeps are detrimental, paper §IV-B).
+    pub fn flush(&mut self) {
+        for line in &mut self.lines {
+            *line = INVALID;
+        }
+        self.user_lines = 0;
+        self.kernel_lines = 0;
+    }
+
+    /// Total hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Miss rate over all accesses (0.0 when no accesses yet).
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+
+    /// Resets hit/miss counters without touching cache contents.
+    pub fn reset_counters(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Number of valid lines currently owned by `owner`.
+    pub fn occupancy(&self, owner: Owner) -> usize {
+        match owner {
+            Owner::User => self.user_lines,
+            Owner::Kernel => self.kernel_lines,
+        }
+    }
+
+    /// Fraction of the total capacity currently owned by `owner`.
+    pub fn occupancy_fraction(&self, owner: Owner) -> f64 {
+        self.occupancy(owner) as f64 / self.lines.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 64B lines = 512B.
+        Cache::new(CacheConfig {
+            capacity_bytes: 512,
+            ways: 2,
+            line_bytes: 64,
+        })
+    }
+
+    #[test]
+    fn default_geometry_is_l1d_like() {
+        let c = CacheConfig::default();
+        assert_eq!(c.sets(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole sets")]
+    fn degenerate_geometry_panics() {
+        Cache::new(CacheConfig {
+            capacity_bytes: 100,
+            ways: 3,
+            line_bytes: 64,
+        });
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert_eq!(c.access(0, Owner::User), AccessResult::Miss { evicted: None });
+        assert_eq!(c.access(0, Owner::User), AccessResult::Hit);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert!((c.miss_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_line_different_word_hits() {
+        let mut c = tiny();
+        c.access(0x100, Owner::User);
+        assert!(c.access(0x13F, Owner::User).is_hit()); // same 64B line
+        assert!(!c.access(0x140, Owner::User).is_hit()); // next line
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny(); // 4 sets, 2 ways; set stride = 64*4 = 256
+        let a = 0u64; // set 0
+        let b = 256u64; // set 0, different tag
+        let d = 512u64; // set 0, third tag
+        c.access(a, Owner::User);
+        c.access(b, Owner::User);
+        c.access(a, Owner::User); // a more recent than b
+        let res = c.access(d, Owner::User); // evicts b
+        assert_eq!(res, AccessResult::Miss { evicted: Some(Owner::User) });
+        assert!(c.access(a, Owner::User).is_hit());
+        assert!(!c.access(b, Owner::User).is_hit()); // b was the victim
+    }
+
+    #[test]
+    fn kernel_accesses_steal_user_occupancy() {
+        let mut c = tiny();
+        // Fill the whole cache with user lines.
+        for i in 0..8u64 {
+            c.access(i * 64, Owner::User);
+        }
+        assert_eq!(c.occupancy(Owner::User), 8);
+        assert_eq!(c.occupancy(Owner::Kernel), 0);
+        // Kernel streams through twice the capacity.
+        for i in 0..16u64 {
+            c.access(0x10000 + i * 64, Owner::Kernel);
+        }
+        assert_eq!(c.occupancy(Owner::User), 0);
+        assert_eq!(c.occupancy(Owner::Kernel), 8);
+        assert!((c.occupancy_fraction(Owner::Kernel) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_reassigns_ownership() {
+        let mut c = tiny();
+        c.access(0, Owner::User);
+        assert_eq!(c.occupancy(Owner::User), 1);
+        c.access(0, Owner::Kernel);
+        assert_eq!(c.occupancy(Owner::User), 0);
+        assert_eq!(c.occupancy(Owner::Kernel), 1);
+    }
+
+    #[test]
+    fn flush_empties_cache() {
+        let mut c = tiny();
+        for i in 0..8u64 {
+            c.access(i * 64, Owner::User);
+        }
+        c.flush();
+        assert_eq!(c.occupancy(Owner::User), 0);
+        assert!(!c.access(0, Owner::User).is_hit());
+    }
+
+    #[test]
+    fn reset_counters_keeps_contents() {
+        let mut c = tiny();
+        c.access(0, Owner::User);
+        c.reset_counters();
+        assert_eq!(c.misses(), 0);
+        assert!(c.access(0, Owner::User).is_hit());
+    }
+
+    #[test]
+    fn miss_rate_zero_without_accesses() {
+        assert_eq!(tiny().miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn working_set_within_capacity_converges_to_hits() {
+        let mut c = Cache::new(CacheConfig::default());
+        let lines = 16 * 1024 / 64; // exactly capacity
+        for round in 0..4 {
+            for i in 0..lines as u64 {
+                let r = c.access(i * 64, Owner::User);
+                if round > 0 {
+                    assert!(r.is_hit(), "line {i} missed on round {round}");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Occupancy bookkeeping always sums to the number of valid lines
+        /// and never exceeds capacity.
+        #[test]
+        fn occupancy_is_conserved(
+            addrs in proptest::collection::vec((0u64..1 << 20, any::<bool>()), 1..500)
+        ) {
+            let mut c = Cache::new(CacheConfig {
+                capacity_bytes: 1024,
+                ways: 4,
+                line_bytes: 64,
+            });
+            let total_lines = 1024 / 64;
+            for (addr, is_kernel) in addrs {
+                let owner = if is_kernel { Owner::Kernel } else { Owner::User };
+                c.access(addr, owner);
+                let occ = c.occupancy(Owner::User) + c.occupancy(Owner::Kernel);
+                prop_assert!(occ <= total_lines);
+            }
+        }
+
+        /// An immediate re-access of the same address always hits.
+        #[test]
+        fn immediate_reaccess_hits(addr in 0u64..1 << 30) {
+            let mut c = Cache::new(CacheConfig::default());
+            c.access(addr, Owner::User);
+            prop_assert!(c.access(addr, Owner::User).is_hit());
+        }
+
+        /// hits + misses equals the number of accesses.
+        #[test]
+        fn counters_sum_to_accesses(
+            addrs in proptest::collection::vec(0u64..1 << 16, 0..300)
+        ) {
+            let mut c = Cache::new(CacheConfig::default());
+            for &a in &addrs {
+                c.access(a, Owner::User);
+            }
+            prop_assert_eq!(c.hits() + c.misses(), addrs.len() as u64);
+        }
+    }
+}

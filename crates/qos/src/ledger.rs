@@ -1,0 +1,220 @@
+//! SSR cycle accounting.
+//!
+//! All OS routines involved in servicing SSRs (top half, IPI, bottom
+//! half, worker) record their CPU time here; the governor asks for the
+//! fraction of recent aggregate CPU time that went to SSR servicing.
+
+use std::collections::VecDeque;
+
+use hiss_sim::Ns;
+
+/// A sliding-window ledger of CPU time spent servicing SSRs.
+///
+/// The fraction reported is `ssr_time_in_window / (window × cores)`:
+/// aggregate over all cores, matching the paper's system-wide threshold
+/// semantics ("the maximum amount of CPU time that may be spent processing
+/// GPU SSRs").
+///
+/// # Example
+///
+/// ```
+/// use hiss_qos::CycleLedger;
+/// use hiss_sim::Ns;
+///
+/// let mut ledger = CycleLedger::new(Ns::from_micros(100), 4);
+/// ledger.record(Ns::from_micros(10), Ns::from_micros(20));
+/// // 20µs of SSR work in a 100µs × 4-core window = 5%.
+/// let f = ledger.fraction(Ns::from_micros(100));
+/// assert!((f - 0.05).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CycleLedger {
+    window: Ns,
+    cores: usize,
+    /// Committed SSR-service intervals `(start, duration)`, oldest first.
+    entries: VecDeque<(Ns, Ns)>,
+    /// Lifetime total for reporting.
+    total: Ns,
+}
+
+impl CycleLedger {
+    /// Creates a ledger with the given averaging window over `cores` CPUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero or `cores` is zero.
+    pub fn new(window: Ns, cores: usize) -> Self {
+        assert!(window > Ns::ZERO, "window must be positive");
+        assert!(cores > 0, "must have at least one core");
+        CycleLedger {
+            window,
+            cores,
+            entries: VecDeque::new(),
+            total: Ns::ZERO,
+        }
+    }
+
+    /// The averaging window.
+    pub fn window(&self) -> Ns {
+        self.window
+    }
+
+    /// Records `dur` of SSR-servicing CPU time beginning at `start`.
+    /// Entries may be recorded slightly out of order (different cores);
+    /// pruning tolerates this.
+    pub fn record(&mut self, start: Ns, dur: Ns) {
+        if dur == Ns::ZERO {
+            return;
+        }
+        self.entries.push_back((start, dur));
+        self.total += dur;
+    }
+
+    /// Lifetime SSR CPU time recorded.
+    pub fn total(&self) -> Ns {
+        self.total
+    }
+
+    /// Fraction of aggregate CPU capacity spent servicing SSRs within
+    /// `[now - window, now]`. Intervals are clipped to the window.
+    pub fn fraction(&mut self, now: Ns) -> f64 {
+        let window_start = now.saturating_sub(self.window);
+        // Prune entries that end before the window. Entries are only
+        // approximately ordered, so scan from the front while stale.
+        while let Some(&(s, d)) = self.entries.front() {
+            if s + d < window_start {
+                self.entries.pop_front();
+            } else {
+                break;
+            }
+        }
+        let mut in_window = Ns::ZERO;
+        for &(s, d) in &self.entries {
+            let start = s.max(window_start);
+            let end = (s + d).min(now);
+            if end > start {
+                in_window += end - start;
+            }
+        }
+        let capacity = self.window * self.cores as u64;
+        in_window.fraction_of(capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> Ns {
+        Ns::from_micros(n)
+    }
+
+    #[test]
+    fn empty_ledger_reports_zero() {
+        let mut l = CycleLedger::new(us(100), 4);
+        assert_eq!(l.fraction(us(1000)), 0.0);
+    }
+
+    #[test]
+    fn single_interval_fraction() {
+        let mut l = CycleLedger::new(us(100), 1);
+        l.record(us(50), us(10));
+        // At t=100: 10µs in a 100µs×1 window = 10%.
+        assert!((l.fraction(us(100)) - 0.10).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fraction_scales_with_core_count() {
+        let mut l1 = CycleLedger::new(us(100), 1);
+        let mut l4 = CycleLedger::new(us(100), 4);
+        l1.record(us(0), us(40));
+        l4.record(us(0), us(40));
+        assert!((l1.fraction(us(100)) - 0.40).abs() < 1e-9);
+        assert!((l4.fraction(us(100)) - 0.10).abs() < 1e-9);
+    }
+
+    #[test]
+    fn old_entries_age_out() {
+        let mut l = CycleLedger::new(us(100), 1);
+        l.record(us(0), us(50));
+        assert!(l.fraction(us(100)) > 0.49);
+        // A window later, the entry has fully aged out.
+        assert_eq!(l.fraction(us(300)), 0.0);
+        assert_eq!(l.total(), us(50));
+    }
+
+    #[test]
+    fn interval_clipped_at_window_edges() {
+        let mut l = CycleLedger::new(us(100), 1);
+        // Interval [50, 150), window at t=120 is [20, 120): overlap 70µs.
+        l.record(us(50), us(100));
+        assert!((l.fraction(us(120)) - 0.70).abs() < 1e-9);
+    }
+
+    #[test]
+    fn future_intervals_do_not_count_yet() {
+        let mut l = CycleLedger::new(us(100), 1);
+        l.record(us(500), us(10)); // committed for the future
+        assert_eq!(l.fraction(us(100)), 0.0);
+        assert!(l.fraction(us(510)) > 0.0);
+    }
+
+    #[test]
+    fn zero_duration_records_are_ignored() {
+        let mut l = CycleLedger::new(us(100), 1);
+        l.record(us(10), Ns::ZERO);
+        assert_eq!(l.total(), Ns::ZERO);
+        assert_eq!(l.fraction(us(100)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_panics() {
+        CycleLedger::new(Ns::ZERO, 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The fraction is always within [0, 1] when recorded intervals
+        /// never overlap in aggregate beyond capacity (we feed at most one
+        /// core's worth of serial work).
+        #[test]
+        fn fraction_bounded(
+            durs in proptest::collection::vec(1u64..50, 1..100),
+            cores in 1usize..8,
+        ) {
+            let mut l = CycleLedger::new(Ns::from_micros(100), cores);
+            let mut t = Ns::ZERO;
+            for d in durs {
+                let dur = Ns::from_micros(d);
+                l.record(t, dur);
+                t += dur; // serial stream: no aggregate oversubscription
+                let f = l.fraction(t);
+                prop_assert!((0.0..=1.0).contains(&f), "fraction {f}");
+            }
+        }
+
+        /// Querying in the far future after the last record always
+        /// returns zero.
+        #[test]
+        fn everything_ages_out(
+            entries in proptest::collection::vec((0u64..1000, 1u64..100), 0..50)
+        ) {
+            let mut l = CycleLedger::new(Ns::from_micros(100), 2);
+            let mut latest = Ns::ZERO;
+            for (s, d) in entries {
+                let start = Ns::from_micros(s);
+                let dur = Ns::from_micros(d);
+                l.record(start, dur);
+                latest = latest.max(start + dur);
+            }
+            let far = latest + Ns::from_millis(10);
+            prop_assert_eq!(l.fraction(far), 0.0);
+        }
+    }
+}

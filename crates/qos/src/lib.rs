@@ -1,0 +1,39 @@
+//! # hiss-qos — CPU quality-of-service under GPU system-service requests
+//!
+//! The paper's primary mechanism contribution (§VI): none of the §V
+//! mitigations *bound* the CPU overhead caused by accelerator SSRs, and in
+//! their absence a buggy or malicious accelerator can mount what amounts
+//! to a denial-of-service attack on the host. The fix exploits the one
+//! lever the OS always has — every accelerator has a **hardware limit on
+//! outstanding SSRs**, so *delaying service* eventually backpressures the
+//! GPU into stalling.
+//!
+//! The mechanism has two halves, both reproduced here:
+//!
+//! 1. **Accounting** ([`CycleLedger`]): every OS routine involved in SSR
+//!    servicing records its CPU cycles; a background thread periodically
+//!    computes the fraction of total CPU time spent on SSRs.
+//! 2. **The governor** ([`Governor`], paper Fig. 11): before the worker
+//!    thread processes an SSR it consults the governor; if the SSR cycle
+//!    fraction exceeds the administrator's threshold (`th_1` / `th_5` /
+//!    `th_25` = 1 %, 5 %, 25 %), processing is deferred with exponential
+//!    back-off starting at 10 µs; otherwise the delay resets to zero and
+//!    the SSR is serviced.
+//!
+//! ```text
+//!  CPU cycles handling SSRs > Threshold? ──N──▶ Delay = 0, service SSR
+//!          │ Y
+//!          ▼
+//!  Delay == 0 ? ──Y──▶ Delay = 10 µs
+//!          │ N
+//!          ▼
+//!  Delay *= 2
+//!          ▼
+//!  Sleep `Delay` µs, re-check
+//! ```
+
+pub mod governor;
+pub mod ledger;
+
+pub use governor::{Gate, Governor, QosParams};
+pub use ledger::CycleLedger;

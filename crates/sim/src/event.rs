@@ -1,0 +1,260 @@
+//! Deterministic event calendar.
+//!
+//! [`EventQueue`] is a min-heap keyed on `(time, sequence)`. The sequence
+//! number is assigned at insertion, so two events scheduled for the same
+//! instant are delivered in insertion order. This tie-break rule is what
+//! makes whole-simulation runs bit-for-bit reproducible, which in turn is
+//! what the calibration test suite relies on.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Ns;
+
+/// An entry in the calendar: an event of type `E` due at a given instant.
+#[derive(Debug)]
+struct Entry<E> {
+    due: Ns,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (and, within a
+        // tie, the first-inserted) entry surfaces first.
+        other
+            .due
+            .cmp(&self.due)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic discrete-event calendar.
+///
+/// Events are popped in non-decreasing time order; simultaneous events are
+/// popped in the order they were pushed (FIFO within an instant).
+///
+/// # Example
+///
+/// ```
+/// use hiss_sim::{EventQueue, Ns};
+///
+/// let mut q = EventQueue::new();
+/// q.push(Ns::from_nanos(10), 'b');
+/// q.push(Ns::from_nanos(10), 'c'); // same instant: FIFO order
+/// q.push(Ns::from_nanos(5), 'a');
+///
+/// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, vec!['a', 'b', 'c']);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    /// Time of the most recently popped event; pushes earlier than this
+    /// indicate a causality bug in the caller.
+    watermark: Ns,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty calendar.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            watermark: Ns::ZERO,
+        }
+    }
+
+    /// Schedules `event` at absolute time `due`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `due` is earlier than the time of the last popped event —
+    /// scheduling into the past would silently corrupt causality.
+    pub fn push(&mut self, due: Ns, event: E) {
+        assert!(
+            due >= self.watermark,
+            "event scheduled at {due} is before current time {}",
+            self.watermark
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { due, seq, event });
+    }
+
+    /// Removes and returns the earliest event, advancing the causality
+    /// watermark to its due time.
+    pub fn pop(&mut self) -> Option<(Ns, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.due >= self.watermark);
+        self.watermark = entry.due;
+        Some((entry.due, entry.event))
+    }
+
+    /// The due time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Ns> {
+        self.heap.peek().map(|e| e.due)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The current causality watermark (time of the last popped event).
+    pub fn now(&self) -> Ns {
+        self.watermark
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Ns::from_nanos(30), 3);
+        q.push(Ns::from_nanos(10), 1);
+        q.push(Ns::from_nanos(20), 2);
+        let got: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Ns::from_nanos(42), i);
+        }
+        let got: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        let want: Vec<i32> = (0..100).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn watermark_tracks_pops() {
+        let mut q = EventQueue::new();
+        q.push(Ns::from_nanos(7), ());
+        assert_eq!(q.now(), Ns::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Ns::from_nanos(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.push(Ns::from_nanos(10), ());
+        q.pop();
+        q.push(Ns::from_nanos(5), ());
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.push(Ns::from_nanos(4), 'x');
+        assert_eq!(q.peek_time(), Some(Ns::from_nanos(4)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn interleaved_push_pop_remains_ordered() {
+        let mut q = EventQueue::new();
+        q.push(Ns::from_nanos(10), "a");
+        q.push(Ns::from_nanos(50), "d");
+        assert_eq!(q.pop().unwrap().1, "a");
+        // now = 10; schedule more in the future
+        q.push(Ns::from_nanos(20), "b");
+        q.push(Ns::from_nanos(30), "c");
+        let got: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(got, vec!["b", "c", "d"]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Popping the whole queue yields times in non-decreasing order,
+        /// regardless of insertion order.
+        #[test]
+        fn pop_order_is_monotone(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, t) in times.iter().enumerate() {
+                q.push(Ns::from_nanos(*t), i);
+            }
+            let mut last = Ns::ZERO;
+            while let Some((t, _)) = q.pop() {
+                prop_assert!(t >= last);
+                last = t;
+            }
+        }
+
+        /// FIFO within an instant: events with equal timestamps come out in
+        /// insertion order.
+        #[test]
+        fn equal_times_preserve_insertion_order(
+            times in proptest::collection::vec(0u64..16, 1..200)
+        ) {
+            let mut q = EventQueue::new();
+            for (i, t) in times.iter().enumerate() {
+                q.push(Ns::from_nanos(*t), i);
+            }
+            let mut last: Option<(Ns, usize)> = None;
+            while let Some((t, i)) = q.pop() {
+                if let Some((lt, li)) = last {
+                    if lt == t {
+                        prop_assert!(i > li, "FIFO violated: {li} then {i} at {t}");
+                    }
+                }
+                last = Some((t, i));
+            }
+        }
+
+        /// len() always equals pushes minus pops.
+        #[test]
+        fn len_is_conserved(n in 0usize..100, pops in 0usize..100) {
+            let mut q = EventQueue::new();
+            for i in 0..n {
+                q.push(Ns::from_nanos(i as u64), i);
+            }
+            let pops = pops.min(n);
+            for _ in 0..pops {
+                q.pop();
+            }
+            prop_assert_eq!(q.len(), n - pops);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # hiss-sim — discrete-event simulation engine
+//!
+//! Foundation crate for the HISS (Host Interference from GPU System
+//! Services) simulator. It provides the building blocks every other crate
+//! in the workspace is written against:
+//!
+//! - [`Ns`], a nanosecond-resolution simulated-time newtype ([`time`]),
+//! - [`EventQueue`], a deterministic binary-heap event calendar ([`event`]),
+//! - [`Rng`], a seedable, forkable pseudo-random number generator ([`rng`]),
+//! - summary statistics used by the experiment harness ([`stats`]).
+//!
+//! Everything here is deliberately dependency-free and deterministic: a
+//! simulation run is a pure function of its configuration and seed, which
+//! is what lets the test suite pin the paper's headline numbers into
+//! tolerance bands.
+//!
+//! # Example
+//!
+//! ```
+//! use hiss_sim::{EventQueue, Ns};
+//!
+//! let mut queue: EventQueue<&str> = EventQueue::new();
+//! queue.push(Ns::from_micros(5), "second");
+//! queue.push(Ns::from_micros(1), "first");
+//!
+//! let (t, ev) = queue.pop().expect("queue is non-empty");
+//! assert_eq!((t, ev), (Ns::from_micros(1), "first"));
+//! ```
+
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use event::EventQueue;
+pub use rng::Rng;
+pub use stats::{geomean, mean, percentile, Histogram, OnlineStats};
+pub use time::Ns;

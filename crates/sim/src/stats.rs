@@ -1,0 +1,405 @@
+//! Summary statistics used by the experiment harness.
+//!
+//! The paper reports geometric means across application grids (Figs. 7, 8,
+//! 12) and latency distributions for SSR handling; this module provides
+//! those reductions plus a streaming accumulator ([`OnlineStats`]) and a
+//! logarithmic latency [`Histogram`].
+
+use crate::time::Ns;
+
+/// Arithmetic mean. Returns 0.0 for an empty slice.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(hiss_sim::mean(&[1.0, 2.0, 3.0]), 2.0);
+/// ```
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Geometric mean, the reduction the paper uses for its Pareto charts.
+///
+/// Non-positive entries are clamped to a tiny positive value so a single
+/// zero (a fully-starved configuration) doesn't collapse the result to
+/// exactly zero and hide the rest of the distribution.
+///
+/// # Example
+///
+/// ```
+/// let g = hiss_sim::geomean(&[1.0, 4.0]);
+/// assert!((g - 2.0).abs() < 1e-12);
+/// ```
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-9).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Linear-interpolated percentile (`p` in `[0, 100]`) of an unsorted slice.
+///
+/// Returns 0.0 for an empty slice.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let p = p.clamp(0.0, 100.0);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = rank - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// # Example
+///
+/// ```
+/// use hiss_sim::OnlineStats;
+///
+/// let mut s = OnlineStats::new();
+/// for x in [2.0, 4.0, 6.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.count(), 3);
+/// assert!((s.mean() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean of observations (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0.0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (0.0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0.0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * self.n as f64 * other.n as f64 / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Logarithmically-bucketed latency histogram.
+///
+/// Bucket `i` covers `[2^i, 2^(i+1))` nanoseconds, with bucket 0 covering
+/// `[0, 2)`. Suited to SSR service latencies that range from hundreds of
+/// nanoseconds (hot path) to tens of milliseconds (QoS-throttled).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    total: u128,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with 64 power-of-two buckets.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; 64],
+            count: 0,
+            total: 0,
+        }
+    }
+
+    /// Records one latency observation.
+    pub fn record(&mut self, latency: Ns) {
+        let ns = latency.as_nanos();
+        let idx = if ns < 2 {
+            0
+        } else {
+            (63 - ns.leading_zeros()) as usize
+        };
+        self.buckets[idx.min(63)] += 1;
+        self.count += 1;
+        self.total += u128::from(ns);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean latency ([`Ns::ZERO`] when empty).
+    pub fn mean(&self) -> Ns {
+        if self.count == 0 {
+            Ns::ZERO
+        } else {
+            Ns::from_nanos((self.total / u128::from(self.count)) as u64)
+        }
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`): upper bound of the bucket
+    /// containing the q-th observation.
+    pub fn quantile(&self, q: f64) -> Ns {
+        if self.count == 0 {
+            return Ns::ZERO;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Ns::from_nanos(1u64 << (i + 1).min(63));
+            }
+        }
+        Ns::MAX
+    }
+
+    /// Iterator over `(bucket_lower_bound, count)` pairs for non-empty buckets.
+    pub fn iter(&self) -> impl Iterator<Item = (Ns, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Ns::from_nanos(if i == 0 { 0 } else { 1u64 << i }), c))
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert!((geomean(&[5.0]) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geomean_tolerates_zero_entries() {
+        let g = geomean(&[0.0, 1.0]);
+        assert!(g > 0.0 && g < 1.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 4.0);
+        assert!((percentile(&v, 50.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn online_stats_mean_and_variance() {
+        let mut s = OnlineStats::new();
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            s.push(x);
+        }
+        assert!((s.mean() - 2.5).abs() < 1e-12);
+        assert!((s.variance() - 1.25).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+    }
+
+    #[test]
+    fn online_stats_merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_mean_and_quantile() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(Ns::from_nanos(1_000));
+        }
+        h.record(Ns::from_millis(1));
+        assert_eq!(h.count(), 100);
+        // Mean dominated by the single 1ms outlier: (99*1000 + 1e6)/100.
+        assert_eq!(h.mean().as_nanos(), 10_990);
+        // Median falls in the 1µs bucket.
+        assert!(h.quantile(0.5) <= Ns::from_nanos(2048));
+        // p100 reaches the outlier's bucket.
+        assert!(h.quantile(1.0) >= Ns::from_nanos(1 << 20));
+    }
+
+    #[test]
+    fn histogram_empty_is_safe() {
+        let h = Histogram::new();
+        assert_eq!(h.mean(), Ns::ZERO);
+        assert_eq!(h.quantile(0.5), Ns::ZERO);
+        assert_eq!(h.iter().count(), 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn geomean_between_min_and_max(
+            v in proptest::collection::vec(0.01f64..100.0, 1..50)
+        ) {
+            let g = geomean(&v);
+            let lo = v.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(g >= lo - 1e-9 && g <= hi + 1e-9);
+        }
+
+        #[test]
+        fn percentile_is_monotone(
+            v in proptest::collection::vec(-100.0f64..100.0, 1..50),
+            p1 in 0.0f64..100.0,
+            p2 in 0.0f64..100.0,
+        ) {
+            let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+            prop_assert!(percentile(&v, lo) <= percentile(&v, hi) + 1e-9);
+        }
+
+        #[test]
+        fn online_stats_merge_is_order_independent(
+            a in proptest::collection::vec(-50.0f64..50.0, 0..30),
+            b in proptest::collection::vec(-50.0f64..50.0, 0..30),
+        ) {
+            let mut ab = OnlineStats::new();
+            let mut ba = OnlineStats::new();
+            let (mut sa, mut sb) = (OnlineStats::new(), OnlineStats::new());
+            for &x in &a { sa.push(x); }
+            for &x in &b { sb.push(x); }
+            ab.merge(&sa); ab.merge(&sb);
+            ba.merge(&sb); ba.merge(&sa);
+            prop_assert_eq!(ab.count(), ba.count());
+            prop_assert!((ab.mean() - ba.mean()).abs() < 1e-9);
+            prop_assert!((ab.variance() - ba.variance()).abs() < 1e-6);
+        }
+
+        #[test]
+        fn histogram_count_matches_records(
+            lat in proptest::collection::vec(0u64..10_000_000, 0..100)
+        ) {
+            let mut h = Histogram::new();
+            for &l in &lat {
+                h.record(Ns::from_nanos(l));
+            }
+            prop_assert_eq!(h.count(), lat.len() as u64);
+            let bucket_sum: u64 = h.iter().map(|(_, c)| c).sum();
+            prop_assert_eq!(bucket_sum, lat.len() as u64);
+        }
+    }
+}

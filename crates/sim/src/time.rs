@@ -1,0 +1,299 @@
+//! Simulated time.
+//!
+//! All components of the simulator share a single clock expressed in
+//! nanoseconds since the start of the run. [`Ns`] is a transparent newtype
+//! over `u64` so that simulated instants and durations cannot be confused
+//! with ordinary counters (cycles, instructions, bytes, …).
+//!
+//! Arithmetic saturates rather than wrapping: a simulation that runs past
+//! `u64::MAX` nanoseconds (≈ 584 years) is a configuration bug, and
+//! saturation keeps event ordering sane instead of silently travelling
+//! back in time.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A simulated instant or duration, in nanoseconds.
+///
+/// `Ns` is used for both points in time and spans of time; the simulator's
+/// arithmetic never needs to distinguish the two, and a single type keeps
+/// component interfaces small.
+///
+/// # Example
+///
+/// ```
+/// use hiss_sim::Ns;
+///
+/// let deadline = Ns::from_micros(13); // IOMMU max coalescing delay
+/// assert_eq!(deadline.as_nanos(), 13_000);
+/// assert_eq!(deadline + Ns::from_nanos(500), Ns::from_nanos(13_500));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ns(u64);
+
+impl Ns {
+    /// The zero instant — the start of every simulation.
+    pub const ZERO: Ns = Ns(0);
+    /// The maximum representable instant; used as an "infinitely far"
+    /// sentinel for deadlines that are not currently armed.
+    pub const MAX: Ns = Ns(u64::MAX);
+
+    /// Creates a time value from raw nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        Ns(ns)
+    }
+
+    /// Creates a time value from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        Ns(us * 1_000)
+    }
+
+    /// Creates a time value from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        Ns(ms * 1_000_000)
+    }
+
+    /// Creates a time value from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        Ns(s * 1_000_000_000)
+    }
+
+    /// Raw nanosecond count.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This time value expressed in (fractional) microseconds.
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// This time value expressed in (fractional) milliseconds.
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// This time value expressed in (fractional) seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Saturating subtraction; returns [`Ns::ZERO`] instead of underflowing.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Ns) -> Ns {
+        Ns(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Saturating addition; clamps at [`Ns::MAX`].
+    #[inline]
+    pub fn saturating_add(self, rhs: Ns) -> Ns {
+        Ns(self.0.saturating_add(rhs.0))
+    }
+
+    /// Checked subtraction, `None` on underflow.
+    #[inline]
+    pub fn checked_sub(self, rhs: Ns) -> Option<Ns> {
+        self.0.checked_sub(rhs.0).map(Ns)
+    }
+
+    /// The larger of two times.
+    #[inline]
+    pub fn max(self, other: Ns) -> Ns {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two times.
+    #[inline]
+    pub fn min(self, other: Ns) -> Ns {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Scales a duration by a dimensionless floating-point factor,
+    /// rounding to the nearest nanosecond.
+    ///
+    /// Used by performance models that stretch a nominal service time by a
+    /// slowdown factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or NaN.
+    #[inline]
+    pub fn scale(self, factor: f64) -> Ns {
+        assert!(
+            factor >= 0.0 && factor.is_finite(),
+            "time scale factor must be finite and non-negative, got {factor}"
+        );
+        Ns((self.0 as f64 * factor).round() as u64)
+    }
+
+    /// Fraction `self / denominator` as `f64`; returns 0.0 when the
+    /// denominator is zero (a zero-length run has no meaningful residency).
+    #[inline]
+    pub fn fraction_of(self, denominator: Ns) -> f64 {
+        if denominator.0 == 0 {
+            0.0
+        } else {
+            self.0 as f64 / denominator.0 as f64
+        }
+    }
+}
+
+impl Add for Ns {
+    type Output = Ns;
+    #[inline]
+    fn add(self, rhs: Ns) -> Ns {
+        Ns(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Ns {
+    #[inline]
+    fn add_assign(&mut self, rhs: Ns) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Ns {
+    type Output = Ns;
+    /// Saturating: `a - b` where `b > a` yields [`Ns::ZERO`].
+    #[inline]
+    fn sub(self, rhs: Ns) -> Ns {
+        Ns(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for Ns {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Ns) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Ns {
+    type Output = Ns;
+    #[inline]
+    fn mul(self, rhs: u64) -> Ns {
+        Ns(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for Ns {
+    type Output = Ns;
+    #[inline]
+    fn div(self, rhs: u64) -> Ns {
+        Ns(self.0 / rhs)
+    }
+}
+
+impl Sum for Ns {
+    fn sum<I: Iterator<Item = Ns>>(iter: I) -> Ns {
+        iter.fold(Ns::ZERO, |acc, x| acc + x)
+    }
+}
+
+impl fmt::Display for Ns {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if ns >= 1_000 {
+            write!(f, "{:.3}µs", self.as_micros_f64())
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+impl From<u64> for Ns {
+    fn from(ns: u64) -> Self {
+        Ns(ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree_on_scale() {
+        assert_eq!(Ns::from_micros(1), Ns::from_nanos(1_000));
+        assert_eq!(Ns::from_millis(1), Ns::from_micros(1_000));
+        assert_eq!(Ns::from_secs(1), Ns::from_millis(1_000));
+    }
+
+    #[test]
+    fn arithmetic_saturates() {
+        assert_eq!(Ns::from_nanos(5) - Ns::from_nanos(10), Ns::ZERO);
+        assert_eq!(Ns::MAX + Ns::from_nanos(1), Ns::MAX);
+        assert_eq!(Ns::MAX * 2, Ns::MAX);
+    }
+
+    #[test]
+    fn checked_sub_detects_underflow() {
+        assert_eq!(Ns::from_nanos(5).checked_sub(Ns::from_nanos(10)), None);
+        assert_eq!(
+            Ns::from_nanos(10).checked_sub(Ns::from_nanos(4)),
+            Some(Ns::from_nanos(6))
+        );
+    }
+
+    #[test]
+    fn scale_rounds_to_nearest() {
+        assert_eq!(Ns::from_nanos(10).scale(1.24), Ns::from_nanos(12));
+        assert_eq!(Ns::from_nanos(10).scale(1.26), Ns::from_nanos(13));
+        assert_eq!(Ns::from_nanos(10).scale(0.0), Ns::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "time scale factor")]
+    fn scale_rejects_negative() {
+        let _ = Ns::from_nanos(10).scale(-1.0);
+    }
+
+    #[test]
+    fn fraction_of_handles_zero_denominator() {
+        assert_eq!(Ns::from_nanos(5).fraction_of(Ns::ZERO), 0.0);
+        assert!((Ns::from_nanos(25).fraction_of(Ns::from_nanos(100)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_picks_reasonable_units() {
+        assert_eq!(Ns::from_nanos(17).to_string(), "17ns");
+        assert_eq!(Ns::from_micros(13).to_string(), "13.000µs");
+        assert_eq!(Ns::from_millis(2).to_string(), "2.000ms");
+        assert_eq!(Ns::from_secs(3).to_string(), "3.000s");
+    }
+
+    #[test]
+    fn min_max_behave() {
+        let a = Ns::from_nanos(3);
+        let b = Ns::from_nanos(9);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Ns = (1..=4).map(Ns::from_nanos).sum();
+        assert_eq!(total, Ns::from_nanos(10));
+    }
+}

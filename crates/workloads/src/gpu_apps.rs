@@ -1,0 +1,205 @@
+//! GPU-side application models (the SSR generators).
+
+use hiss_gpu::{SsrKind, SsrProfile};
+use hiss_sim::Ns;
+
+/// Parameters of one GPU application.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuAppSpec {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Full-speed kernel execution time per iteration.
+    pub total_work: Ns,
+    /// SSR generation shape (see [`SsrProfile`]).
+    pub profile: SsrProfile,
+}
+
+/// The six GPU applications of the paper's evaluation, in figure order.
+///
+/// - **bfs** (SHOC): frontier expansion touches its input early, so
+///   faults cluster near the start and the CPUs get quiet time afterwards
+///   (the paper's explanation for its small CC6 loss, §IV-B),
+/// - **bpt** (B+-tree search): pointer-chasing lookups block on faults,
+/// - **spmv** (SHOC): streaming matrix with some reuse,
+/// - **sssp** (Pannotia): high fault rate on the critical path — the GPU
+///   application most hurt by CPU interference (−18%, Fig. 3b),
+/// - **xsbench**: random cross-section lookups over a large table,
+/// - **ubench**: the paper's microbenchmark — streams through a data
+///   array faulting on every page at the highest sustainable rate, with
+///   abundant parallel slack (its performance metric is SSR throughput).
+pub fn gpu_suite() -> Vec<GpuAppSpec> {
+    vec![
+        GpuAppSpec {
+            name: "bfs",
+            total_work: Ns::from_millis(18),
+            profile: SsrProfile {
+                mean_gap: Ns::from_micros(45),
+                active_fraction: 0.18,
+                blocking_prob: 0.30,
+                jitter: 0.4,
+                burst_prob: 0.35,
+                kind: SsrKind::SoftPageFault,
+            },
+        },
+        GpuAppSpec {
+            name: "bpt",
+            total_work: Ns::from_millis(16),
+            profile: SsrProfile {
+                mean_gap: Ns::from_micros(150),
+                active_fraction: 1.0,
+                blocking_prob: 0.70,
+                jitter: 0.4,
+                burst_prob: 0.15,
+                kind: SsrKind::SoftPageFault,
+            },
+        },
+        GpuAppSpec {
+            name: "spmv",
+            total_work: Ns::from_millis(16),
+            profile: SsrProfile {
+                mean_gap: Ns::from_micros(120),
+                active_fraction: 1.0,
+                blocking_prob: 0.35,
+                jitter: 0.3,
+                burst_prob: 0.25,
+                kind: SsrKind::SoftPageFault,
+            },
+        },
+        GpuAppSpec {
+            name: "sssp",
+            total_work: Ns::from_millis(18),
+            profile: SsrProfile {
+                mean_gap: Ns::from_micros(70),
+                active_fraction: 1.0,
+                blocking_prob: 0.65,
+                jitter: 0.4,
+                burst_prob: 0.20,
+                kind: SsrKind::SoftPageFault,
+            },
+        },
+        GpuAppSpec {
+            name: "xsbench",
+            total_work: Ns::from_millis(16),
+            profile: SsrProfile {
+                mean_gap: Ns::from_micros(100),
+                active_fraction: 1.0,
+                blocking_prob: 0.45,
+                jitter: 0.5,
+                burst_prob: 0.30,
+                kind: SsrKind::SoftPageFault,
+            },
+        },
+        GpuAppSpec {
+            name: "ubench",
+            total_work: Ns::from_millis(16),
+            profile: SsrProfile {
+                mean_gap: Ns::from_micros(16),
+                active_fraction: 1.0,
+                blocking_prob: 0.0,
+                jitter: 0.3,
+                burst_prob: 0.45,
+                kind: SsrKind::SoftPageFault,
+            },
+        },
+    ]
+}
+
+impl GpuAppSpec {
+    /// Looks a benchmark up by name.
+    pub fn by_name(name: &str) -> Option<GpuAppSpec> {
+        gpu_suite().into_iter().find(|s| s.name == name)
+    }
+
+    /// The same application with SSRs disabled — the paper's baseline
+    /// configuration where all memory is pinned up front.
+    pub fn pinned(&self) -> GpuAppSpec {
+        GpuAppSpec {
+            profile: SsrProfile::silent(),
+            ..*self
+        }
+    }
+
+    /// The same application requesting a different system service
+    /// (paper Table I): e.g. the `S_SENDMSG` signal path of §II-C, or
+    /// hard page faults that hit swap.
+    pub fn with_kind(&self, kind: SsrKind) -> GpuAppSpec {
+        GpuAppSpec {
+            profile: SsrProfile { kind, ..self.profile },
+            ..*self
+        }
+    }
+
+    /// Expected number of SSRs one iteration generates (mean, accounting
+    /// for burst clustering).
+    pub fn expected_ssrs(&self) -> f64 {
+        if !self.profile.is_active() {
+            return 0.0;
+        }
+        let active = self.total_work.as_nanos() as f64 * self.profile.active_fraction;
+        active / self.profile.effective_mean_gap().as_nanos() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_six_applications() {
+        assert_eq!(gpu_suite().len(), 6);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let suite = gpu_suite();
+        let mut names: Vec<&str> = suite.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), suite.len());
+    }
+
+    #[test]
+    fn characterisation_matches_paper_observations() {
+        let get = |n| GpuAppSpec::by_name(n).unwrap();
+        // ubench is the highest-rate generator and never blocks.
+        let ubench = get("ubench");
+        assert_eq!(ubench.profile.blocking_prob, 0.0);
+        let min_gap = gpu_suite()
+            .iter()
+            .map(|s| s.profile.mean_gap)
+            .min()
+            .unwrap();
+        assert_eq!(ubench.profile.mean_gap, min_gap);
+        // bfs clusters its faults near the start.
+        assert!(get("bfs").profile.active_fraction < 0.5);
+        // sssp and bpt are the most latency-bound.
+        assert!(get("sssp").profile.blocking_prob >= 0.6);
+        assert!(get("bpt").profile.blocking_prob >= 0.6);
+    }
+
+    #[test]
+    fn pinned_variant_generates_no_ssrs() {
+        for app in gpu_suite() {
+            let pinned = app.pinned();
+            assert!(!pinned.profile.is_active(), "{}", app.name);
+            assert_eq!(pinned.total_work, app.total_work);
+            assert_eq!(pinned.expected_ssrs(), 0.0);
+        }
+    }
+
+    #[test]
+    fn expected_ssr_counts_are_plausible() {
+        // ubench streams at the highest rate by far (~9µs effective gap
+        // over 16ms); bfs only faults during its first frontier waves.
+        let ubench = GpuAppSpec::by_name("ubench").unwrap().expected_ssrs();
+        assert!((1_500.0..2_000.0).contains(&ubench), "ubench {ubench}");
+        let bfs = GpuAppSpec::by_name("bfs").unwrap().expected_ssrs();
+        assert!((70.0..140.0).contains(&bfs), "bfs {bfs}");
+        // ubench generates by far the most.
+        for app in gpu_suite() {
+            if app.name != "ubench" {
+                assert!(app.expected_ssrs() < ubench / 2.0, "{}", app.name);
+            }
+        }
+    }
+}

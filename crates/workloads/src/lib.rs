@@ -1,0 +1,32 @@
+//! # hiss-workloads — application models
+//!
+//! Parameter records for the workloads of the paper's evaluation:
+//!
+//! - the 13 **PARSEC 2.1** benchmarks run as the CPU-side victims
+//!   ([`CpuAppSpec`], [`parsec_suite`]) — 4 threads, native inputs,
+//! - the 6 **GPU** applications that generate SSRs ([`GpuAppSpec`],
+//!   [`gpu_suite`]): BFS and SpMV from SHOC, SSSP from Pannotia, BPT,
+//!   XSBench, and the paper's `ubench` microbenchmark that streams
+//!   through memory faulting on every page.
+//!
+//! The CPU records capture what Fig. 3a/5/12 depend on: thread structure
+//! (raytrace is mostly single-threaded, so idle cores absorb handlers),
+//! microarchitectural sensitivity (fluidanimate's L1 hit rate, x264's
+//! branch behaviour), and scheduler-visible CPU-boundness (streamcluster
+//! hogs cores and delays kernel-thread wakeups the most).
+//!
+//! The GPU records capture what Fig. 3b/4/6–8 depend on: SSR rate,
+//! temporal clustering (BFS faults early then goes quiet), and whether
+//! faults sit on the kernel's critical path (SSSP) or are smothered in
+//! parallel slack (ubench).
+//!
+//! Numbers are calibrated against the paper's measured effects, not taken
+//! from it — PARSEC/SHOC inputs are not shipped here. See DESIGN.md §5.
+
+pub mod cpu_apps;
+pub mod gpu_apps;
+pub mod streams;
+
+pub use cpu_apps::{parsec_suite, CpuAppSpec};
+pub use gpu_apps::{gpu_suite, GpuAppSpec};
+pub use streams::{AddressStream, BranchStream};

@@ -1,0 +1,166 @@
+//! Synthetic reference-stream generators.
+//!
+//! The figure-scale simulations use the statistical warmth model, but the
+//! workload catalog's sensitivity parameters are meant to describe *real*
+//! microarchitectural behaviour. This module makes that connection
+//! testable: it derives per-application memory-address and branch streams
+//! from a [`CpuAppSpec`]'s parameters, suitable for driving the
+//! structural models in `hiss-mem` (see the `catalog_agreement`
+//! integration test).
+//!
+//! The derivation is deliberately simple and monotone:
+//!
+//! - higher `cache_sensitivity` ⇒ a working set closer to (but within)
+//!   L1D capacity with stronger locality — more to lose when kernel
+//!   handlers evict it;
+//! - higher `branch_sensitivity` ⇒ more distinct branch sites with
+//!   history-dependent behaviour — more predictor state to retrain.
+
+use hiss_sim::Rng;
+
+use crate::cpu_apps::CpuAppSpec;
+
+/// Memory reference generator for one application thread.
+#[derive(Debug, Clone)]
+pub struct AddressStream {
+    rng: Rng,
+    /// Number of distinct 64-byte lines the application cycles over.
+    working_set_lines: u64,
+    /// Probability of touching the hot eighth of the working set.
+    hot_fraction: f64,
+}
+
+impl AddressStream {
+    /// Derives a stream from an application's catalog entry.
+    pub fn for_app(spec: &CpuAppSpec, rng: Rng) -> Self {
+        // Map sensitivity 0..1 onto a 32..240-line working set (an L1D
+        // of 16 KiB / 64 B = 256 lines): sensitive applications nearly
+        // fill the cache.
+        let lines = 32.0 + spec.cache_sensitivity * 208.0;
+        AddressStream {
+            rng,
+            working_set_lines: lines as u64,
+            hot_fraction: 0.5 + 0.4 * spec.cache_sensitivity,
+        }
+    }
+
+    /// The working-set size implied by the catalog entry, in cache lines.
+    pub fn working_set_lines(&self) -> u64 {
+        self.working_set_lines
+    }
+
+    /// Next byte address.
+    pub fn next_addr(&mut self) -> u64 {
+        let hot = self.rng.gen_bool(self.hot_fraction);
+        let span = if hot {
+            (self.working_set_lines / 8).max(1)
+        } else {
+            self.working_set_lines
+        };
+        self.rng.gen_range(0, span) * 64
+    }
+}
+
+/// Branch-outcome generator for one application thread.
+#[derive(Debug, Clone)]
+pub struct BranchStream {
+    rng: Rng,
+    /// Number of distinct branch sites.
+    sites: u64,
+    /// Fraction of sites whose outcome alternates with history (the part
+    /// a trained predictor wins on and a polluted one loses on).
+    patterned_fraction: f64,
+    counter: u64,
+}
+
+impl BranchStream {
+    /// Derives a stream from an application's catalog entry.
+    pub fn for_app(spec: &CpuAppSpec, rng: Rng) -> Self {
+        BranchStream {
+            rng,
+            sites: 16 + (spec.branch_sensitivity * 240.0) as u64,
+            patterned_fraction: 0.4 + 0.5 * spec.branch_sensitivity,
+            counter: 0,
+        }
+    }
+
+    /// Number of distinct branch sites.
+    pub fn sites(&self) -> u64 {
+        self.sites
+    }
+
+    /// Next `(pc, taken)` pair.
+    pub fn next_branch(&mut self) -> (u64, bool) {
+        self.counter += 1;
+        let site = self.rng.gen_range(0, self.sites);
+        let pc = 0x40_0000 + site * 16;
+        let taken = if self.rng.gen_bool(self.patterned_fraction) {
+            // Deterministic per site: perfectly learnable by the
+            // predictor, and exactly what kernel pollution makes it
+            // forget. More sites ⇒ more predictor state at risk.
+            site.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 63 == 0
+                || site.wrapping_mul(0x61C8_8646_80B5_83EB) >> 62 != 0
+        } else {
+            // Data-dependent noise: irreducible for any predictor, so it
+            // cancels out of clean-vs-polluted deltas.
+            self.rng.gen_bool(0.5)
+        };
+        (pc, taken)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu_apps::CpuAppSpec;
+
+    fn spec(name: &str) -> CpuAppSpec {
+        CpuAppSpec::by_name(name).unwrap()
+    }
+
+    #[test]
+    fn working_set_tracks_sensitivity() {
+        let rng = Rng::new(1);
+        let fluid = AddressStream::for_app(&spec("fluidanimate"), rng.clone());
+        let swap = AddressStream::for_app(&spec("swaptions"), rng);
+        assert!(fluid.working_set_lines() > swap.working_set_lines());
+        // Both fit in a 256-line L1D.
+        assert!(fluid.working_set_lines() <= 256);
+    }
+
+    #[test]
+    fn addresses_stay_within_working_set() {
+        let mut s = AddressStream::for_app(&spec("x264"), Rng::new(2));
+        let limit = s.working_set_lines() * 64;
+        for _ in 0..10_000 {
+            assert!(s.next_addr() < limit);
+        }
+    }
+
+    #[test]
+    fn branch_sites_track_sensitivity() {
+        let rng = Rng::new(3);
+        let x264 = BranchStream::for_app(&spec("x264"), rng.clone());
+        let blas = BranchStream::for_app(&spec("blackscholes"), rng);
+        assert!(x264.sites() > blas.sites());
+    }
+
+    #[test]
+    fn branch_pcs_are_aligned_site_addresses() {
+        let mut s = BranchStream::for_app(&spec("ferret"), Rng::new(4));
+        for _ in 0..1_000 {
+            let (pc, _) = s.next_branch();
+            assert!(pc >= 0x40_0000);
+            assert_eq!(pc % 16, 0);
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let mk = || {
+            let mut s = AddressStream::for_app(&spec("vips"), Rng::new(9));
+            (0..64).map(|_| s.next_addr()).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(), mk());
+    }
+}

@@ -1,0 +1,110 @@
+//! Cross-validation: the catalog's sensitivity parameters, run through
+//! the derived reference streams and the *structural* cache/predictor
+//! models, produce the same vulnerability ordering the statistical model
+//! assumes.
+
+use hiss_mem::{Cache, CacheConfig, GsharePredictor, Owner};
+use hiss_sim::Rng;
+use hiss_workloads::{AddressStream, BranchStream, CpuAppSpec};
+
+/// Structurally-measured relative L1D miss increase caused by periodic
+/// kernel interruptions for one application.
+fn structural_cache_damage(spec: &CpuAppSpec) -> f64 {
+    let run = |kernel_per_round: usize| -> f64 {
+        let mut cache = Cache::new(CacheConfig::default());
+        let mut user = AddressStream::for_app(spec, Rng::new(100));
+        let mut krng = Rng::new(200);
+        for _ in 0..6_000 {
+            cache.access(user.next_addr(), Owner::User);
+        }
+        cache.reset_counters();
+        let mut misses = 0u64;
+        let mut total = 0u64;
+        for _ in 0..40 {
+            for _ in 0..1_500 {
+                if !cache.access(user.next_addr(), Owner::User).is_hit() {
+                    misses += 1;
+                }
+                total += 1;
+            }
+            for _ in 0..kernel_per_round {
+                let addr = 0x8000_0000 + krng.gen_range(0, 200) * 64;
+                cache.access(addr, Owner::Kernel);
+            }
+        }
+        misses as f64 / total as f64
+    };
+    let clean = run(0);
+    let polluted = run(300);
+    polluted - clean
+}
+
+/// Structurally-measured mispredict increase for one application.
+fn structural_branch_damage(spec: &CpuAppSpec) -> f64 {
+    let run = |kernel_per_round: usize| -> f64 {
+        let mut bp = GsharePredictor::new(10);
+        let mut user = BranchStream::for_app(spec, Rng::new(300));
+        let mut krng = Rng::new(400);
+        for _ in 0..20_000 {
+            let (pc, taken) = user.next_branch();
+            bp.execute(pc, taken);
+        }
+        // Count only *user* branch outcomes, so the kernel branches'
+        // own mispredictions don't dilute the application signal.
+        let mut wrong = 0u64;
+        let mut total = 0u64;
+        for _ in 0..40 {
+            for _ in 0..1_000 {
+                let (pc, taken) = user.next_branch();
+                if !bp.execute(pc, taken) {
+                    wrong += 1;
+                }
+                total += 1;
+            }
+            for _ in 0..kernel_per_round {
+                let pc = 0x9000_0000u64 + krng.gen_range(0, 256) * 8;
+                bp.execute(pc, krng.gen_bool(0.4));
+            }
+        }
+        wrong as f64 / total as f64
+    };
+    run(400) - run(0)
+}
+
+#[test]
+fn cache_vulnerability_ordering_matches_catalog() {
+    let hi = CpuAppSpec::by_name("fluidanimate").unwrap();
+    let lo = CpuAppSpec::by_name("swaptions").unwrap();
+    let hi_damage = structural_cache_damage(&hi);
+    let lo_damage = structural_cache_damage(&lo);
+    assert!(
+        hi_damage > lo_damage,
+        "fluidanimate ({hi_damage:.4}) should be more cache-vulnerable \
+         than swaptions ({lo_damage:.4})"
+    );
+}
+
+#[test]
+fn branch_vulnerability_ordering_matches_catalog() {
+    let hi = CpuAppSpec::by_name("x264").unwrap();
+    let lo = CpuAppSpec::by_name("blackscholes").unwrap();
+    let hi_damage = structural_branch_damage(&hi);
+    let lo_damage = structural_branch_damage(&lo);
+    assert!(
+        hi_damage > lo_damage,
+        "x264 ({hi_damage:.4}) should be more branch-vulnerable \
+         than blackscholes ({lo_damage:.4})"
+    );
+}
+
+#[test]
+fn every_app_is_measurably_polluted() {
+    for spec in hiss_workloads::parsec_suite() {
+        let damage = structural_cache_damage(&spec);
+        assert!(
+            damage > 0.0,
+            "{}: no structural cache damage measured",
+            spec.name
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! Timeline visualisation (the paper's Fig. 2): what actually happens on
+//! each core while the GPU floods the host with SSRs.
+//!
+//! Renders an ASCII Gantt chart of a short window of the x264 + ubench
+//! co-run: user execution (`U`) repeatedly punctured by top halves (`T`),
+//! IPIs (`i`), bottom halves (`B`), worker-thread service (`W`), and
+//! mode switches (`s`).
+//!
+//! ```text
+//! cargo run --release --example timeline
+//! ```
+
+use hiss::{ExperimentBuilder, Ns, SystemConfig};
+
+fn main() {
+    let cfg = SystemConfig::a10_7850k();
+
+    println!("x264 + ubench, 400µs window mid-run (Fig. 2 equivalent)\n");
+    let report = ExperimentBuilder::new(cfg)
+        .cpu_app("x264")
+        .gpu_app("ubench")
+        .trace_window(Ns::from_millis(5), Ns::from_micros(5400))
+        .run();
+    let trace = report.trace.as_ref().expect("trace was requested");
+    println!("{}", trace.render_gantt(cfg.num_cores, 100));
+
+    println!("\nTime within the window, by activity:");
+    for (cat, t) in trace.totals() {
+        println!("  {cat:?}: {t}");
+    }
+
+    println!("\nSame window with the GPU silent (pinned memory):\n");
+    let quiet = ExperimentBuilder::new(cfg)
+        .cpu_app("x264")
+        .gpu_app_pinned("ubench")
+        .trace_window(Ns::from_millis(5), Ns::from_micros(5400))
+        .run();
+    println!(
+        "{}",
+        quiet.trace.as_ref().unwrap().render_gantt(cfg.num_cores, 100)
+    );
+
+    println!("\nGPU-only sssp (idle CPUs, 2ms window): sleep and wake-ups:\n");
+    let idle = ExperimentBuilder::new(cfg)
+        .gpu_app("sssp")
+        .trace_window(Ns::from_millis(4), Ns::from_millis(6))
+        .run();
+    println!(
+        "{}",
+        idle.trace.as_ref().unwrap().render_gantt(cfg.num_cores, 100)
+    );
+}
