@@ -1,85 +1,82 @@
-//! Criterion timings for each experiment family, one benchmark per paper
-//! artifact (scaled-down workload subsets — the point is tracking the
-//! harness's own cost, not regenerating the figures; that is the
-//! `figures` bench target).
+//! Timings for each experiment family, one benchmark per paper artifact
+//! (scaled-down workload subsets — the point is tracking the harness's
+//! own cost, not regenerating the figures; that is the `figures` bench
+//! target). Criterion-free: see `hiss_bench::bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use hiss::experiments::{fig12, fig3, fig4, fig5, fig6, fig9, pareto, tables};
+use hiss::experiments::{fig12, fig3, fig4, fig5, fig6, fig9, pareto, tables, BaselineCache};
 use hiss::{Mitigation, SystemConfig};
+use hiss_bench::bench;
 
 const CPU: [&str; 2] = ["x264", "raytrace"];
 const GPU: [&str; 2] = ["sssp", "ubench"];
 
-fn bench_experiments(c: &mut Criterion) {
+fn main() {
     let cfg = SystemConfig::a10_7850k();
-    let mut g = c.benchmark_group("experiments");
-    g.sample_size(10);
+    // Time the cold path: cached baselines would otherwise make every
+    // sample after the first nearly free.
+    let clear = || BaselineCache::global().clear();
 
-    g.bench_function("table1", |b| b.iter(|| black_box(tables::table1(&cfg))));
+    bench("table1", 3, || black_box(tables::table1(&cfg)));
 
-    g.bench_function("fig3_cell_pair", |b| {
-        b.iter(|| black_box(fig3::fig3_with(&cfg, &["x264"], &["ubench"])))
+    bench("fig3_cell_pair", 3, || {
+        clear();
+        black_box(fig3::fig3_with(&cfg, &["x264"], &["ubench"]))
     });
 
-    g.bench_function("fig4_subset", |b| {
-        b.iter(|| black_box(fig4::fig4_with(&cfg, &["bfs", "ubench"])))
+    bench("fig4_subset", 3, || {
+        clear();
+        black_box(fig4::fig4_with(&cfg, &["bfs", "ubench"]))
     });
 
-    g.bench_function("fig5_subset", |b| {
-        b.iter(|| black_box(fig5::fig5_with(&cfg, &CPU)))
+    bench("fig5_subset", 3, || {
+        clear();
+        black_box(fig5::fig5_with(&cfg, &CPU))
     });
 
-    g.bench_function("fig6_monolithic_subset", |b| {
-        b.iter(|| {
-            black_box(fig6::fig6_technique(
-                &cfg,
-                fig6::Technique::MonolithicBottomHalf,
-                &CPU,
-                &GPU,
-            ))
-        })
+    bench("fig6_monolithic_subset", 3, || {
+        clear();
+        black_box(fig6::fig6_technique(
+            &cfg,
+            fig6::Technique::MonolithicBottomHalf,
+            &CPU,
+            &GPU,
+        ))
     });
 
-    g.bench_function("fig9_two_combos", |b| {
-        b.iter(|| {
-            black_box(fig9::fig9_with(
-                &cfg,
-                &[
-                    Mitigation::DEFAULT,
-                    Mitigation {
-                        steer_single_core: true,
-                        ..Mitigation::DEFAULT
-                    },
-                ],
-            ))
-        })
+    bench("fig9_two_combos", 3, || {
+        clear();
+        black_box(fig9::fig9_with(
+            &cfg,
+            &[
+                Mitigation::DEFAULT,
+                Mitigation {
+                    steer_single_core: true,
+                    ..Mitigation::DEFAULT
+                },
+            ],
+        ))
     });
 
-    g.bench_function("fig12_one_app", |b| {
-        b.iter(|| black_box(fig12::fig12_with(&cfg, &["x264"])))
+    bench("fig12_one_app", 3, || {
+        clear();
+        black_box(fig12::fig12_with(&cfg, &["x264"]))
     });
 
-    g.bench_function("pareto_two_combos", |b| {
-        b.iter(|| {
-            black_box(pareto::pareto_with(
-                &cfg,
-                &CPU,
-                &["ubench"],
-                &[
-                    Mitigation::DEFAULT,
-                    Mitigation {
-                        coalesce: true,
-                        ..Mitigation::DEFAULT
-                    },
-                ],
-            ))
-        })
+    bench("pareto_two_combos", 3, || {
+        clear();
+        black_box(pareto::pareto_with(
+            &cfg,
+            &CPU,
+            &["ubench"],
+            &[
+                Mitigation::DEFAULT,
+                Mitigation {
+                    coalesce: true,
+                    ..Mitigation::DEFAULT
+                },
+            ],
+        ))
     });
-
-    g.finish();
 }
-
-criterion_group!(benches, bench_experiments);
-criterion_main!(benches);

@@ -11,11 +11,15 @@
 
 use std::time::Instant;
 
-use hiss::experiments::{extensions, fig12, fig3, fig4, fig5, fig6, fig9, pareto, section4c, tables};
+use hiss::experiments::{
+    extensions, fig12, fig3, fig4, fig5, fig6, fig9, pareto, section4c, tables,
+};
 use hiss::SystemConfig;
 
 fn quick() -> bool {
-    std::env::var("HISS_FIGURES").map(|v| v == "quick").unwrap_or(false)
+    std::env::var("HISS_FIGURES")
+        .map(|v| v == "quick")
+        .unwrap_or(false)
 }
 
 fn cpu_apps() -> Vec<&'static str> {
@@ -71,14 +75,22 @@ fn main() {
     println!("{}", section4c::render(&section4c::section4c(&cfg)));
 
     for technique in fig6::Technique::ALL {
-        banner(&format!("Fig. 6 — {} (CPU and GPU ratios vs default)", technique.label()));
+        banner(&format!(
+            "Fig. 6 — {} (CPU and GPU ratios vs default)",
+            technique.label()
+        ));
         let rows = fig6::fig6_technique(&cfg, technique, &cpu, &gpu);
         println!("{}", fig6::render(&rows));
     }
 
     banner("Fig. 7 — Pareto: mitigation combinations under ubench");
     let p7 = if quick() {
-        pareto::pareto_with(&cfg, &cpu, &["ubench"], &hiss::Mitigation::all_combinations())
+        pareto::pareto_with(
+            &cfg,
+            &cpu,
+            &["ubench"],
+            &hiss::Mitigation::all_combinations(),
+        )
     } else {
         pareto::fig7(&cfg)
     };
@@ -141,7 +153,9 @@ fn main() {
 
     banner("Replication — x264 + ubench over 3 seeds (paper §III methodology)");
     let reps = hiss::replicate(
-        hiss::ExperimentBuilder::new(cfg).cpu_app("x264").gpu_app("ubench"),
+        hiss::ExperimentBuilder::new(cfg)
+            .cpu_app("x264")
+            .gpu_app("ubench"),
         3,
     );
     println!(

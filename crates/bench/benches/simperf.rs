@@ -1,120 +1,102 @@
-//! Criterion benchmarks of the simulation engine itself: how fast the
-//! substrate data structures and whole-SoC runs execute. These guard
-//! against performance regressions that would make the figure grids
-//! impractically slow.
+//! Benchmarks of the simulation engine itself: how fast the substrate
+//! data structures and whole-SoC runs execute. These guard against
+//! performance regressions that would make the figure grids impractically
+//! slow. Criterion-free: timings come from `hiss_bench::bench`
+//! (`std::time::Instant`), which also emits machine-readable JSON lines.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
 use hiss::{ExperimentBuilder, QosParams, SystemConfig};
+use hiss_bench::bench;
 use hiss_mem::{Cache, CacheConfig, GsharePredictor, Owner, WarmthModel};
 use hiss_sim::{EventQueue, Ns, Rng};
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_push_pop_1k", |b| {
-        let mut rng = Rng::new(7);
-        b.iter_batched(
-            || {
-                (0..1024u64)
-                    .map(|_| Ns::from_nanos(rng.gen_range(0, 1_000_000)))
-                    .collect::<Vec<_>>()
-            },
-            |times| {
-                let mut q = EventQueue::new();
-                for (i, t) in times.iter().enumerate() {
-                    q.push(*t, i);
-                }
-                let mut sum = 0usize;
-                while let Some((_, e)) = q.pop() {
-                    sum += e;
-                }
-                black_box(sum)
-            },
-            BatchSize::SmallInput,
+fn bench_event_queue() {
+    let mut rng = Rng::new(7);
+    let times: Vec<Ns> = (0..1024u64)
+        .map(|_| Ns::from_nanos(rng.gen_range(0, 1_000_000)))
+        .collect();
+    bench("event_queue_push_pop_1k", 5, || {
+        let mut q = EventQueue::with_capacity(times.len());
+        for (i, t) in times.iter().enumerate() {
+            q.push(*t, i);
+        }
+        let mut sum = 0usize;
+        while let Some((_, e)) = q.pop() {
+            sum += e;
+        }
+        black_box(sum)
+    });
+}
+
+fn bench_cache_model() {
+    bench("structural_cache_10k_accesses", 5, || {
+        let mut rng = Rng::new(9);
+        let mut cache = Cache::new(CacheConfig::default());
+        for _ in 0..10_000 {
+            let addr = rng.gen_range(0, 1 << 16);
+            cache.access(black_box(addr), Owner::User);
+        }
+        black_box(cache.miss_rate())
+    });
+
+    bench("gshare_10k_branches", 5, || {
+        let mut rng = Rng::new(10);
+        let mut bp = GsharePredictor::new(12);
+        for _ in 0..10_000 {
+            let pc = rng.gen_range(0, 1 << 12) * 4;
+            bp.execute(black_box(pc), rng.gen_bool(0.6));
+        }
+        black_box(bp.mispredict_rate())
+    });
+
+    bench("warmth_model_10k_episodes", 5, || {
+        let mut w = WarmthModel::new_warm();
+        for i in 0..10_000u64 {
+            if i % 3 == 0 {
+                w.on_kernel(Ns::from_nanos(2_000));
+            } else {
+                w.on_user(Ns::from_micros(20));
+            }
+        }
+        black_box(w.avg_cache_coldness())
+    });
+}
+
+fn bench_full_runs() {
+    let cfg = SystemConfig::a10_7850k();
+
+    bench("quiet_baseline_x264", 3, || {
+        black_box(
+            ExperimentBuilder::new(cfg)
+                .cpu_app("x264")
+                .gpu_app_pinned("ubench")
+                .run(),
+        )
+    });
+
+    bench("saturating_ubench_corun", 3, || {
+        black_box(
+            ExperimentBuilder::new(cfg)
+                .cpu_app("x264")
+                .gpu_app("ubench")
+                .run(),
+        )
+    });
+
+    bench("qos_throttled_corun", 3, || {
+        black_box(
+            ExperimentBuilder::new(cfg)
+                .cpu_app("x264")
+                .gpu_app("ubench")
+                .qos(QosParams::threshold_percent(1.0))
+                .run(),
         )
     });
 }
 
-fn bench_cache_model(c: &mut Criterion) {
-    c.bench_function("structural_cache_10k_accesses", |b| {
-        let mut rng = Rng::new(9);
-        b.iter(|| {
-            let mut cache = Cache::new(CacheConfig::default());
-            for _ in 0..10_000 {
-                let addr = rng.gen_range(0, 1 << 16);
-                cache.access(black_box(addr), Owner::User);
-            }
-            black_box(cache.miss_rate())
-        })
-    });
-
-    c.bench_function("gshare_10k_branches", |b| {
-        let mut rng = Rng::new(10);
-        b.iter(|| {
-            let mut bp = GsharePredictor::new(12);
-            for _ in 0..10_000 {
-                let pc = rng.gen_range(0, 1 << 12) * 4;
-                bp.execute(black_box(pc), rng.gen_bool(0.6));
-            }
-            black_box(bp.mispredict_rate())
-        })
-    });
-
-    c.bench_function("warmth_model_10k_episodes", |b| {
-        b.iter(|| {
-            let mut w = WarmthModel::new_warm();
-            for i in 0..10_000u64 {
-                if i % 3 == 0 {
-                    w.on_kernel(Ns::from_nanos(2_000));
-                } else {
-                    w.on_user(Ns::from_micros(20));
-                }
-            }
-            black_box(w.avg_cache_coldness())
-        })
-    });
+fn main() {
+    bench_event_queue();
+    bench_cache_model();
+    bench_full_runs();
 }
-
-fn bench_full_runs(c: &mut Criterion) {
-    let cfg = SystemConfig::a10_7850k();
-    let mut g = c.benchmark_group("full_soc_runs");
-    g.sample_size(10);
-
-    g.bench_function("quiet_baseline_x264", |b| {
-        b.iter(|| {
-            black_box(
-                ExperimentBuilder::new(cfg)
-                    .cpu_app("x264")
-                    .gpu_app_pinned("ubench")
-                    .run(),
-            )
-        })
-    });
-
-    g.bench_function("saturating_ubench_corun", |b| {
-        b.iter(|| {
-            black_box(
-                ExperimentBuilder::new(cfg)
-                    .cpu_app("x264")
-                    .gpu_app("ubench")
-                    .run(),
-            )
-        })
-    });
-
-    g.bench_function("qos_throttled_corun", |b| {
-        b.iter(|| {
-            black_box(
-                ExperimentBuilder::new(cfg)
-                    .cpu_app("x264")
-                    .gpu_app("ubench")
-                    .qos(QosParams::threshold_percent(1.0))
-                    .run(),
-            )
-        })
-    });
-    g.finish();
-}
-
-criterion_group!(benches, bench_event_queue, bench_cache_model, bench_full_runs);
-criterion_main!(benches);

@@ -62,7 +62,10 @@ fn print_report(r: &RunReport, json: bool) {
     println!("QoS deferrals     : {}", r.kernel.qos_deferrals);
     println!("CPU SSR overhead  : {:.2}%", r.cpu_ssr_overhead * 100.0);
     println!("CC6 residency     : {:.1}%", r.cc6_residency * 100.0);
-    println!("CPU energy        : {:.3} J ({:.2} W avg)", r.energy.cpu_joules, r.energy.cpu_avg_watts);
+    println!(
+        "CPU energy        : {:.3} J ({:.2} W avg)",
+        r.energy.cpu_joules, r.energy.cpu_avg_watts
+    );
 }
 
 /// Hand-rolled JSON encoding of the fields scripts typically plot.

@@ -88,10 +88,8 @@ mod tests {
         awake.add(TimeCategory::User, Ns::from_millis(100));
         let mut asleep = TimeBreakdown::new();
         asleep.add(TimeCategory::SleepCc6, Ns::from_millis(100));
-        let e_awake =
-            EnergyReport::from_breakdowns(p, &[awake], Ns::from_millis(100)).cpu_joules;
-        let e_asleep =
-            EnergyReport::from_breakdowns(p, &[asleep], Ns::from_millis(100)).cpu_joules;
+        let e_awake = EnergyReport::from_breakdowns(p, &[awake], Ns::from_millis(100)).cpu_joules;
+        let e_asleep = EnergyReport::from_breakdowns(p, &[asleep], Ns::from_millis(100)).cpu_joules;
         assert!(e_asleep < e_awake / 20.0);
     }
 

@@ -11,6 +11,7 @@ use hiss_sim::Ns;
 
 use crate::config::SystemConfig;
 use crate::experiments::{cpu_baseline, render_table};
+use crate::runner;
 use crate::soc::ExperimentBuilder;
 
 /// One row of an ablation sweep: a scale factor applied to a knob, and
@@ -45,64 +46,55 @@ fn measure(cfg: &SystemConfig) -> AblationRow {
 /// and refill time constants (a factor of 0 disables pollution
 /// entirely, isolating the *direct* overhead component of Fig. 2).
 pub fn pollution_sweep(cfg: &SystemConfig, factors: &[f64]) -> Vec<AblationRow> {
-    factors
-        .iter()
-        .map(|&f| {
-            let mut c = *cfg;
-            let scale = |p: PollutionParams| {
-                if f == 0.0 {
-                    // Decay tau -> infinite-ish: kernel execution no longer
-                    // cools the structures.
-                    PollutionParams {
-                        kernel_decay_tau: Ns::from_secs(1),
-                        user_refill_tau: Ns::from_nanos(1),
-                    }
-                } else {
-                    PollutionParams {
-                        kernel_decay_tau: p.kernel_decay_tau.scale(1.0 / f),
-                        user_refill_tau: p.user_refill_tau.scale(f),
-                    }
+    runner::par_map(factors, |&f| {
+        let mut c = *cfg;
+        let scale = |p: PollutionParams| {
+            if f == 0.0 {
+                // Decay tau -> infinite-ish: kernel execution no longer
+                // cools the structures.
+                PollutionParams {
+                    kernel_decay_tau: Ns::from_secs(1),
+                    user_refill_tau: Ns::from_nanos(1),
                 }
-            };
-            c.cpu.cache_pollution = scale(c.cpu.cache_pollution);
-            c.cpu.branch_pollution = scale(c.cpu.branch_pollution);
-            let mut row = measure(&c);
-            row.setting = format!("pollution x{f}");
-            row
-        })
-        .collect()
+            } else {
+                PollutionParams {
+                    kernel_decay_tau: p.kernel_decay_tau.scale(1.0 / f),
+                    user_refill_tau: p.user_refill_tau.scale(f),
+                }
+            }
+        };
+        c.cpu.cache_pollution = scale(c.cpu.cache_pollution);
+        c.cpu.branch_pollution = scale(c.cpu.branch_pollution);
+        let mut row = measure(&c);
+        row.setting = format!("pollution x{f}");
+        row
+    })
 }
 
 /// Sweeps the worker-stage service cost (scales every handler stage).
 pub fn handler_cost_sweep(cfg: &SystemConfig, factors: &[f64]) -> Vec<AblationRow> {
-    factors
-        .iter()
-        .map(|&f| {
-            let mut c = *cfg;
-            c.costs.top_half_base = c.costs.top_half_base.scale(f);
-            c.costs.top_half_per_req = c.costs.top_half_per_req.scale(f);
-            c.costs.bottom_half_base = c.costs.bottom_half_base.scale(f);
-            c.costs.bottom_half_per_req = c.costs.bottom_half_per_req.scale(f);
-            c.costs.completion_notify = c.costs.completion_notify.scale(f);
-            let mut row = measure(&c);
-            row.setting = format!("handler costs x{f}");
-            row
-        })
-        .collect()
+    runner::par_map(factors, |&f| {
+        let mut c = *cfg;
+        c.costs.top_half_base = c.costs.top_half_base.scale(f);
+        c.costs.top_half_per_req = c.costs.top_half_per_req.scale(f);
+        c.costs.bottom_half_base = c.costs.bottom_half_base.scale(f);
+        c.costs.bottom_half_per_req = c.costs.bottom_half_per_req.scale(f);
+        c.costs.completion_notify = c.costs.completion_notify.scale(f);
+        let mut row = measure(&c);
+        row.setting = format!("handler costs x{f}");
+        row
+    })
 }
 
 /// Sweeps the CC6 entry threshold and reports sleep residency for the
 /// GPU-only sssp run (the Fig. 4 mechanism).
 pub fn cstate_threshold_sweep(cfg: &SystemConfig, thresholds_us: &[u64]) -> Vec<(Ns, f64)> {
-    thresholds_us
-        .iter()
-        .map(|&us| {
-            let mut c = *cfg;
-            c.cpu.cstate.entry_threshold = Ns::from_micros(us);
-            let r = ExperimentBuilder::new(c).gpu_app("sssp").run();
-            (Ns::from_micros(us), r.cc6_residency)
-        })
-        .collect()
+    runner::par_map(thresholds_us, |&us| {
+        let mut c = *cfg;
+        c.cpu.cstate.entry_threshold = Ns::from_micros(us);
+        let r = ExperimentBuilder::new(c).gpu_app("sssp").run();
+        (Ns::from_micros(us), r.cc6_residency)
+    })
 }
 
 /// Renders ablation rows.

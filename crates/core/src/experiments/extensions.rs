@@ -13,6 +13,7 @@
 
 use crate::config::SystemConfig;
 use crate::experiments::{cpu_baseline, render_table};
+use crate::runner;
 use crate::soc::ExperimentBuilder;
 use hiss_qos::QosParams;
 use hiss_sim::Ns;
@@ -38,21 +39,20 @@ pub fn multi_gpu_scaling(
     max_gpus: usize,
 ) -> Vec<ScalingRow> {
     let base = cpu_baseline(cfg, cpu_app, gpu_app);
-    (1..=max_gpus)
-        .map(|n| {
-            let mut b = ExperimentBuilder::new(*cfg).cpu_app(cpu_app);
-            for _ in 0..n {
-                b = b.gpu_app(gpu_app);
-            }
-            let run = b.run();
-            ScalingRow {
-                gpus: n,
-                cpu_perf: run.cpu_perf_vs(&base).expect("runs finish"),
-                cc6_residency: run.cc6_residency,
-                ssr_rate: run.ssr_rate,
-            }
-        })
-        .collect()
+    runner::run_jobs(max_gpus, |i| {
+        let n = i + 1;
+        let mut b = ExperimentBuilder::new(*cfg).cpu_app(cpu_app);
+        for _ in 0..n {
+            b = b.gpu_app(gpu_app);
+        }
+        let run = b.run();
+        ScalingRow {
+            gpus: n,
+            cpu_perf: run.cpu_perf_vs(&base).expect("runs finish"),
+            cc6_residency: run.cc6_residency,
+            ssr_rate: run.ssr_rate,
+        }
+    })
 }
 
 /// Renders the scaling sweep.
@@ -92,27 +92,31 @@ pub fn coalescing_window_sweep(
     windows_us: &[u64],
 ) -> Vec<WindowRow> {
     let base = cpu_baseline(cfg, cpu_app, gpu_app);
-    let mut zero_rate = None;
+    // Window runs are independent; only the normalisation (everything is
+    // relative to the *first* window's SSR rate) is order-dependent, so
+    // run in parallel and fold the ratios serially afterwards.
+    let runs = runner::par_map(windows_us, |us| {
+        let mut cfg2 = *cfg;
+        cfg2.coalesce_window = Ns::from_micros(*us);
+        ExperimentBuilder::new(cfg2)
+            .cpu_app(cpu_app)
+            .gpu_app(gpu_app)
+            .mitigation(crate::config::Mitigation {
+                coalesce: *us > 0,
+                ..crate::config::Mitigation::DEFAULT
+            })
+            .run()
+    });
+    let zero = runs.first().map(|r| r.ssr_rate).unwrap_or(0.0);
     windows_us
         .iter()
-        .map(|us| {
-            let mut cfg2 = *cfg;
-            cfg2.coalesce_window = Ns::from_micros(*us);
-            let run = ExperimentBuilder::new(cfg2)
-                .cpu_app(cpu_app)
-                .gpu_app(gpu_app)
-                .mitigation(crate::config::Mitigation {
-                    coalesce: *us > 0,
-                    ..crate::config::Mitigation::DEFAULT
-                })
-                .run();
-            let rate = run.ssr_rate;
-            let zero = *zero_rate.get_or_insert(rate);
+        .zip(&runs)
+        .map(|(us, run)| {
             let interrupts: u64 = run.kernel.interrupts_per_core.iter().sum();
             WindowRow {
                 window: Ns::from_micros(*us),
                 cpu_perf: run.cpu_perf_vs(&base).expect("runs finish"),
-                gpu_ratio: if zero > 0.0 { rate / zero } else { 0.0 },
+                gpu_ratio: if zero > 0.0 { run.ssr_rate / zero } else { 0.0 },
                 interrupts_per_ssr: interrupts as f64 / run.kernel.ssrs_serviced.max(1) as f64,
             }
         })
@@ -131,22 +135,19 @@ pub struct LimitRow {
 /// Shows how the QoS backpressure leverage depends on the hardware
 /// outstanding-request limit.
 pub fn outstanding_limit_sweep(cfg: &SystemConfig, limits: &[usize]) -> Vec<LimitRow> {
-    limits
-        .iter()
-        .map(|&limit| {
-            let mut cfg2 = *cfg;
-            cfg2.gpu.max_outstanding = limit;
-            let free = ExperimentBuilder::new(cfg2).gpu_app("ubench").run();
-            let throttled = ExperimentBuilder::new(cfg2)
-                .gpu_app("ubench")
-                .qos(QosParams::threshold_percent(1.0))
-                .run();
-            LimitRow {
-                limit,
-                throttled_ratio: throttled.ssr_rate_vs(&free),
-            }
-        })
-        .collect()
+    runner::par_map(limits, |&limit| {
+        let mut cfg2 = *cfg;
+        cfg2.gpu.max_outstanding = limit;
+        let free = ExperimentBuilder::new(cfg2).gpu_app("ubench").run();
+        let throttled = ExperimentBuilder::new(cfg2)
+            .gpu_app("ubench")
+            .qos(QosParams::threshold_percent(1.0))
+            .run();
+        LimitRow {
+            limit,
+            throttled_ratio: throttled.ssr_rate_vs(&free),
+        }
+    })
 }
 
 /// Result of the module-pairing study.
@@ -189,9 +190,10 @@ pub fn module_pairing(cfg: &SystemConfig, gpu_app: &str) -> ModulePairing {
             .run();
         noisy.cpu_perf_vs(&base).expect("runs finish")
     };
+    let perfs = runner::par_map(&[1usize, 2], |&core| run(core));
     ModulePairing {
-        sibling_perf: run(1),
-        remote_perf: run(2),
+        sibling_perf: perfs[0],
+        remote_perf: perfs[1],
     }
 }
 
@@ -210,6 +212,10 @@ pub struct AdaptiveResult {
 /// loosest threshold that keeps the CPU application within
 /// `max_cpu_loss` (e.g. 0.1 = at most 10 % slowdown), maximising GPU
 /// throughput subject to that floor.
+///
+/// The bisection is inherently sequential (each probe depends on the
+/// previous verdict), so this stays off the job pool; its baselines
+/// still come from the shared cache.
 pub fn adaptive_qos(
     cfg: &SystemConfig,
     cpu_app: &str,
@@ -317,7 +323,10 @@ mod tests {
             p.sibling_perf,
             p.remote_perf
         );
-        assert!(p.remote_perf > 0.8, "remote steering should mostly protect the victim");
+        assert!(
+            p.remote_perf > 0.8,
+            "remote steering should mostly protect the victim"
+        );
     }
 
     #[test]

@@ -11,7 +11,8 @@
 //!   idle CPU and no throttling — the price paid for CPU QoS.
 
 use crate::config::SystemConfig;
-use crate::experiments::{cpu_baseline, gpu_idle_baseline, render_table};
+use crate::experiments::{corun_default, cpu_baseline, gpu_idle_baseline, render_table};
+use crate::runner;
 use crate::soc::ExperimentBuilder;
 use hiss_qos::QosParams;
 
@@ -30,7 +31,12 @@ pub enum Throttle {
 
 impl Throttle {
     /// All four configurations in figure order.
-    pub const ALL: [Throttle; 4] = [Throttle::Default, Throttle::Th25, Throttle::Th5, Throttle::Th1];
+    pub const ALL: [Throttle; 4] = [
+        Throttle::Default,
+        Throttle::Th25,
+        Throttle::Th5,
+        Throttle::Th1,
+    ];
 
     /// Governor parameters, if any.
     pub fn params(self) -> Option<QosParams> {
@@ -68,28 +74,35 @@ pub struct Fig12Row {
     pub ssr_overhead: f64,
 }
 
-/// Runs Fig. 12 for an explicit CPU subset.
+/// Runs Fig. 12 for an explicit CPU subset (one parallel job per
+/// `(benchmark, throttle)` cell; the `default` bar and both baselines
+/// come from the shared cache).
 pub fn fig12_with(cfg: &SystemConfig, cpu_apps: &[&str]) -> Vec<Fig12Row> {
-    let gpu_base = gpu_idle_baseline(cfg, "ubench");
-    let mut rows = Vec::new();
-    for cpu_app in cpu_apps {
+    let cells: Vec<(&str, Throttle)> = cpu_apps
+        .iter()
+        .flat_map(|cpu_app| Throttle::ALL.iter().map(move |t| (*cpu_app, *t)))
+        .collect();
+    runner::par_map(&cells, |&(cpu_app, throttle)| {
+        let gpu_base = gpu_idle_baseline(cfg, "ubench");
         let base = cpu_baseline(cfg, cpu_app, "ubench");
-        for throttle in Throttle::ALL {
-            let mut b = ExperimentBuilder::new(*cfg).cpu_app(cpu_app).gpu_app("ubench");
-            if let Some(p) = throttle.params() {
-                b = b.qos(p);
-            }
-            let run = b.run();
-            rows.push(Fig12Row {
-                cpu_app: cpu_app.to_string(),
-                throttle,
-                cpu_perf: run.cpu_perf_vs(&base).expect("runs finish"),
-                gpu_perf: run.ssr_rate_vs(&gpu_base),
-                ssr_overhead: run.cpu_ssr_overhead,
-            });
+        let run = match throttle.params() {
+            None => corun_default(cfg, cpu_app, "ubench"),
+            Some(p) => std::sync::Arc::new(
+                ExperimentBuilder::new(*cfg)
+                    .cpu_app(cpu_app)
+                    .gpu_app("ubench")
+                    .qos(p)
+                    .run(),
+            ),
+        };
+        Fig12Row {
+            cpu_app: cpu_app.to_string(),
+            throttle,
+            cpu_perf: run.cpu_perf_vs(&base).expect("runs finish"),
+            gpu_perf: run.ssr_rate_vs(&gpu_base),
+            ssr_overhead: run.cpu_ssr_overhead,
         }
-    }
-    rows
+    })
 }
 
 /// Runs the full 13-benchmark Fig. 12.
@@ -116,7 +129,13 @@ pub fn render(rows: &[Fig12Row]) -> String {
         })
         .collect();
     render_table(
-        &["CPU app", "throttle", "CPU perf", "ubench perf", "SSR overhead"],
+        &[
+            "CPU app",
+            "throttle",
+            "CPU perf",
+            "ubench perf",
+            "SSR overhead",
+        ],
         &data,
     )
 }

@@ -7,8 +7,8 @@
 //!   idle CPUs.
 
 use crate::config::SystemConfig;
-use crate::experiments::{cpu_baseline, gpu_idle_baseline, render_table};
-use crate::soc::ExperimentBuilder;
+use crate::experiments::{corun_default, cpu_baseline, gpu_idle_baseline, render_table};
+use crate::runner;
 
 /// One grid cell of Fig. 3.
 #[derive(Debug, Clone)]
@@ -26,35 +26,37 @@ pub struct Fig3Row {
 }
 
 /// Runs the Fig. 3 grid over explicit workload subsets.
+///
+/// Cells are independent simulations, fanned out to the
+/// [`runner`] pool and reassembled in grid order (GPU-major, matching
+/// the paper's layout); baselines come from the shared
+/// [`BaselineCache`](crate::experiments::BaselineCache).
 pub fn fig3_with(cfg: &SystemConfig, cpu_apps: &[&str], gpu_apps: &[&str]) -> Vec<Fig3Row> {
-    let mut rows = Vec::new();
-    for gpu_app in gpu_apps {
+    let cells: Vec<(&str, &str)> = gpu_apps
+        .iter()
+        .flat_map(|gpu_app| cpu_apps.iter().map(move |cpu_app| (*cpu_app, *gpu_app)))
+        .collect();
+    runner::par_map(&cells, |&(cpu_app, gpu_app)| {
         let gpu_base = gpu_idle_baseline(cfg, gpu_app);
-        for cpu_app in cpu_apps {
-            let noisy = ExperimentBuilder::new(*cfg)
-                .cpu_app(cpu_app)
-                .gpu_app(gpu_app)
-                .run();
-            let base = cpu_baseline(cfg, cpu_app, gpu_app);
-            let cpu_perf = noisy
-                .cpu_perf_vs(&base)
-                .expect("both runs finish the CPU application");
-            // ubench's metric is SSR throughput; full applications use
-            // work throughput (identical normalisation semantics).
-            let gpu_perf = if *gpu_app == "ubench" {
-                noisy.ssr_rate_vs(&gpu_base)
-            } else {
-                noisy.gpu_perf_vs(&gpu_base)
-            };
-            rows.push(Fig3Row {
-                cpu_app: cpu_app.to_string(),
-                gpu_app: gpu_app.to_string(),
-                cpu_perf,
-                gpu_perf,
-            });
+        let noisy = corun_default(cfg, cpu_app, gpu_app);
+        let base = cpu_baseline(cfg, cpu_app, gpu_app);
+        let cpu_perf = noisy
+            .cpu_perf_vs(&base)
+            .expect("both runs finish the CPU application");
+        // ubench's metric is SSR throughput; full applications use
+        // work throughput (identical normalisation semantics).
+        let gpu_perf = if gpu_app == "ubench" {
+            noisy.ssr_rate_vs(&gpu_base)
+        } else {
+            noisy.gpu_perf_vs(&gpu_base)
+        };
+        Fig3Row {
+            cpu_app: cpu_app.to_string(),
+            gpu_app: gpu_app.to_string(),
+            cpu_perf,
+            gpu_perf,
         }
-    }
-    rows
+    })
 }
 
 /// Runs the full 13 × 6 grid of the paper.

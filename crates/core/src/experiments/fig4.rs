@@ -6,7 +6,8 @@
 //! pinned (no-SSR) and demand-paging (SSR) variants of each benchmark.
 
 use crate::config::SystemConfig;
-use crate::experiments::render_table;
+use crate::experiments::{gpu_idle_baseline, render_table};
+use crate::runner;
 use crate::soc::ExperimentBuilder;
 
 /// One cluster of Fig. 4.
@@ -27,20 +28,18 @@ impl Fig4Row {
     }
 }
 
-/// Runs Fig. 4 for an explicit GPU-application subset.
+/// Runs Fig. 4 for an explicit GPU-application subset (one parallel job
+/// per benchmark; the SSR run is the shared idle-CPU baseline).
 pub fn fig4_with(cfg: &SystemConfig, gpu_apps: &[&str]) -> Vec<Fig4Row> {
-    gpu_apps
-        .iter()
-        .map(|gpu_app| {
-            let quiet = ExperimentBuilder::new(*cfg).gpu_app_pinned(gpu_app).run();
-            let noisy = ExperimentBuilder::new(*cfg).gpu_app(gpu_app).run();
-            Fig4Row {
-                gpu_app: gpu_app.to_string(),
-                cc6_no_ssr: quiet.cc6_residency,
-                cc6_ssr: noisy.cc6_residency,
-            }
-        })
-        .collect()
+    runner::par_map(gpu_apps, |gpu_app| {
+        let quiet = ExperimentBuilder::new(*cfg).gpu_app_pinned(gpu_app).run();
+        let noisy = gpu_idle_baseline(cfg, gpu_app);
+        Fig4Row {
+            gpu_app: gpu_app.to_string(),
+            cc6_no_ssr: quiet.cc6_residency,
+            cc6_ssr: noisy.cc6_residency,
+        }
+    })
 }
 
 /// Runs the full six-application Fig. 4.

@@ -17,8 +17,8 @@
 //! miss again while re-warming (one constant for the whole suite).
 
 use crate::config::SystemConfig;
-use crate::experiments::render_table;
-use crate::soc::ExperimentBuilder;
+use crate::experiments::{corun_default, render_table};
+use crate::runner;
 
 /// Calibrated cold-miss conversion constant (see module docs).
 const K_CACHE: f64 = 0.022;
@@ -40,26 +40,20 @@ pub struct Fig5Row {
 /// Runs Fig. 5 for an explicit CPU subset (always against ubench, as in
 /// the paper).
 pub fn fig5_with(cfg: &SystemConfig, cpu_apps: &[&str]) -> Vec<Fig5Row> {
-    cpu_apps
-        .iter()
-        .map(|cpu_app| {
-            let spec = hiss_workloads::CpuAppSpec::by_name(cpu_app)
-                .unwrap_or_else(|| panic!("unknown CPU benchmark {cpu_app:?}"));
-            let noisy = ExperimentBuilder::new(*cfg)
-                .cpu_app(cpu_app)
-                .gpu_app("ubench")
-                .run();
-            let l1d = noisy.avg_cache_coldness * spec.cache_sensitivity * K_CACHE
-                / spec.base_l1d_miss_rate;
-            let branch = noisy.avg_branch_coldness * spec.branch_sensitivity * K_BRANCH
-                / spec.base_branch_miss_rate;
-            Fig5Row {
-                cpu_app: cpu_app.to_string(),
-                l1d_miss_increase: l1d,
-                branch_miss_increase: branch,
-            }
-        })
-        .collect()
+    runner::par_map(cpu_apps, |cpu_app| {
+        let spec = hiss_workloads::CpuAppSpec::by_name(cpu_app)
+            .unwrap_or_else(|| panic!("unknown CPU benchmark {cpu_app:?}"));
+        let noisy = corun_default(cfg, cpu_app, "ubench");
+        let l1d =
+            noisy.avg_cache_coldness * spec.cache_sensitivity * K_CACHE / spec.base_l1d_miss_rate;
+        let branch = noisy.avg_branch_coldness * spec.branch_sensitivity * K_BRANCH
+            / spec.base_branch_miss_rate;
+        Fig5Row {
+            cpu_app: cpu_app.to_string(),
+            l1d_miss_increase: l1d,
+            branch_miss_increase: branch,
+        }
+    })
 }
 
 /// Runs the full 13-application Fig. 5.

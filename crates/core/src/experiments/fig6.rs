@@ -7,7 +7,8 @@
 //! SSRs flow.
 
 use crate::config::{Mitigation, SystemConfig};
-use crate::experiments::render_table;
+use crate::experiments::{corun_default, render_table};
+use crate::runner;
 use crate::soc::ExperimentBuilder;
 
 /// Which single technique a Fig. 6 panel isolates.
@@ -80,36 +81,35 @@ pub fn fig6_technique(
     cpu_apps: &[&str],
     gpu_apps: &[&str],
 ) -> Vec<Fig6Row> {
-    let mut rows = Vec::new();
-    for gpu_app in gpu_apps {
-        for cpu_app in cpu_apps {
-            let run = |m: Mitigation| {
-                ExperimentBuilder::new(*cfg)
-                    .cpu_app(cpu_app)
-                    .gpu_app(gpu_app)
-                    .mitigation(m)
-                    .run()
-            };
-            let default = run(Mitigation::DEFAULT);
-            let treated = run(technique.mitigation());
-            let cpu_ratio = treated
-                .cpu_perf_vs(&default)
-                .expect("both runs finish the CPU application");
-            let gpu_ratio = if *gpu_app == "ubench" {
-                treated.ssr_rate_vs(&default)
-            } else {
-                treated.gpu_perf_vs(&default)
-            };
-            rows.push(Fig6Row {
-                technique,
-                cpu_app: cpu_app.to_string(),
-                gpu_app: gpu_app.to_string(),
-                cpu_ratio,
-                gpu_ratio,
-            });
+    let cells: Vec<(&str, &str)> = gpu_apps
+        .iter()
+        .flat_map(|gpu_app| cpu_apps.iter().map(move |cpu_app| (*cpu_app, *gpu_app)))
+        .collect();
+    runner::par_map(&cells, |&(cpu_app, gpu_app)| {
+        // The denominator (default configuration) is the shared cached
+        // co-run; only the treated run is unique to this panel.
+        let default = corun_default(cfg, cpu_app, gpu_app);
+        let treated = ExperimentBuilder::new(*cfg)
+            .cpu_app(cpu_app)
+            .gpu_app(gpu_app)
+            .mitigation(technique.mitigation())
+            .run();
+        let cpu_ratio = treated
+            .cpu_perf_vs(&default)
+            .expect("both runs finish the CPU application");
+        let gpu_ratio = if gpu_app == "ubench" {
+            treated.ssr_rate_vs(&default)
+        } else {
+            treated.gpu_perf_vs(&default)
+        };
+        Fig6Row {
+            technique,
+            cpu_app: cpu_app.to_string(),
+            gpu_app: gpu_app.to_string(),
+            cpu_ratio,
+            gpu_ratio,
         }
-    }
-    rows
+    })
 }
 
 /// Runs all three techniques over the full 13 × 6 grid (all six panels).
@@ -188,12 +188,7 @@ mod tests {
     #[test]
     fn steering_concentrates_harm() {
         let cfg = SystemConfig::a10_7850k();
-        let rows = fig6_technique(
-            &cfg,
-            Technique::SteerSingleCore,
-            &["x264"],
-            &["ubench"],
-        );
+        let rows = fig6_technique(&cfg, Technique::SteerSingleCore, &["x264"], &["ubench"]);
         // With ubench inundating all cores by default, steering moves the
         // interrupts off three of the four cores; CPU performance must
         // not collapse (paper: steering *helps* under ubench).

@@ -5,7 +5,8 @@
 //! mitigation combinations.
 
 use crate::config::{Mitigation, SystemConfig};
-use crate::experiments::render_table;
+use crate::experiments::{gpu_idle_baseline, render_table};
+use crate::runner;
 use crate::soc::ExperimentBuilder;
 
 /// One bar of Fig. 9.
@@ -20,23 +21,32 @@ pub struct Fig9Row {
 /// Runs Fig. 9 for explicit combinations (the no-SSR baseline is always
 /// prepended).
 pub fn fig9_with(cfg: &SystemConfig, combos: &[Mitigation]) -> Vec<Fig9Row> {
-    let mut rows = Vec::new();
-    let quiet = ExperimentBuilder::new(*cfg).gpu_app_pinned("ubench").run();
-    rows.push(Fig9Row {
-        label: "ubench_no_SSR".into(),
-        cc6_residency: quiet.cc6_residency,
-    });
-    for m in combos {
-        let run = ExperimentBuilder::new(*cfg)
-            .gpu_app("ubench")
-            .mitigation(*m)
-            .run();
-        rows.push(Fig9Row {
+    // Job 0 is the pinned no-SSR baseline; jobs 1.. are the mitigation
+    // combinations, so the output keeps the figure's bar order.
+    runner::run_jobs(combos.len() + 1, |i| {
+        if i == 0 {
+            let quiet = ExperimentBuilder::new(*cfg).gpu_app_pinned("ubench").run();
+            return Fig9Row {
+                label: "ubench_no_SSR".into(),
+                cc6_residency: quiet.cc6_residency,
+            };
+        }
+        let m = combos[i - 1];
+        let run = if m == Mitigation::DEFAULT {
+            gpu_idle_baseline(cfg, "ubench")
+        } else {
+            std::sync::Arc::new(
+                ExperimentBuilder::new(*cfg)
+                    .gpu_app("ubench")
+                    .mitigation(m)
+                    .run(),
+            )
+        };
+        Fig9Row {
             label: m.label(),
             cc6_residency: run.cc6_residency,
-        });
-    }
-    rows
+        }
+    })
 }
 
 /// Runs the full Fig. 9 (all eight combinations).

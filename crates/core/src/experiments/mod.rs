@@ -34,25 +34,35 @@ pub mod section4c;
 pub mod tables;
 
 pub mod ablation;
+pub mod cache;
 pub mod extensions;
+
+pub use cache::BaselineCache;
+
+use std::sync::Arc;
 
 use crate::config::SystemConfig;
 use crate::metrics::RunReport;
-use crate::soc::ExperimentBuilder;
 
 /// Runs `cpu_app` against the pinned (no-SSR) variant of `gpu_app` — the
 /// paper's Fig. 3a normalisation baseline ("the same pair of
 /// applications, but without the GPU application generating any SSRs").
-pub(crate) fn cpu_baseline(cfg: &SystemConfig, cpu_app: &str, gpu_app: &str) -> RunReport {
-    ExperimentBuilder::new(*cfg)
-        .cpu_app(cpu_app)
-        .gpu_app_pinned(gpu_app)
-        .run()
+/// Memoized in the global [`BaselineCache`].
+pub(crate) fn cpu_baseline(cfg: &SystemConfig, cpu_app: &str, gpu_app: &str) -> Arc<RunReport> {
+    BaselineCache::global().cpu_baseline(cfg, cpu_app, gpu_app)
 }
 
-/// Runs `gpu_app` alone on idle CPUs — the Fig. 3b normalisation baseline.
-pub(crate) fn gpu_idle_baseline(cfg: &SystemConfig, gpu_app: &str) -> RunReport {
-    ExperimentBuilder::new(*cfg).gpu_app(gpu_app).run()
+/// Runs `gpu_app` alone on idle CPUs — the Fig. 3b normalisation
+/// baseline. Memoized in the global [`BaselineCache`].
+pub(crate) fn gpu_idle_baseline(cfg: &SystemConfig, gpu_app: &str) -> Arc<RunReport> {
+    BaselineCache::global().gpu_idle_baseline(cfg, gpu_app)
+}
+
+/// Runs `cpu_app` against `gpu_app` with default mitigation and no QoS —
+/// the denominator shared by Fig. 3 cells, Fig. 6, Fig. 12, and the
+/// Pareto `Default` point. Memoized in the global [`BaselineCache`].
+pub(crate) fn corun_default(cfg: &SystemConfig, cpu_app: &str, gpu_app: &str) -> Arc<RunReport> {
+    BaselineCache::global().corun_default(cfg, cpu_app, gpu_app)
 }
 
 /// Renders a fixed-width text table: a header row plus data rows.
@@ -77,7 +87,7 @@ pub(crate) fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
     let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
     out.push_str(&fmt_row(&header_cells, &widths));
     out.push('\n');
-    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
     out.push('\n');
     for row in rows {
         out.push_str(&fmt_row(row, &widths));
@@ -115,6 +125,13 @@ mod tests {
         assert!(lines[0].contains("app"));
         assert!(lines[2].ends_with("0.56"));
         assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn render_table_handles_empty_header() {
+        // Regression: `widths.len() - 1` underflowed on an empty header.
+        let s = render_table(&[], &[]);
+        assert_eq!(s, "\n\n");
     }
 
     #[test]

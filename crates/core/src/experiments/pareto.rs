@@ -11,7 +11,8 @@
 //!   five non-microbenchmark GPU applications.
 
 use crate::config::{Mitigation, SystemConfig};
-use crate::experiments::{cpu_baseline, gpu_idle_baseline, render_table};
+use crate::experiments::{corun_default, cpu_baseline, gpu_idle_baseline, render_table};
+use crate::runner;
 use crate::soc::ExperimentBuilder;
 
 /// One point of a Pareto chart.
@@ -46,32 +47,62 @@ pub fn pareto_frontier(points: &[ParetoPoint]) -> Vec<bool> {
 
 /// Computes the Pareto points for the given GPU applications over the
 /// given CPU applications, one point per mitigation combination.
+///
+/// Every `(combination, gpu, cpu)` cell is an independent job on the
+/// [`runner`] pool; baselines (shared across *all* combinations — this
+/// sweep used to re-run the identical baseline grid eight times) come
+/// from the [`BaselineCache`](crate::experiments::BaselineCache). The
+/// per-combination geomeans are folded serially afterwards, so output
+/// order matches `combos`.
 pub fn pareto_with(
     cfg: &SystemConfig,
     cpu_apps: &[&str],
     gpu_apps: &[&str],
     combos: &[Mitigation],
 ) -> Vec<ParetoPoint> {
+    let cells: Vec<(usize, Mitigation, &str, &str)> = combos
+        .iter()
+        .enumerate()
+        .flat_map(|(ci, m)| {
+            gpu_apps.iter().flat_map(move |gpu_app| {
+                cpu_apps
+                    .iter()
+                    .map(move |cpu_app| (ci, *m, *cpu_app, *gpu_app))
+            })
+        })
+        .collect();
+    let perfs: Vec<(f64, f64)> = runner::par_map(&cells, |&(_, m, cpu_app, gpu_app)| {
+        let gpu_base = gpu_idle_baseline(cfg, gpu_app);
+        let run = if m == Mitigation::DEFAULT {
+            corun_default(cfg, cpu_app, gpu_app)
+        } else {
+            std::sync::Arc::new(
+                ExperimentBuilder::new(*cfg)
+                    .cpu_app(cpu_app)
+                    .gpu_app(gpu_app)
+                    .mitigation(m)
+                    .run(),
+            )
+        };
+        let base = cpu_baseline(cfg, cpu_app, gpu_app);
+        let cpu_perf = run.cpu_perf_vs(&base).expect("runs finish");
+        let gpu_perf = if gpu_app == "ubench" {
+            run.ssr_rate_vs(&gpu_base)
+        } else {
+            run.gpu_perf_vs(&gpu_base)
+        };
+        (cpu_perf, gpu_perf)
+    });
     combos
         .iter()
-        .map(|m| {
+        .enumerate()
+        .map(|(ci, m)| {
             let mut cpu_perfs = Vec::new();
             let mut gpu_perfs = Vec::new();
-            for gpu_app in gpu_apps {
-                let gpu_base = gpu_idle_baseline(cfg, gpu_app);
-                for cpu_app in cpu_apps {
-                    let run = ExperimentBuilder::new(*cfg)
-                        .cpu_app(cpu_app)
-                        .gpu_app(gpu_app)
-                        .mitigation(*m)
-                        .run();
-                    let base = cpu_baseline(cfg, cpu_app, gpu_app);
-                    cpu_perfs.push(run.cpu_perf_vs(&base).expect("runs finish"));
-                    gpu_perfs.push(if *gpu_app == "ubench" {
-                        run.ssr_rate_vs(&gpu_base)
-                    } else {
-                        run.gpu_perf_vs(&gpu_base)
-                    });
+            for (cell, perf) in cells.iter().zip(&perfs) {
+                if cell.0 == ci {
+                    cpu_perfs.push(perf.0);
+                    gpu_perfs.push(perf.1);
                 }
             }
             ParetoPoint {
@@ -122,10 +153,7 @@ pub fn render(points: &[ParetoPoint]) -> String {
             ]
         })
         .collect();
-    render_table(
-        &["combination", "CPU geomean", "GPU geomean", ""],
-        &data,
-    )
+    render_table(&["combination", "CPU geomean", "GPU geomean", ""], &data)
 }
 
 #[cfg(test)]
@@ -142,7 +170,12 @@ mod tests {
 
     #[test]
     fn frontier_marks_non_dominated_points() {
-        let pts = vec![point(0.5, 1.8), point(0.7, 1.0), point(0.6, 0.9), point(0.4, 0.5)];
+        let pts = vec![
+            point(0.5, 1.8),
+            point(0.7, 1.0),
+            point(0.6, 0.9),
+            point(0.4, 0.5),
+        ];
         let frontier = pareto_frontier(&pts);
         assert_eq!(frontier, vec![true, true, false, false]);
     }

@@ -10,7 +10,8 @@
 //!    average of 16 % (quoted in §V-B, measured the same way).
 
 use crate::config::{Mitigation, SystemConfig};
-use crate::experiments::render_table;
+use crate::experiments::{corun_default, cpu_baseline, render_table};
+use crate::runner;
 use crate::soc::ExperimentBuilder;
 
 /// The §IV-C measurements.
@@ -44,22 +45,14 @@ impl Section4c {
 
 /// Runs the §IV-C measurements (against a CPU workload, as in the paper).
 pub fn section4c(cfg: &SystemConfig) -> Section4c {
-    let with_ssrs = ExperimentBuilder::new(*cfg)
-        .cpu_app("blackscholes")
-        .gpu_app("ubench")
-        .run();
-    let without_ssrs = ExperimentBuilder::new(*cfg)
-        .cpu_app("blackscholes")
-        .gpu_app_pinned("ubench")
-        .run();
+    let with_ssrs = corun_default(cfg, "blackscholes", "ubench");
+    let without_ssrs = cpu_baseline(cfg, "blackscholes", "ubench");
 
-    // Coalescing reduction across the suite.
-    let mut reductions = Vec::new();
-    for app in hiss_workloads::gpu_suite() {
-        let plain = ExperimentBuilder::new(*cfg)
-            .cpu_app("blackscholes")
-            .gpu_app(app.name)
-            .run();
+    // Coalescing reduction across the suite — one parallel job per GPU
+    // application (its plain run is the shared cached co-run).
+    let suite = hiss_workloads::gpu_suite();
+    let reductions: Vec<f64> = runner::par_map(&suite, |app| {
+        let plain = corun_default(cfg, "blackscholes", app.name);
         let coal = ExperimentBuilder::new(*cfg)
             .cpu_app("blackscholes")
             .gpu_app(app.name)
@@ -74,9 +67,14 @@ pub fn section4c(cfg: &SystemConfig) -> Section4c {
         let p_rate = p as f64 / plain.kernel.ssrs_serviced.max(1) as f64;
         let c_rate = c as f64 / coal.kernel.ssrs_serviced.max(1) as f64;
         if p_rate > 0.0 {
-            reductions.push(1.0 - c_rate / p_rate);
+            Some(1.0 - c_rate / p_rate)
+        } else {
+            None
         }
-    }
+    })
+    .into_iter()
+    .flatten()
+    .collect();
 
     let counts = with_ssrs.kernel.interrupts_per_core.clone();
     let max = *counts.iter().max().unwrap_or(&0) as f64;

@@ -48,7 +48,10 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
             ]
         })
         .collect();
-    render_table(&["SSR", "Description", "Complexity", "Modelled cost"], &data)
+    render_table(
+        &["SSR", "Description", "Complexity", "Modelled cost"],
+        &data,
+    )
 }
 
 /// Regenerates Table II (the test-system configuration) as label/value
@@ -58,7 +61,10 @@ pub fn table2(cfg: &SystemConfig) -> Vec<(String, String)> {
         ("SoC".into(), "simulated AMD A10-7850K".into()),
         (
             "CPU".into(),
-            format!("{}x {:.1}GHz AMD Family 15h-class cores", cfg.num_cores, cfg.cpu.freq_ghz),
+            format!(
+                "{}x {:.1}GHz AMD Family 15h-class cores",
+                cfg.num_cores, cfg.cpu.freq_ghz
+            ),
         ),
         (
             "Accelerator".into(),

@@ -43,13 +43,16 @@ pub mod energy;
 pub mod experiments;
 pub mod metrics;
 pub mod replicate;
+pub mod runner;
 pub mod soc;
 pub mod trace;
 
 pub use config::{Mitigation, MitigationConfig, SystemConfig};
 pub use energy::{EnergyParams, EnergyReport};
+pub use experiments::BaselineCache;
 pub use metrics::RunReport;
 pub use replicate::{replicate, MetricSummary, Replicated};
+pub use runner::{par_map, run_jobs, run_jobs_on, thread_count};
 pub use soc::{ExperimentBuilder, Soc};
 pub use trace::{Trace, TraceSpan, Tracer};
 

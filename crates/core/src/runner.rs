@@ -1,0 +1,179 @@
+//! Deterministic parallel experiment engine.
+//!
+//! Every figure grid in [`crate::experiments`] is a set of *independent*
+//! simulation runs: a cell's result is a pure function of
+//! `(SystemConfig, workloads, mitigation, seed)`. This module fans those
+//! cells out to a scoped thread pool and reassembles the results **in job
+//! order**, so parallel output is bit-for-bit identical to the serial
+//! path (`tests/parallel_determinism.rs` pins this).
+//!
+//! # Worker sizing
+//!
+//! [`thread_count`] defaults to [`std::thread::available_parallelism`]
+//! and honours a `HISS_THREADS` environment variable override (clamped to
+//! at least 1). `HISS_THREADS=1` forces the serial path — no threads are
+//! spawned at all.
+//!
+//! # Design notes
+//!
+//! - Built on [`std::thread::scope`]: borrowing the job closure and its
+//!   captured grids requires no `'static` bounds, no channels, and no
+//!   external dependencies (the crate registry is unreachable in the
+//!   environments this workspace targets).
+//! - Work distribution is a single shared [`AtomicUsize`] cursor —
+//!   effectively work stealing with a critical section of one
+//!   `fetch_add`. Simulation cells take milliseconds, so contention is
+//!   unmeasurable.
+//! - Each worker buffers `(index, result)` pairs; the pool merges and
+//!   sorts by index. Scheduling order therefore cannot leak into output
+//!   order.
+//! - A panicking job aborts the pool and re-raises the panic on the
+//!   caller thread (preserving `should_panic` test behaviour and the
+//!   experiment modules' `expect` diagnostics).
+
+use std::panic;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads the pool will use: the `HISS_THREADS`
+/// environment variable if set (minimum 1), otherwise the machine's
+/// available parallelism.
+pub fn thread_count() -> usize {
+    match std::env::var("HISS_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) => n.max(1),
+            Err(_) => 1,
+        },
+        Err(_) => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+    }
+}
+
+/// Runs jobs `0..n` through `job` on up to [`thread_count`] workers and
+/// returns the results in job-index order.
+///
+/// Equivalent to `(0..n).map(job).collect()` — including on panic — but
+/// wall-clock scales with the number of cores for independent,
+/// similarly-sized jobs.
+pub fn run_jobs<T, F>(n: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_jobs_on(thread_count(), n, job)
+}
+
+/// [`run_jobs`] with an explicit worker count (used by the determinism
+/// tests and the perf harness; everything else should use [`run_jobs`]).
+pub fn run_jobs_on<T, F>(threads: usize, n: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.clamp(1, n.max(1));
+    if threads == 1 {
+        return (0..n).map(job).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let job = &job;
+    let cursor = &cursor;
+    let buckets: Vec<std::thread::Result<Vec<(usize, T)>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, job(i)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join()).collect()
+    });
+
+    let mut indexed: Vec<(usize, T)> = Vec::with_capacity(n);
+    let mut panic_payload = None;
+    for bucket in buckets {
+        match bucket {
+            Ok(pairs) => indexed.extend(pairs),
+            Err(payload) => panic_payload = Some(payload),
+        }
+    }
+    if let Some(payload) = panic_payload {
+        panic::resume_unwind(payload);
+    }
+    indexed.sort_unstable_by_key(|(i, _)| *i);
+    debug_assert_eq!(indexed.len(), n);
+    indexed.into_iter().map(|(_, v)| v).collect()
+}
+
+/// Maps `items` through `f` in parallel, preserving input order —
+/// convenience wrapper over [`run_jobs`] for slice-shaped grids.
+pub fn par_map<I, T, F>(items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    run_jobs(items.len(), |i| f(&items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_are_in_job_order() {
+        for threads in [1, 2, 8] {
+            let out = run_jobs_on(threads, 100, |i| i * i);
+            let want: Vec<usize> = (0..100).map(|i| i * i).collect();
+            assert_eq!(out, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let hits = AtomicU64::new(0);
+        let out = run_jobs_on(4, 1000, |i| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1000);
+        assert_eq!(out.len(), 1000);
+    }
+
+    #[test]
+    fn zero_jobs_is_fine() {
+        let out: Vec<usize> = run_jobs_on(8, 0, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items = vec!["a", "bb", "ccc"];
+        assert_eq!(par_map(&items, |s| s.len()), vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "job 7 exploded")]
+    fn worker_panics_propagate() {
+        run_jobs_on(4, 16, |i| {
+            if i == 7 {
+                panic!("job 7 exploded");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(thread_count() >= 1);
+    }
+}

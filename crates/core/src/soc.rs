@@ -28,10 +28,10 @@
 //! transitions.
 
 use hiss_cpu::{Core, CoreId, TimeCategory};
-use hiss_mem::WarmthModel;
 use hiss_gpu::{Gpu, SsrId, SsrRequest};
 use hiss_iommu::{Iommu, IommuDecision, PageWalker, WalkerConfig};
 use hiss_kernel::{CoreHost, Kernel, KernelConfig, KernelOutput};
+use hiss_mem::WarmthModel;
 use hiss_qos::QosParams;
 use hiss_sim::{EventQueue, Ns, Rng};
 use hiss_workloads::{CpuAppSpec, GpuAppSpec};
@@ -67,6 +67,10 @@ struct GpuRun {
     done_stalled: Ns,
     done_completed: u64,
     rng: Rng,
+    /// Scratch for the per-iteration RNG fork label, reused across
+    /// relaunches so looping kernels don't allocate a fresh `String`
+    /// every iteration.
+    iter_label: String,
 }
 
 impl GpuRun {
@@ -105,7 +109,9 @@ enum Event {
 }
 
 /// Snapshot of core states handed to the kernel model (it cannot borrow
-/// the SoC mutably and immutably at once).
+/// the SoC mutably and immutably at once). Owned by the [`Soc`] and
+/// refreshed in place, so interrupt delivery does not allocate.
+#[derive(Debug)]
 struct HostView {
     busy: Vec<bool>,
     preempt: Vec<Ns>,
@@ -148,6 +154,9 @@ pub struct Soc {
     truncated: bool,
     tracer: Option<Tracer>,
     walker: PageWalker,
+    /// Reusable core-state snapshot handed to the kernel model on every
+    /// interrupt (see [`Soc::refresh_host_view`]).
+    view: HostView,
     /// Module-shared L2 warmth, one per 2-core "Steamroller" module:
     /// kernel noise on either sibling cools it; user time on either
     /// rewarms it (which is why the refill constant is pre-halved in
@@ -170,12 +179,10 @@ impl Soc {
             .collect();
         let users: Vec<Option<UserThread>> = (0..cfg.num_cores)
             .map(|i| {
-                cpu_spec
-                    .filter(|s| i < s.threads)
-                    .map(|s| UserThread {
-                        remaining: s.work_per_thread,
-                        finished_at: None,
-                    })
+                cpu_spec.filter(|s| i < s.threads).map(|s| UserThread {
+                    remaining: s.work_per_thread,
+                    finished_at: None,
+                })
             })
             .collect();
         let activity: Vec<Activity> = users
@@ -193,7 +200,13 @@ impl Soc {
             .enumerate()
             .map(|(i, spec)| {
                 let mut grng = rng.fork(spec.name);
-                let gpu = Gpu::new(i, cfg.gpu, spec.profile, spec.total_work, grng.fork("iter0"));
+                let gpu = Gpu::new(
+                    i,
+                    cfg.gpu,
+                    spec.profile,
+                    spec.total_work,
+                    grng.fork("iter0"),
+                );
                 GpuRun {
                     gpu,
                     looping,
@@ -202,6 +215,7 @@ impl Soc {
                     done_stalled: Ns::ZERO,
                     done_completed: 0,
                     rng: grng,
+                    iter_label: String::with_capacity(16),
                 }
             })
             .collect();
@@ -214,17 +228,17 @@ impl Soc {
             KernelConfig {
                 costs: cfg.costs,
                 monolithic_bottom_half: mit.mitigation.monolithic_bottom_half,
-                bh_affinity: mit
-                    .mitigation
-                    .steer_single_core
-                    .then_some(cfg.steer_target),
+                bh_affinity: mit.mitigation.steer_single_core.then_some(cfg.steer_target),
                 qos: mit.qos,
             },
             cfg.num_cores,
         );
         Soc {
             now: Ns::ZERO,
-            queue: EventQueue::new(),
+            // A run's steady-state calendar holds ticks, user projections,
+            // GPU self-events, and a kernel cascade or two per core;
+            // pre-size generously so the heap never regrows mid-run.
+            queue: EventQueue::with_capacity(64 * cfg.num_cores.max(1)),
             activity,
             user_gen: vec![0; cfg.num_cores],
             users,
@@ -237,10 +251,13 @@ impl Soc {
             truncated: false,
             tracer: None,
             walker: PageWalker::new(WalkerConfig::default()),
+            view: HostView {
+                busy: Vec::with_capacity(cfg.num_cores),
+                preempt: Vec::with_capacity(cfg.num_cores),
+                wake: Vec::with_capacity(cfg.num_cores),
+            },
             module_warmth: (0..cfg.num_cores.div_ceil(2))
-                .map(|_| {
-                    WarmthModel::with_params(cfg.cpu.l2_pollution, cfg.cpu.l2_pollution)
-                })
+                .map(|_| WarmthModel::with_params(cfg.cpu.l2_pollution, cfg.cpu.l2_pollution))
                 .collect(),
             cfg,
         }
@@ -252,27 +269,25 @@ impl Soc {
 
     // ----- helpers ------------------------------------------------------
 
-    fn host_view(&self) -> HostView {
-        let n = self.cfg.num_cores;
-        let mut busy = vec![false; n];
-        let mut preempt = vec![Ns::ZERO; n];
-        let mut wake = vec![Ns::ZERO; n];
-        for c in 0..n {
+    /// Refills `self.view` with the current core states. Interrupt
+    /// delivery is the hottest kernel-model entry point, so the snapshot
+    /// buffers are owned and reused rather than allocated per call.
+    fn refresh_host_view(&mut self) {
+        let view = &mut self.view;
+        view.busy.clear();
+        view.preempt.clear();
+        view.wake.clear();
+        for c in 0..self.cfg.num_cores {
             let user_alive = self.users[c]
                 .as_ref()
                 .is_some_and(|u| u.finished_at.is_none());
-            busy[c] = user_alive;
-            if let Some(spec) = self.cpu_spec {
-                preempt[c] = spec.preempt_delay;
-            }
-            if let Activity::Idle { since } = self.activity[c] {
-                wake[c] = self.cores[c].predicted_wake_penalty(self.now - since);
-            }
-        }
-        HostView {
-            busy,
-            preempt,
-            wake,
+            view.busy.push(user_alive);
+            view.preempt
+                .push(self.cpu_spec.map_or(Ns::ZERO, |s| s.preempt_delay));
+            view.wake.push(match self.activity[c] {
+                Activity::Idle { since } => self.cores[c].predicted_wake_penalty(self.now - since),
+                _ => Ns::ZERO,
+            });
         }
     }
 
@@ -284,11 +299,8 @@ impl Soc {
                     tr.record(core, since, self.now, TimeCategory::User);
                 }
                 let spec = self.cpu_spec.expect("user activity implies a CPU app");
-                let done = self.cores[core].run_user(
-                    dur,
-                    spec.cache_sensitivity,
-                    spec.branch_sensitivity,
-                );
+                let done =
+                    self.cores[core].run_user(dur, spec.cache_sensitivity, spec.branch_sensitivity);
                 // Module-shared L2: an additional, smaller penalty from
                 // whatever kernel work ran on either sibling core,
                 // averaged over the slice (long slices re-warm the L2).
@@ -384,8 +396,7 @@ impl Soc {
         match self.iommu.on_request(req, self.now) {
             IommuDecision::Interrupt(core) => self.deliver_interrupt(core),
             IommuDecision::ArmTimer(deadline) => {
-                self.queue
-                    .push(deadline, Event::CoalesceTimer { deadline });
+                self.queue.push(deadline, Event::CoalesceTimer { deadline });
             }
             IommuDecision::Absorbed => {}
         }
@@ -396,8 +407,8 @@ impl Soc {
         if batch.is_empty() {
             return;
         }
-        let view = self.host_view();
-        let outputs = self.kernel.on_interrupt(&view, core, batch, self.now);
+        self.refresh_host_view();
+        let outputs = self.kernel.on_interrupt(&self.view, core, batch, self.now);
         for out in outputs {
             match out {
                 KernelOutput::Occupy {
@@ -441,8 +452,10 @@ impl Soc {
             run.done_busy += stats.busy;
             run.done_stalled += stats.stalled;
             run.done_completed += stats.ssrs_completed;
-            let iter_label = format!("iter{}", run.iterations);
-            run.gpu = run.gpu.relaunch(run.rng.fork(&iter_label), self.now);
+            use std::fmt::Write as _;
+            run.iter_label.clear();
+            let _ = write!(run.iter_label, "iter{}", run.iterations);
+            run.gpu = run.gpu.relaunch(run.rng.fork(&run.iter_label), self.now);
             self.arm_gpu(g);
         }
     }
@@ -585,12 +598,7 @@ impl Soc {
     }
 
     fn cpu_app_done(&self) -> bool {
-        self.cpu_spec.is_some()
-            && self
-                .users
-                .iter()
-                .flatten()
-                .all(|u| u.finished_at.is_some())
+        self.cpu_spec.is_some() && self.users.iter().flatten().all(|u| u.finished_at.is_some())
     }
 
     fn gpus_done(&self) -> bool {
@@ -801,8 +809,8 @@ impl ExperimentBuilder {
     ///
     /// Panics if `name` is not in the catalog.
     pub fn cpu_app(mut self, name: &str) -> Self {
-        let spec = CpuAppSpec::by_name(name)
-            .unwrap_or_else(|| panic!("unknown CPU benchmark {name:?}"));
+        let spec =
+            CpuAppSpec::by_name(name).unwrap_or_else(|| panic!("unknown CPU benchmark {name:?}"));
         self.cpu = Some(spec);
         self
     }
@@ -819,8 +827,8 @@ impl ExperimentBuilder {
     ///
     /// Panics if `name` is not in the catalog.
     pub fn gpu_app(mut self, name: &str) -> Self {
-        let spec = GpuAppSpec::by_name(name)
-            .unwrap_or_else(|| panic!("unknown GPU benchmark {name:?}"));
+        let spec =
+            GpuAppSpec::by_name(name).unwrap_or_else(|| panic!("unknown GPU benchmark {name:?}"));
         self.gpus.push(spec);
         self
     }
@@ -832,8 +840,8 @@ impl ExperimentBuilder {
     ///
     /// Panics if `name` is not in the catalog.
     pub fn gpu_app_pinned(mut self, name: &str) -> Self {
-        let spec = GpuAppSpec::by_name(name)
-            .unwrap_or_else(|| panic!("unknown GPU benchmark {name:?}"));
+        let spec =
+            GpuAppSpec::by_name(name).unwrap_or_else(|| panic!("unknown GPU benchmark {name:?}"));
         self.gpus.push(spec.pinned());
         self
     }
@@ -1018,7 +1026,11 @@ mod tests {
             .run();
         let counts = &steered.kernel.interrupts_per_core;
         assert!(counts[0] > 0);
-        assert_eq!(counts[1..].iter().sum::<u64>(), 0, "not steered: {counts:?}");
+        assert_eq!(
+            counts[1..].iter().sum::<u64>(),
+            0,
+            "not steered: {counts:?}"
+        );
     }
 
     #[test]

@@ -211,8 +211,16 @@ mod tests {
         t.record(1, Ns::ZERO, us(10), TimeCategory::SleepCc6);
         let g = t.into_trace().render_gantt(2, 10);
         let lines: Vec<&str> = g.lines().collect();
-        assert!(lines[1].starts_with("cpu0 |UUUUUUWWWW|"), "got {:?}", lines[1]);
-        assert!(lines[2].starts_with("cpu1 |zzzzzzzzzz|"), "got {:?}", lines[2]);
+        assert!(
+            lines[1].starts_with("cpu0 |UUUUUUWWWW|"),
+            "got {:?}",
+            lines[1]
+        );
+        assert!(
+            lines[2].starts_with("cpu1 |zzzzzzzzzz|"),
+            "got {:?}",
+            lines[2]
+        );
     }
 
     #[test]

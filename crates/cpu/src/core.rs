@@ -194,7 +194,8 @@ impl Core {
         let acc = self.cstate.account_idle(gap);
         self.breakdown.add(TimeCategory::IdleShallow, acc.shallow);
         self.breakdown.add(TimeCategory::SleepCc6, acc.cc6);
-        self.breakdown.add(TimeCategory::CStateTransition, acc.transition);
+        self.breakdown
+            .add(TimeCategory::CStateTransition, acc.transition);
         if acc.flushed {
             self.warmth.on_flush();
         }
@@ -247,7 +248,10 @@ mod tests {
         c.run_kernel(Ns::from_micros(20), TimeCategory::Worker);
         let done = c.run_user(Ns::from_micros(10), 0.5, 0.3);
         assert!(done < Ns::from_micros(10), "done {done}");
-        assert!(done > Ns::from_micros(5), "pollution unreasonably strong: {done}");
+        assert!(
+            done > Ns::from_micros(5),
+            "pollution unreasonably strong: {done}"
+        );
     }
 
     #[test]
@@ -296,7 +300,10 @@ mod tests {
         let acc = c.account_idle(Ns::from_micros(50));
         assert!(!acc.flushed);
         assert_eq!(c.warmth().cache_warmth(), 1.0);
-        assert_eq!(c.breakdown().get(TimeCategory::IdleShallow), Ns::from_micros(50));
+        assert_eq!(
+            c.breakdown().get(TimeCategory::IdleShallow),
+            Ns::from_micros(50)
+        );
     }
 
     #[test]

@@ -331,7 +331,8 @@ impl Gpu {
             self.rng
                 .gen_jitter(self.profile.mean_gap / 20, self.profile.jitter)
         } else {
-            self.rng.gen_jitter(self.profile.mean_gap, self.profile.jitter)
+            self.rng
+                .gen_jitter(self.profile.mean_gap, self.profile.jitter)
         };
         self.next_ssr_at_progress = self.progress.saturating_add(gap);
 
@@ -455,7 +456,13 @@ mod tests {
             max_outstanding: 3,
             ..GpuParams::default()
         };
-        let mut g = Gpu::new(0, params, profile(10, 0.0), Ns::from_millis(10), Rng::new(7));
+        let mut g = Gpu::new(
+            0,
+            params,
+            profile(10, 0.0),
+            Ns::from_millis(10),
+            Rng::new(7),
+        );
         let mut now = Ns::ZERO;
         let mut raised = Vec::new();
         for i in 0..3 {
@@ -483,7 +490,13 @@ mod tests {
             burst_prob: 0.0,
             kind: SsrKind::SoftPageFault,
         };
-        let mut g = Gpu::new(0, GpuParams::default(), prof, Ns::from_millis(1), Rng::new(3));
+        let mut g = Gpu::new(
+            0,
+            GpuParams::default(),
+            prof,
+            Ns::from_millis(1),
+            Rng::new(3),
+        );
         let mut now = Ns::ZERO;
         let mut ssr_times = Vec::new();
         loop {
@@ -581,7 +594,13 @@ mod tests {
             max_outstanding: 0,
             ..GpuParams::default()
         };
-        Gpu::new(0, params, SsrProfile::silent(), Ns::from_millis(1), Rng::new(1));
+        Gpu::new(
+            0,
+            params,
+            SsrProfile::silent(),
+            Ns::from_millis(1),
+            Rng::new(1),
+        );
     }
 }
 
@@ -609,7 +628,7 @@ mod proptests {
                     assert!(g.is_finished(), "deadlock: stalled with no completions");
                     break;
                 }
-                (Some((tg, kind)), nc) if nc.map_or(true, |tc| tg <= tc) => {
+                (Some((tg, kind)), nc) if nc.is_none_or(|tc| tg <= tc) => {
                     g.advance_to(tg);
                     now = tg;
                     match kind {

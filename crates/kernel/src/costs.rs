@@ -87,10 +87,7 @@ mod tests {
     fn batch_costs_scale_linearly() {
         let c = HandlerCosts::default();
         assert_eq!(c.top_half(0), c.top_half_base);
-        assert_eq!(
-            c.top_half(10) - c.top_half(0),
-            c.top_half_per_req * 10
-        );
+        assert_eq!(c.top_half(10) - c.top_half(0), c.top_half_per_req * 10);
         assert_eq!(
             c.bottom_half(4) - c.bottom_half(1),
             c.bottom_half_per_req * 3

@@ -326,8 +326,7 @@ impl Kernel {
                 costs.worker(request.kind)
             };
             let start = t.max(self.busy_until[w_core.0]);
-            let end =
-                self.occupy_opt(&mut out, w_core, start, dur, TimeCategory::Worker, w_shared);
+            let end = self.occupy_opt(&mut out, w_core, start, dur, TimeCategory::Worker, w_shared);
             // --- ⑥ completion --------------------------------------------
             out.push(KernelOutput::SsrComplete { request, at: end });
             self.stats.ssrs_serviced += 1;
@@ -447,9 +446,14 @@ mod tests {
         // bh kthread homes on core 1; interrupt on core 0 → IPI.
         let out = k.on_interrupt(&host, CoreId(0), vec![req(0, Ns::ZERO)], Ns::ZERO);
         assert!(k.stats().ipis >= 1);
-        assert!(out
-            .iter()
-            .any(|o| matches!(o, KernelOutput::Ipi { from: CoreId(0), to: CoreId(1), .. })));
+        assert!(out.iter().any(|o| matches!(
+            o,
+            KernelOutput::Ipi {
+                from: CoreId(0),
+                to: CoreId(1),
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -513,12 +517,9 @@ mod tests {
             Ns::ZERO,
         ))[0];
         let mut k_busy = kernel(KernelConfig::default());
-        let busy_done = completions(&k_busy.on_interrupt(
-            &FakeHost::all_busy(4),
-            CoreId(0),
-            batch,
-            Ns::ZERO,
-        ))[0];
+        let busy_done =
+            completions(&k_busy.on_interrupt(&FakeHost::all_busy(4), CoreId(0), batch, Ns::ZERO))
+                [0];
         assert!(
             busy_done > idle_done,
             "busy {busy_done} should exceed idle {idle_done}"
@@ -581,7 +582,12 @@ mod tests {
         // deferring once SSR time exceeds 1% of aggregate CPU time.
         let mut now = Ns::ZERO;
         for i in 0..200 {
-            k.on_interrupt(&host, CoreId((i % 4) as usize), vec![req(i as u64, now)], now);
+            k.on_interrupt(
+                &host,
+                CoreId((i % 4) as usize),
+                vec![req(i as u64, now)],
+                now,
+            );
             now += Ns::from_micros(10);
         }
         assert!(

@@ -312,7 +312,10 @@ mod tests {
     #[test]
     fn cold_miss_then_hit() {
         let mut c = tiny();
-        assert_eq!(c.access(0, Owner::User), AccessResult::Miss { evicted: None });
+        assert_eq!(
+            c.access(0, Owner::User),
+            AccessResult::Miss { evicted: None }
+        );
         assert_eq!(c.access(0, Owner::User), AccessResult::Hit);
         assert_eq!(c.hits(), 1);
         assert_eq!(c.misses(), 1);
@@ -337,7 +340,12 @@ mod tests {
         c.access(b, Owner::User);
         c.access(a, Owner::User); // a more recent than b
         let res = c.access(d, Owner::User); // evicts b
-        assert_eq!(res, AccessResult::Miss { evicted: Some(Owner::User) });
+        assert_eq!(
+            res,
+            AccessResult::Miss {
+                evicted: Some(Owner::User)
+            }
+        );
         assert!(c.access(a, Owner::User).is_hit());
         assert!(!c.access(b, Owner::User).is_hit()); // b was the victim
     }

@@ -88,7 +88,10 @@ impl WarmthModel {
     /// Creates a model starting fully warm, with default L1D/branch
     /// parameters.
     pub fn new_warm() -> Self {
-        Self::with_params(PollutionParams::l1d_default(), PollutionParams::branch_default())
+        Self::with_params(
+            PollutionParams::l1d_default(),
+            PollutionParams::branch_default(),
+        )
     }
 
     /// Creates a fully-warm model with explicit parameters.
@@ -161,12 +164,7 @@ impl WarmthModel {
     /// `cache_sensitivity` / `branch_sensitivity` are per-application
     /// factors: the maximum fractional slowdown when the structure is
     /// fully cold.
-    pub fn user_slowdown(
-        &self,
-        dur: Ns,
-        cache_sensitivity: f64,
-        branch_sensitivity: f64,
-    ) -> f64 {
+    pub fn user_slowdown(&self, dur: Ns, cache_sensitivity: f64, branch_sensitivity: f64) -> f64 {
         // Mean of (1 - warmth) over an exponential refill of length d with
         // time constant tau, starting from w0:
         //   avg_cold = (1 - w0) * tau/d * (1 - exp(-d/tau))

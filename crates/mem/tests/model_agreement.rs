@@ -176,7 +176,10 @@ fn branch_predictor_pollution_agrees_with_warmth() {
     let clean = mispredict_rate(0);
     let light = mispredict_rate(64);
     let heavy = mispredict_rate(512);
-    assert!(light > clean, "light pollution invisible: {clean} vs {light}");
+    assert!(
+        light > clean,
+        "light pollution invisible: {clean} vs {light}"
+    );
     assert!(heavy > light, "heavier pollution should hurt more");
 
     // Statistical side: same ordering via branch warmth.

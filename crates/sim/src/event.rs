@@ -72,8 +72,14 @@ pub struct EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty calendar.
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Creates an empty calendar pre-sized for `capacity` pending events,
+    /// avoiding heap regrowth on the simulation hot path.
+    pub fn with_capacity(capacity: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: BinaryHeap::with_capacity(capacity),
             next_seq: 0,
             watermark: Ns::ZERO,
         }
@@ -85,15 +91,22 @@ impl<E> EventQueue<E> {
     ///
     /// Panics if `due` is earlier than the time of the last popped event —
     /// scheduling into the past would silently corrupt causality.
+    #[inline]
     pub fn push(&mut self, due: Ns, event: E) {
-        assert!(
-            due >= self.watermark,
-            "event scheduled at {due} is before current time {}",
-            self.watermark
-        );
+        // Keep the check branch-cheap: no formatting machinery on the
+        // hot path, just a compare and a never-inlined cold call.
+        if due < self.watermark {
+            Self::causality_violation(due, self.watermark);
+        }
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { due, seq, event });
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn causality_violation(due: Ns, watermark: Ns) -> ! {
+        panic!("event scheduled at {due} is before current time {watermark}");
     }
 
     /// Removes and returns the earliest event, advancing the causality
@@ -155,6 +168,16 @@ mod tests {
         let got: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
         let want: Vec<i32> = (0..100).collect();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut q = EventQueue::with_capacity(16);
+        assert!(q.is_empty());
+        q.push(Ns::from_nanos(3), 'a');
+        q.push(Ns::from_nanos(1), 'b');
+        assert_eq!(q.pop(), Some((Ns::from_nanos(1), 'b')));
+        assert_eq!(q.pop(), Some((Ns::from_nanos(3), 'a')));
     }
 
     #[test]

@@ -273,9 +273,7 @@ mod tests {
         let mut r = Rng::new(10);
         let n = 1000;
         let samples = 50_000;
-        let low = (0..samples)
-            .filter(|_| r.gen_zipf(n, 0.8) < n / 10)
-            .count();
+        let low = (0..samples).filter(|_| r.gen_zipf(n, 0.8) < n / 10).count();
         // With strong skew, far more than 10% of samples land in the first decile.
         assert!(
             low as f64 / samples as f64 > 0.3,

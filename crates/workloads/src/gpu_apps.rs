@@ -124,7 +124,10 @@ impl GpuAppSpec {
     /// hard page faults that hit swap.
     pub fn with_kind(&self, kind: SsrKind) -> GpuAppSpec {
         GpuAppSpec {
-            profile: SsrProfile { kind, ..self.profile },
+            profile: SsrProfile {
+                kind,
+                ..self.profile
+            },
             ..*self
         }
     }

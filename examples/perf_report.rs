@@ -1,0 +1,119 @@
+//! Criterion-free performance report for the experiment engine.
+//!
+//! Times the full Fig. 3 grid (13 CPU × 6 GPU applications, the
+//! workhorse of every evaluation artifact) three ways:
+//!
+//! 1. **serial, cold cache** — `HISS_THREADS=1`, `BaselineCache` empty:
+//!    the pre-runner behaviour;
+//! 2. **parallel, cold cache** — all available workers (at least 4), the
+//!    default path on a multi-core host;
+//! 3. **parallel, warm cache** — baselines already memoized by an
+//!    earlier figure, the steady state of a full figures regeneration.
+//!
+//! Plus a raw [`hiss_sim::EventQueue`] throughput measurement
+//! (events/second through push+pop), the substrate the hot-path tuning
+//! targets.
+//!
+//! Emits one human-readable block and one machine-readable JSON line
+//! (prefix `PERF_REPORT_JSON`), suitable for committing alongside the
+//! code it measures. Run with:
+//!
+//! ```text
+//! cargo run --release --example perf_report
+//! ```
+
+use std::time::Instant;
+
+use hiss::experiments::{fig3, BaselineCache};
+use hiss::SystemConfig;
+
+fn time_fig3(cfg: &SystemConfig, threads: usize, clear_cache: bool) -> (f64, usize) {
+    std::env::set_var("HISS_THREADS", threads.to_string());
+    if clear_cache {
+        BaselineCache::global().clear();
+    }
+    let start = Instant::now();
+    let rows = fig3::fig3(cfg);
+    let secs = start.elapsed().as_secs_f64();
+    std::env::remove_var("HISS_THREADS");
+    (secs, rows.len())
+}
+
+fn event_queue_events_per_sec() -> f64 {
+    use hiss_sim::{EventQueue, Ns, Rng};
+    let mut rng = Rng::new(7);
+    let times: Vec<Ns> = (0..4096u64)
+        .map(|_| Ns::from_nanos(rng.gen_range(0, 1_000_000)))
+        .collect();
+    // Calibrated batch count: ~10^7 events keeps the measurement well
+    // above timer resolution without slowing the report down.
+    let reps = 2_500;
+    let start = Instant::now();
+    let mut sink = 0usize;
+    for _ in 0..reps {
+        let mut q = EventQueue::with_capacity(times.len());
+        for (i, t) in times.iter().enumerate() {
+            q.push(*t, i);
+        }
+        while let Some((_, e)) = q.pop() {
+            sink = sink.wrapping_add(e);
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    std::hint::black_box(sink);
+    (reps as f64 * times.len() as f64) / secs
+}
+
+fn main() {
+    let cfg = SystemConfig::a10_7850k();
+    let host_workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    // The parallel measurement always asks for at least 4 workers; on
+    // hosts with fewer cores they time-slice (and the speedup column
+    // will honestly show ~1x — the warm-cache row is the hardware-
+    // independent win).
+    let workers = host_workers.max(4);
+
+    let (serial_cold_s, cells) = time_fig3(&cfg, 1, true);
+    let (parallel_cold_s, _) = time_fig3(&cfg, workers, true);
+    let (parallel_warm_s, _) = time_fig3(&cfg, workers, false);
+
+    let speedup_parallel = serial_cold_s / parallel_cold_s;
+    let speedup_warm = serial_cold_s / parallel_warm_s;
+    let events_per_sec = event_queue_events_per_sec();
+
+    println!("perf_report: fig3 grid, {cells} cells, host parallelism {host_workers}");
+    println!(
+        "  serial cold    {serial_cold_s:8.3} s   {:8.2} cells/s",
+        cells as f64 / serial_cold_s
+    );
+    println!(
+        "  parallel cold  {parallel_cold_s:8.3} s   {:8.2} cells/s   ({workers} workers, {speedup_parallel:.2}x)",
+        cells as f64 / parallel_cold_s
+    );
+    println!(
+        "  parallel warm  {parallel_warm_s:8.3} s   {:8.2} cells/s   (cached baselines, {speedup_warm:.2}x)",
+        cells as f64 / parallel_warm_s
+    );
+    println!("  event queue    {events_per_sec:.3e} events/s");
+    println!(
+        "  baseline cache {} entries, {} hits / {} misses",
+        BaselineCache::global().len(),
+        BaselineCache::global().hit_count(),
+        BaselineCache::global().miss_count()
+    );
+
+    println!(
+        "PERF_REPORT_JSON {{\"grid\":\"fig3\",\"cells\":{cells},\
+         \"host_workers\":{host_workers},\"workers\":{workers},\
+         \"serial_cold_s\":{serial_cold_s:.4},\
+         \"parallel_cold_s\":{parallel_cold_s:.4},\
+         \"parallel_warm_s\":{parallel_warm_s:.4},\
+         \"speedup_parallel\":{speedup_parallel:.3},\
+         \"speedup_warm\":{speedup_warm:.3},\
+         \"cells_per_sec_cold\":{:.3},\
+         \"event_queue_events_per_sec\":{events_per_sec:.0}}}",
+        cells as f64 / parallel_cold_s
+    );
+}

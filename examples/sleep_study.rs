@@ -39,7 +39,11 @@ fn main() {
             ..Mitigation::DEFAULT
         })
         .run();
-    for (label, r) in [("no SSRs", &quiet), ("SSRs, default", &noisy), ("SSRs, steered", &steered)] {
+    for (label, r) in [
+        ("no SSRs", &quiet),
+        ("SSRs, default", &noisy),
+        ("SSRs, steered", &steered),
+    ] {
         println!(
             "  {label:>14}: {:5.2} W avg  (CC6 {:4.1}%)",
             r.energy.cpu_avg_watts,

@@ -37,7 +37,11 @@ fn main() {
         .run();
     println!(
         "{}",
-        quiet.trace.as_ref().unwrap().render_gantt(cfg.num_cores, 100)
+        quiet
+            .trace
+            .as_ref()
+            .unwrap()
+            .render_gantt(cfg.num_cores, 100)
     );
 
     println!("\nGPU-only sssp (idle CPUs, 2ms window): sleep and wake-ups:\n");
@@ -47,6 +51,9 @@ fn main() {
         .run();
     println!(
         "{}",
-        idle.trace.as_ref().unwrap().render_gantt(cfg.num_cores, 100)
+        idle.trace
+            .as_ref()
+            .unwrap()
+            .render_gantt(cfg.num_cores, 100)
     );
 }

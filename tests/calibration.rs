@@ -224,7 +224,11 @@ fn coalescing_trade_off() {
         m.ssr_rate,
         def.ssr_rate
     );
-    assert!(m.kernel.mean_batch > 1.3, "batching {}", m.kernel.mean_batch);
+    assert!(
+        m.kernel.mean_batch > 1.3,
+        "batching {}",
+        m.kernel.mean_batch
+    );
     let base = ExperimentBuilder::new(c)
         .cpu_app("x264")
         .gpu_app_pinned("ubench")

@@ -116,7 +116,9 @@ fn eight_core_system() {
 #[test]
 fn pinned_gpu_run_is_exact() {
     let spec = hiss::GpuAppSpec::by_name("xsbench").unwrap();
-    let r = ExperimentBuilder::new(cfg()).gpu_app_pinned("xsbench").run();
+    let r = ExperimentBuilder::new(cfg())
+        .gpu_app_pinned("xsbench")
+        .run();
     assert_eq!(r.elapsed, spec.total_work);
     assert_eq!(r.gpu_progress, spec.total_work);
     assert!((r.gpu_throughput - 1.0).abs() < 1e-9);

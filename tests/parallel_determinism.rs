@@ -1,0 +1,103 @@
+//! The parallel experiment engine must be invisible in the output:
+//! figure grids computed on the job pool are required to be bit-for-bit
+//! identical to the serial path, whatever the worker count and whatever
+//! the cache state. These tests pin that contract for a representative
+//! row-grid (`fig3`) and a reduced grid (`pareto`), including the
+//! `HISS_THREADS` override the runner sizes itself from.
+
+use hiss::experiments::{fig3, pareto, test_cpu_subset, test_gpu_subset, BaselineCache};
+use hiss::{run_jobs_on, ExperimentBuilder, Mitigation, SystemConfig};
+
+/// Exact (bit-level) fingerprint of a Fig. 3 grid.
+fn fig3_bits(rows: &[fig3::Fig3Row]) -> Vec<(String, String, u64, u64)> {
+    rows.iter()
+        .map(|r| {
+            (
+                r.cpu_app.clone(),
+                r.gpu_app.clone(),
+                r.cpu_perf.to_bits(),
+                r.gpu_perf.to_bits(),
+            )
+        })
+        .collect()
+}
+
+/// Exact (bit-level) fingerprint of a Pareto chart.
+fn pareto_bits(points: &[pareto::ParetoPoint]) -> Vec<(String, u64, u64)> {
+    points
+        .iter()
+        .map(|p| {
+            (
+                p.mitigation.label(),
+                p.cpu_geomean.to_bits(),
+                p.gpu_geomean.to_bits(),
+            )
+        })
+        .collect()
+}
+
+/// One test owns the `HISS_THREADS` variable end to end: tests within a
+/// binary run on concurrent threads, so the env mutation must not be
+/// split across several `#[test]` functions.
+#[test]
+fn hiss_threads_1_and_8_produce_identical_grids() {
+    let cfg = SystemConfig::a10_7850k();
+    let cpu = test_cpu_subset();
+    let gpu = test_gpu_subset();
+    let combos = [
+        Mitigation::DEFAULT,
+        Mitigation {
+            coalesce: true,
+            ..Mitigation::DEFAULT
+        },
+    ];
+
+    std::env::set_var("HISS_THREADS", "1");
+    BaselineCache::global().clear();
+    let fig3_serial = fig3::fig3_with(&cfg, &cpu, &gpu);
+    let pareto_serial = pareto::pareto_with(&cfg, &cpu, &["ubench"], &combos);
+
+    std::env::set_var("HISS_THREADS", "8");
+    BaselineCache::global().clear();
+    let fig3_parallel = fig3::fig3_with(&cfg, &cpu, &gpu);
+    let pareto_parallel = pareto::pareto_with(&cfg, &cpu, &["ubench"], &combos);
+
+    // And once more against a *warm* cache: memoized baselines must not
+    // change any value either.
+    let fig3_warm = fig3::fig3_with(&cfg, &cpu, &gpu);
+    std::env::remove_var("HISS_THREADS");
+
+    assert_eq!(fig3_serial.len(), cpu.len() * gpu.len());
+    assert_eq!(fig3_bits(&fig3_serial), fig3_bits(&fig3_parallel));
+    assert_eq!(fig3_bits(&fig3_serial), fig3_bits(&fig3_warm));
+    assert_eq!(pareto_bits(&pareto_serial), pareto_bits(&pareto_parallel));
+}
+
+/// The runner itself, driven with explicit worker counts over real
+/// simulation jobs: scheduling must not leak into results or order.
+#[test]
+fn explicit_worker_counts_agree_on_simulation_results() {
+    let cfg = SystemConfig::a10_7850k();
+    let cells: Vec<(&str, &str)> = ["x264", "raytrace"]
+        .iter()
+        .flat_map(|c| ["sssp", "ubench"].iter().map(move |g| (*c, *g)))
+        .collect();
+    let job = |i: usize| {
+        let (cpu_app, gpu_app) = cells[i];
+        let r = ExperimentBuilder::new(cfg)
+            .cpu_app(cpu_app)
+            .gpu_app(gpu_app)
+            .run();
+        (
+            r.elapsed,
+            r.cpu_app_runtime,
+            r.kernel.ssrs_serviced,
+            r.kernel.ipis,
+        )
+    };
+    let serial = run_jobs_on(1, cells.len(), job);
+    for threads in [2, 4, 8] {
+        let parallel = run_jobs_on(threads, cells.len(), job);
+        assert_eq!(serial, parallel, "threads={threads}");
+    }
+}

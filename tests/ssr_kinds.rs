@@ -20,7 +20,11 @@ fn run_kind(kind: SsrKind) -> hiss::RunReport {
 fn every_kind_flows_end_to_end() {
     for kind in SsrKind::ALL {
         let r = run_kind(kind);
-        assert!(r.kernel.ssrs_serviced > 50, "{kind:?}: {}", r.kernel.ssrs_serviced);
+        assert!(
+            r.kernel.ssrs_serviced > 50,
+            "{kind:?}: {}",
+            r.kernel.ssrs_serviced
+        );
         assert_eq!(
             r.iommu.drained + r.pending_at_end as u64,
             r.iommu.requests,
@@ -69,7 +73,9 @@ fn cpu_overhead_tracks_complexity() {
 /// longer), and the QoS governor still bounds them.
 #[test]
 fn qos_covers_expensive_services() {
-    let spec = GpuAppSpec::by_name("sssp").unwrap().with_kind(SsrKind::HardPageFault);
+    let spec = GpuAppSpec::by_name("sssp")
+        .unwrap()
+        .with_kind(SsrKind::HardPageFault);
     let r = ExperimentBuilder::new(cfg())
         .cpu_app("swaptions")
         .gpu_spec(spec)
@@ -89,7 +95,10 @@ fn qos_covers_expensive_services() {
 fn pinned_baseline_is_kind_independent() {
     let mut elapsed: Option<Ns> = None;
     for kind in SsrKind::ALL {
-        let spec = GpuAppSpec::by_name("spmv").unwrap().with_kind(kind).pinned();
+        let spec = GpuAppSpec::by_name("spmv")
+            .unwrap()
+            .with_kind(kind)
+            .pinned();
         let r = ExperimentBuilder::new(cfg()).gpu_spec(spec).run();
         assert_eq!(r.kernel.ssrs_serviced, 0);
         match elapsed {
