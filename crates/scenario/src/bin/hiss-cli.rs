@@ -6,13 +6,21 @@
 //!              [--qos <percent>] [--seed <n>] [--gpus <n>] [--json]
 //! hiss-cli timeline --cpu x264 --gpu ubench --from-us 5000 --to-us 5400
 //! hiss-cli figures [--quick]
+//! hiss-cli scenario validate <file>...
+//! hiss-cli scenario run <file> [--quick] [--json] [--no-check]
+//! hiss-cli scenario list [<dir>]
 //! ```
+//!
+//! Unknown flags are errors (with a nearest-match suggestion), never
+//! silently ignored.
 
 use std::env;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use hiss::experiments::{fig12, fig3, fig4, fig9, tables};
 use hiss::{ExperimentBuilder, Mitigation, Ns, QosParams, RunReport, SystemConfig};
+use hiss_scenario as scenario;
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -20,26 +28,66 @@ fn usage() -> ExitCode {
          [--pinned] [--steer] [--coalesce] [--mono] [--qos <pct>] \
          [--seed <n>] [--gpus <n>] [--json]\n  hiss-cli timeline --cpu <app> \
          --gpu <app> --from-us <t0> --to-us <t1> [--width <cols>]\n  \
-         hiss-cli figures [--quick]"
+         hiss-cli figures [--quick]\n  \
+         hiss-cli scenario validate <file>...\n  \
+         hiss-cli scenario run <file> [--quick] [--json] [--no-check]\n  \
+         hiss-cli scenario list [<dir>]"
     );
     ExitCode::FAILURE
 }
 
-/// Minimal flag parser: `--key value` and boolean `--flag`.
+/// Strict flag parser: every `--flag` must appear in the command's
+/// allow-list, boolean and value flags are distinguished up front, and
+/// anything unknown is an error with a "did you mean" suggestion.
 struct Args {
-    items: Vec<String>,
+    bools: Vec<&'static str>,
+    values: Vec<(&'static str, String)>,
+    positional: Vec<String>,
 }
 
 impl Args {
+    fn parse(
+        argv: Vec<String>,
+        bool_flags: &[&'static str],
+        value_flags: &[&'static str],
+    ) -> Result<Args, String> {
+        let mut args = Args {
+            bools: Vec::new(),
+            values: Vec::new(),
+            positional: Vec::new(),
+        };
+        let mut iter = argv.into_iter();
+        while let Some(item) = iter.next() {
+            if !item.starts_with("--") {
+                args.positional.push(item);
+                continue;
+            }
+            if let Some(&flag) = bool_flags.iter().find(|&&f| f == item) {
+                args.bools.push(flag);
+            } else if let Some(&flag) = value_flags.iter().find(|&&f| f == item) {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("{flag} expects a value"))?;
+                args.values.push((flag, value));
+            } else {
+                let known: Vec<&str> = bool_flags.iter().chain(value_flags).copied().collect();
+                let hint = scenario::nearest(&item, &known)
+                    .map(|n| format!(" (did you mean {n}?)"))
+                    .unwrap_or_default();
+                return Err(format!("unknown flag {item}{hint}"));
+            }
+        }
+        Ok(args)
+    }
+
     fn flag(&self, name: &str) -> bool {
-        self.items.iter().any(|a| a == name)
+        self.bools.contains(&name)
     }
     fn value(&self, name: &str) -> Option<&str> {
-        self.items
+        self.values
             .iter()
-            .position(|a| a == name)
-            .and_then(|i| self.items.get(i + 1))
-            .map(|s| s.as_str())
+            .find(|(f, _)| *f == name)
+            .map(|(_, v)| v.as_str())
     }
 }
 
@@ -145,14 +193,180 @@ fn build(cfg: SystemConfig, args: &Args) -> Option<ExperimentBuilder> {
     Some(b)
 }
 
+/// `hiss-cli scenario <verb> ...`
+fn scenario_command(mut argv: Vec<String>) -> ExitCode {
+    if argv.is_empty() {
+        eprintln!("scenario requires a verb: validate, run, or list");
+        return ExitCode::FAILURE;
+    }
+    let verb = argv.remove(0);
+    match verb.as_str() {
+        "validate" => {
+            let args = match Args::parse(argv, &[], &[]) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if args.positional.is_empty() {
+                eprintln!("scenario validate requires at least one file");
+                return ExitCode::FAILURE;
+            }
+            let mut failed = false;
+            for file in &args.positional {
+                match scenario::load(Path::new(file)) {
+                    Ok(sc) => {
+                        let cells = scenario::expand(&sc, false).len();
+                        let quick = scenario::expand(&sc, true).len();
+                        println!(
+                            "{file}: ok — \"{}\", {cells} cells ({quick} quick), {} expect bands",
+                            sc.name,
+                            sc.expects.len()
+                        );
+                    }
+                    Err(e) => {
+                        eprintln!("{file}: {e}");
+                        failed = true;
+                    }
+                }
+            }
+            if failed {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        "run" => {
+            let args = match Args::parse(argv, &["--quick", "--json", "--no-check"], &[]) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let [file] = args.positional.as_slice() else {
+                eprintln!("scenario run requires exactly one file");
+                return ExitCode::FAILURE;
+            };
+            let sc = match scenario::load(Path::new(file)) {
+                Ok(sc) => sc,
+                Err(e) => {
+                    eprintln!("{file}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let quick = args.flag("--quick");
+            let rows = scenario::run(&sc, quick);
+            if args.flag("--json") {
+                print!("{}", scenario::output::to_jsonl(&rows));
+            } else {
+                println!("scenario \"{}\" — {} rows", sc.name, rows.len());
+                print!("{}", scenario::output::to_table(&rows));
+            }
+            if args.flag("--no-check") {
+                return ExitCode::SUCCESS;
+            }
+            let violations = scenario::check(&sc, &rows);
+            if violations.is_empty() {
+                if !args.flag("--json") && !sc.expects.is_empty() {
+                    println!("all {} expect bands hold", sc.expects.len());
+                }
+                ExitCode::SUCCESS
+            } else {
+                for v in &violations {
+                    eprintln!("{file}: expect violation: {v}");
+                }
+                ExitCode::FAILURE
+            }
+        }
+        "list" => {
+            let args = match Args::parse(argv, &[], &[]) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let dir = match args.positional.as_slice() {
+                [] => PathBuf::from("scenarios"),
+                [d] => PathBuf::from(d),
+                _ => {
+                    eprintln!("scenario list takes at most one directory");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let files = match scenario::list_files(&dir) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("cannot list {}: {e}", dir.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            for path in files {
+                match scenario::load(&path) {
+                    Ok(sc) => println!(
+                        "{:<28} {:<22} {} cells",
+                        path.display(),
+                        sc.name,
+                        scenario::expand(&sc, false).len()
+                    ),
+                    Err(e) => println!("{:<28} INVALID: {e}", path.display()),
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown scenario verb {other:?}: expected validate, run, or list");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let mut argv: Vec<String> = env::args().skip(1).collect();
     if argv.is_empty() {
         return usage();
     }
     let command = argv.remove(0);
-    let args = Args { items: argv };
     let cfg = SystemConfig::a10_7850k();
+
+    // Per-command flag allow-lists; anything else is rejected.
+    let parsed = match command.as_str() {
+        "list" | "figures" => Args::parse(argv, &["--quick"], &[]),
+        "run" => Args::parse(
+            argv,
+            &["--pinned", "--steer", "--coalesce", "--mono", "--json"],
+            &["--cpu", "--gpu", "--qos", "--seed", "--gpus"],
+        ),
+        "timeline" => Args::parse(
+            argv,
+            &["--pinned", "--steer", "--coalesce", "--mono"],
+            &[
+                "--cpu",
+                "--gpu",
+                "--qos",
+                "--seed",
+                "--gpus",
+                "--from-us",
+                "--to-us",
+                "--width",
+            ],
+        ),
+        "scenario" => return scenario_command(argv),
+        _ => return usage(),
+    };
+    let args = match parsed {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(stray) = args.positional.first() {
+        eprintln!("unexpected argument {stray:?}");
+        return ExitCode::FAILURE;
+    }
 
     match command.as_str() {
         "list" => {

@@ -1,0 +1,305 @@
+//! The batch compiler: lowers a validated [`Scenario`] into pure
+//! simulation jobs on the [`hiss::runner`] pool.
+//!
+//! A scenario expands into a cartesian grid of **cells**:
+//!
+//! ```text
+//! sweep axis 1 × … × sweep axis N × GPU app × CPU app × replica
+//! ```
+//!
+//! with the first sweep axis as the outermost loop and replicas
+//! innermost. With no sweeps and one replica this is exactly the
+//! GPU-major `gpu × cpu` grid the figure modules use, so a scenario
+//! re-expressing Fig. 3 yields rows in the same order — and, because a
+//! cell's result is a pure function of its knobs, bit-identical values
+//! (`tests/scenarios.rs` pins this).
+//!
+//! Every cell reuses the process-wide
+//! [`BaselineCache`](hiss::BaselineCache) for its two normalisation
+//! baselines, and cells whose knobs are the paper's default
+//! configuration resolve the noisy run through the cache too (sharing it
+//! with the figure modules).
+
+use hiss::{BaselineCache, ExperimentBuilder, Mitigation, QosParams, RunReport};
+
+use crate::spec::{Knobs, Scenario};
+
+/// One fully resolved simulation job of a scenario batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// CPU (PARSEC) application.
+    pub cpu_app: String,
+    /// GPU application.
+    pub gpu_app: String,
+    /// Sweep-axis coordinates, `(field key, rendered value)`, in axis
+    /// order. Empty when the scenario has no `[sweep]` section.
+    pub axes: Vec<(String, String)>,
+    /// Replica index (0-based; replica *i* runs with `seed + i`).
+    pub replica: u32,
+    /// The cell's resolved knobs.
+    pub knobs: Knobs,
+}
+
+/// One result row: the cell's coordinates plus every metric an
+/// `[expect]` band can constrain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// CPU application.
+    pub cpu_app: String,
+    /// GPU application.
+    pub gpu_app: String,
+    /// Sweep-axis coordinates, as in [`Cell::axes`].
+    pub axes: Vec<(String, String)>,
+    /// Replica index.
+    pub replica: u32,
+    /// Normalised CPU application performance (Fig. 3a semantics:
+    /// against the same pairing with no SSRs). `None` if the CPU
+    /// application did not finish within the simulation-time cap.
+    pub cpu_perf: Option<f64>,
+    /// Normalised GPU performance (Fig. 3b semantics: against the GPU on
+    /// idle CPUs; SSR-rate ratio for `ubench`, work-throughput ratio
+    /// otherwise).
+    pub gpu_perf: f64,
+    /// CPU application runtime in nanoseconds, if it finished.
+    pub cpu_runtime_ns: Option<u64>,
+    /// Absolute GPU throughput (1.0 = a GPU that never stalls).
+    pub gpu_throughput: f64,
+    /// SSR completions per second.
+    pub ssr_rate: f64,
+    /// SSRs fully serviced.
+    pub ssrs_serviced: u64,
+    /// Mean end-to-end SSR latency, µs.
+    pub mean_ssr_latency_us: f64,
+    /// p99 end-to-end SSR latency, µs.
+    pub p99_ssr_latency_us: f64,
+    /// Mean CC6 residency across cores.
+    pub cc6_residency: f64,
+    /// Fraction of aggregate CPU time spent on SSR servicing.
+    pub ssr_overhead: f64,
+    /// Inter-processor interrupts sent.
+    pub ipis: u64,
+    /// QoS deferral episodes.
+    pub qos_deferrals: u64,
+}
+
+/// Expands a scenario into its cell grid for the given mode.
+///
+/// Quick mode swaps in the `[workload]` quick subsets; sweep axes and
+/// replicas are preserved (scenario authors control quick cost through
+/// `quick_cpu`/`quick_gpu`).
+pub fn expand(sc: &Scenario, quick: bool) -> Vec<Cell> {
+    let cpu_apps = sc.cpu_apps(quick);
+    let gpu_apps = sc.gpu_apps(quick);
+    let mut cells = Vec::new();
+    let mut coords = vec![0usize; sc.sweeps.len()];
+    loop {
+        // Resolve the current sweep point.
+        let mut knobs = sc.base;
+        let mut axes = Vec::with_capacity(sc.sweeps.len());
+        for (axis, &i) in sc.sweeps.iter().zip(&coords) {
+            let value = &axis.values[i];
+            axis.field
+                .apply(&mut knobs, value, axis.line)
+                .expect("sweep values were validated at parse time");
+            axes.push((axis.field.key().to_string(), value.render()));
+        }
+        for gpu_app in gpu_apps {
+            for cpu_app in cpu_apps {
+                for replica in 0..sc.replicas {
+                    let mut k = knobs;
+                    k.cfg.seed = k.cfg.seed.wrapping_add(replica as u64);
+                    cells.push(Cell {
+                        cpu_app: cpu_app.clone(),
+                        gpu_app: gpu_app.clone(),
+                        axes: axes.clone(),
+                        replica,
+                        knobs: k,
+                    });
+                }
+            }
+        }
+        // Odometer over sweep axes, last axis fastest.
+        let mut dim = sc.sweeps.len();
+        loop {
+            if dim == 0 {
+                return cells;
+            }
+            dim -= 1;
+            coords[dim] += 1;
+            if coords[dim] < sc.sweeps[dim].values.len() {
+                break;
+            }
+            coords[dim] = 0;
+        }
+    }
+}
+
+/// Runs one cell: the noisy run plus its two cached baselines.
+fn run_cell(cell: &Cell) -> Row {
+    let cache = BaselineCache::global();
+    let cfg = &cell.knobs.cfg;
+    let base = cache.cpu_baseline(cfg, &cell.cpu_app, &cell.gpu_app);
+    let gpu_base = cache.gpu_idle_baseline(cfg, &cell.gpu_app);
+    let is_default = cell.knobs.mitigation == Mitigation::DEFAULT
+        && cell.knobs.qos_percent == 0.0
+        && cell.knobs.gpus == 1;
+    let run = if is_default {
+        cache.corun_default(cfg, &cell.cpu_app, &cell.gpu_app)
+    } else {
+        let mut b = ExperimentBuilder::new(*cfg)
+            .cpu_app(&cell.cpu_app)
+            .mitigation(cell.knobs.mitigation);
+        for _ in 0..cell.knobs.gpus {
+            b = b.gpu_app(&cell.gpu_app);
+        }
+        if cell.knobs.qos_percent > 0.0 {
+            b = b.qos(QosParams::threshold_percent(cell.knobs.qos_percent));
+        }
+        std::sync::Arc::new(b.run())
+    };
+    row_from_report(cell, &run, &base, &gpu_base)
+}
+
+fn row_from_report(cell: &Cell, run: &RunReport, base: &RunReport, gpu_base: &RunReport) -> Row {
+    // ubench's figure metric is SSR throughput; full applications use
+    // work throughput — identical to the fig3/fig6/pareto modules.
+    let gpu_perf = if cell.gpu_app == "ubench" {
+        run.ssr_rate_vs(gpu_base)
+    } else {
+        run.gpu_perf_vs(gpu_base)
+    };
+    Row {
+        cpu_app: cell.cpu_app.clone(),
+        gpu_app: cell.gpu_app.clone(),
+        axes: cell.axes.clone(),
+        replica: cell.replica,
+        cpu_perf: run.cpu_perf_vs(base),
+        gpu_perf,
+        cpu_runtime_ns: run.cpu_app_runtime.map(|t| t.as_nanos()),
+        gpu_throughput: run.gpu_throughput,
+        ssr_rate: run.ssr_rate,
+        ssrs_serviced: run.kernel.ssrs_serviced,
+        mean_ssr_latency_us: run.kernel.mean_ssr_latency.as_micros_f64(),
+        p99_ssr_latency_us: run.kernel.p99_ssr_latency.as_micros_f64(),
+        cc6_residency: run.cc6_residency,
+        ssr_overhead: run.cpu_ssr_overhead,
+        ipis: run.kernel.ipis,
+        qos_deferrals: run.kernel.qos_deferrals,
+    }
+}
+
+/// Expands and executes a scenario on the parallel runner, returning
+/// rows in grid order (bit-identical whatever the worker count).
+pub fn run(sc: &Scenario, quick: bool) -> Vec<Row> {
+    let cells = expand(sc, quick);
+    hiss::run_jobs(cells.len(), |i| run_cell(&cells[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Scenario;
+
+    #[test]
+    fn grid_is_gpu_major_with_sweeps_outermost() {
+        let sc = Scenario::from_str(
+            r#"
+[scenario]
+name = "t"
+[workload]
+cpu = ["x264", "vips"]
+gpu = ["bfs", "sssp"]
+[run]
+replicas = 2
+[sweep]
+gpus = [1, 2]
+"#,
+        )
+        .unwrap();
+        let cells = expand(&sc, false);
+        assert_eq!(cells.len(), 2 * 2 * 2 * 2);
+        // First block: gpus=1, gpu-major, replicas innermost.
+        assert_eq!(cells[0].axes, vec![("gpus".to_string(), "1".to_string())]);
+        assert_eq!(
+            (
+                cells[0].cpu_app.as_str(),
+                cells[0].gpu_app.as_str(),
+                cells[0].replica
+            ),
+            ("x264", "bfs", 0)
+        );
+        assert_eq!(cells[1].replica, 1);
+        assert_eq!(cells[2].cpu_app, "vips");
+        assert_eq!(cells[4].gpu_app, "sssp");
+        // Second sweep block.
+        assert_eq!(cells[8].axes, vec![("gpus".to_string(), "2".to_string())]);
+        assert_eq!(cells[8].knobs.gpus, 2);
+        // Replica 1 bumps the seed.
+        assert_eq!(cells[1].knobs.cfg.seed, cells[0].knobs.cfg.seed + 1);
+    }
+
+    #[test]
+    fn quick_mode_uses_quick_subsets() {
+        let sc = Scenario::from_str(
+            r#"
+[scenario]
+name = "t"
+[workload]
+cpu = ["x264", "vips", "ferret"]
+gpu = ["bfs", "sssp", "ubench"]
+quick_cpu = ["x264"]
+quick_gpu = ["ubench"]
+"#,
+        )
+        .unwrap();
+        assert_eq!(expand(&sc, false).len(), 9);
+        let quick = expand(&sc, true);
+        assert_eq!(quick.len(), 1);
+        assert_eq!(quick[0].cpu_app, "x264");
+        assert_eq!(quick[0].gpu_app, "ubench");
+    }
+
+    #[test]
+    fn cc6_axis_round_trips() {
+        let sc = Scenario::from_str(
+            r#"
+[scenario]
+name = "t"
+[workload]
+cpu = ["x264"]
+gpu = ["ubench"]
+[sweep]
+cc6 = [true, false]
+"#,
+        )
+        .unwrap();
+        let cells = expand(&sc, false);
+        assert_eq!(cells.len(), 2);
+        assert!(cells[0].knobs.cfg.cpu.cstate.entry_threshold < hiss::Ns::MAX);
+        assert_eq!(cells[1].knobs.cfg.cpu.cstate.entry_threshold, hiss::Ns::MAX);
+    }
+
+    #[test]
+    fn run_matches_figure_semantics_for_one_cell() {
+        let sc = Scenario::from_str(
+            r#"
+[scenario]
+name = "t"
+[workload]
+cpu = ["raytrace"]
+gpu = ["sssp"]
+"#,
+        )
+        .unwrap();
+        let rows = run(&sc, false);
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        let cfg = hiss::SystemConfig::a10_7850k();
+        let expected = hiss::experiments::fig3::fig3_with(&cfg, &["raytrace"], &["sssp"]);
+        assert_eq!(
+            r.cpu_perf.unwrap().to_bits(),
+            expected[0].cpu_perf.to_bits()
+        );
+        assert_eq!(r.gpu_perf.to_bits(), expected[0].gpu_perf.to_bits());
+    }
+}

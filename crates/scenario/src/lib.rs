@@ -1,0 +1,118 @@
+//! # hiss-scenario — declarative experiment scenarios
+//!
+//! Every experiment in `hiss::experiments` is a hard-coded Rust module;
+//! exploring a configuration the paper didn't plot used to mean writing
+//! and recompiling Rust. This crate adds a data-driven layer on top of
+//! the same engine:
+//!
+//! - a **`.hiss` file format** (a dependency-free TOML subset,
+//!   [`parse`]) declaring a full experiment: system-config overrides,
+//!   mitigation settings, workload mix, cartesian sweep axes,
+//!   seeds/replicas, and `[expect]` metric bands,
+//! - a **typed spec** ([`spec::Scenario`]) with line-numbered
+//!   diagnostics for every schema violation,
+//! - a **batch compiler** ([`compile`]) lowering a scenario into pure
+//!   jobs on the [`hiss::runner`] pool, reusing the process-wide
+//!   [`hiss::BaselineCache`],
+//! - **emitters** ([`output`]) for JSON-lines and ASCII tables, and
+//! - an **expect checker** ([`expect`]) that turns the committed
+//!   `scenarios/` library into a golden regression harness
+//!   (`tests/scenarios.rs`).
+//!
+//! # Example
+//!
+//! ```
+//! let scenario = hiss_scenario::Scenario::from_str(r#"
+//! [scenario]
+//! name = "qos-demo"
+//! [workload]
+//! cpu = ["x264"]
+//! gpu = ["ubench"]
+//! [sweep]
+//! qos_percent = [0, 1]
+//! [expect]
+//! min_gpu_perf = [0.0, 1.2]
+//! "#).unwrap();
+//! let rows = hiss_scenario::run(&scenario, false);
+//! assert_eq!(rows.len(), 2);
+//! // th_1 throttling guts ubench throughput relative to no governor.
+//! assert!(rows[1].gpu_perf < rows[0].gpu_perf);
+//! assert!(hiss_scenario::check(&scenario, &rows).is_empty());
+//! ```
+
+pub mod compile;
+pub mod expect;
+pub mod output;
+pub mod parse;
+pub mod spec;
+
+pub use compile::{expand, run, Cell, Row};
+pub use expect::{check, Violation};
+pub use parse::{Document, ScenarioError, Value};
+pub use spec::{Agg, Expect, Field, Knobs, Metric, Scenario, SweepAxis, Workload};
+
+/// Loads and validates a scenario file from disk.
+pub fn load(path: &std::path::Path) -> Result<Scenario, ScenarioError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ScenarioError::new(0, format!("cannot read {}: {e}", path.display())))?;
+    Scenario::from_str(&text)
+}
+
+/// Lists the `.hiss` scenario files under `dir`, sorted by name.
+pub fn list_files(dir: &std::path::Path) -> std::io::Result<Vec<std::path::PathBuf>> {
+    let mut out: Vec<_> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "hiss"))
+        .collect();
+    out.sort();
+    Ok(out)
+}
+
+/// The closest string in `candidates` within edit distance 2 of `input`
+/// (typo suggestions for flags and keys).
+pub fn nearest<'a>(input: &str, candidates: &[&'a str]) -> Option<&'a str> {
+    candidates
+        .iter()
+        .map(|c| (edit_distance(input, c), *c))
+        .filter(|(d, _)| *d <= 2)
+        .min_by_key(|(d, _)| *d)
+        .map(|(_, c)| c)
+}
+
+/// Levenshtein distance (small inputs only: flag and key names).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_suggests_close_typos_only() {
+        let flags = ["--steer", "--coalesce", "--mono"];
+        assert_eq!(nearest("--coalese", &flags), Some("--coalesce"));
+        assert_eq!(nearest("--steer", &flags), Some("--steer"));
+        assert_eq!(nearest("--frobnicate", &flags), None);
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("same", "same"), 0);
+    }
+}

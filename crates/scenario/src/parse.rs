@@ -1,0 +1,479 @@
+//! The `.hiss` scenario file syntax: a small, dependency-free TOML
+//! subset.
+//!
+//! Supported constructs (see `docs/SCENARIOS.md` for the format
+//! reference):
+//!
+//! - `# comment` to end of line,
+//! - `[section]` headers,
+//! - `key = value` entries, where a value is a double-quoted string, a
+//!   boolean, an integer (decimal or `0x` hex, `_` separators allowed), a
+//!   float, or a `[v, v, ...]` list of those,
+//! - lists may span multiple physical lines (the bracket keeps the
+//!   logical line open, as in TOML).
+//!
+//! Every error carries the 1-based line number it was detected on —
+//! diagnostics without positions are useless for hand-edited files.
+
+use std::fmt;
+
+/// A parse- or validation-time diagnostic, positioned at a line of the
+/// scenario file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioError {
+    /// 1-based line number the problem was detected on (0 for
+    /// file-level problems such as a missing section).
+    pub line: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl ScenarioError {
+    pub(crate) fn new(line: usize, msg: impl Into<String>) -> Self {
+        ScenarioError {
+            line,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.msg)
+        } else {
+            write!(f, "{}", self.msg)
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// A parsed scalar or list value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Str(String),
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// Short type name for diagnostics.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "string",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::List(_) => "list",
+        }
+    }
+
+    /// Renders the value back in file syntax (used in row labels and
+    /// diagnostics).
+    pub fn render(&self) -> String {
+        match self {
+            Value::Str(s) => s.clone(),
+            Value::Bool(b) => b.to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(x) => format!("{x}"),
+            Value::List(items) => {
+                let inner: Vec<String> = items.iter().map(Value::render).collect();
+                format!("[{}]", inner.join(", "))
+            }
+        }
+    }
+}
+
+/// One `key = value` entry, with the line it started on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    pub key: String,
+    pub value: Value,
+    pub line: usize,
+}
+
+/// One `[section]` with its entries, in file order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Section {
+    pub name: String,
+    pub line: usize,
+    pub entries: Vec<Entry>,
+}
+
+impl Section {
+    /// Looks up an entry by key.
+    pub fn get(&self, key: &str) -> Option<&Entry> {
+        self.entries.iter().find(|e| e.key == key)
+    }
+}
+
+/// A whole parsed file: sections in file order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Document {
+    pub sections: Vec<Section>,
+}
+
+impl Document {
+    /// Looks up a section by name.
+    pub fn section(&self, name: &str) -> Option<&Section> {
+        self.sections.iter().find(|s| s.name == name)
+    }
+}
+
+/// Strips a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+/// Parses the text of one `.hiss` file into a [`Document`].
+///
+/// Duplicate sections and duplicate keys within a section are rejected
+/// here (structurally); unknown section/key *names* are rejected by the
+/// typed layer ([`crate::spec::Scenario::from_document`]), which knows
+/// the schema.
+pub fn parse(text: &str) -> Result<Document, ScenarioError> {
+    let mut doc = Document::default();
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            // Section header (a value never starts a statement).
+            let Some(name) = rest.strip_suffix(']') else {
+                return Err(ScenarioError::new(
+                    lineno,
+                    format!("malformed section header {line:?} (expected `[name]`)"),
+                ));
+            };
+            let name = name.trim();
+            if !is_ident(name) {
+                return Err(ScenarioError::new(
+                    lineno,
+                    format!("invalid section name {name:?}"),
+                ));
+            }
+            if let Some(prev) = doc.section(name) {
+                return Err(ScenarioError::new(
+                    lineno,
+                    format!(
+                        "duplicate section [{name}] (first defined on line {})",
+                        prev.line
+                    ),
+                ));
+            }
+            doc.sections.push(Section {
+                name: name.to_string(),
+                line: lineno,
+                entries: Vec::new(),
+            });
+            continue;
+        }
+        // `key = value` entry.
+        let Some(eq) = line.find('=') else {
+            return Err(ScenarioError::new(
+                lineno,
+                format!("expected `[section]` or `key = value`, got {line:?}"),
+            ));
+        };
+        let key = line[..eq].trim();
+        if !is_ident(key) {
+            return Err(ScenarioError::new(lineno, format!("invalid key {key:?}")));
+        }
+        let mut value_text = line[eq + 1..].trim().to_string();
+        if value_text.is_empty() {
+            return Err(ScenarioError::new(
+                lineno,
+                format!("key {key:?} has no value"),
+            ));
+        }
+        // A list may span physical lines: keep consuming until brackets
+        // balance (quotes considered; comments already stripped).
+        while bracket_depth(&value_text) > 0 {
+            match lines.next() {
+                Some((_, cont)) => {
+                    value_text.push(' ');
+                    value_text.push_str(strip_comment(cont).trim());
+                }
+                None => {
+                    return Err(ScenarioError::new(
+                        lineno,
+                        format!("unterminated list in value of {key:?}"),
+                    ));
+                }
+            }
+        }
+        let value = parse_value(value_text.trim(), lineno, key)?;
+        let section = doc.sections.last_mut().ok_or_else(|| {
+            ScenarioError::new(
+                lineno,
+                format!("entry {key:?} appears before any [section] header"),
+            )
+        })?;
+        if let Some(prev) = section.entries.iter().find(|e| e.key == key) {
+            return Err(ScenarioError::new(
+                lineno,
+                format!(
+                    "duplicate key {key:?} in [{}] (first set on line {})",
+                    section.name, prev.line
+                ),
+            ));
+        }
+        section.entries.push(Entry {
+            key: key.to_string(),
+            value,
+            line: lineno,
+        });
+    }
+    Ok(doc)
+}
+
+/// Net `[`/`]` nesting of `text`, ignoring brackets inside strings.
+fn bracket_depth(text: &str) -> i32 {
+    let mut depth = 0;
+    let mut in_str = false;
+    for c in text.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth
+}
+
+fn parse_value(text: &str, line: usize, key: &str) -> Result<Value, ScenarioError> {
+    let text = text.trim();
+    if let Some(rest) = text.strip_prefix('[') {
+        let Some(inner) = rest.strip_suffix(']') else {
+            return Err(ScenarioError::new(
+                line,
+                format!("unterminated list in value of {key:?}"),
+            ));
+        };
+        let mut items = Vec::new();
+        for part in split_list(inner, line, key)? {
+            let part = part.trim();
+            if part.is_empty() {
+                continue; // trailing comma
+            }
+            items.push(parse_value(part, line, key)?);
+        }
+        return Ok(Value::List(items));
+    }
+    if let Some(rest) = text.strip_prefix('"') {
+        let Some(s) = rest.strip_suffix('"') else {
+            return Err(ScenarioError::new(
+                line,
+                format!("unterminated string in value of {key:?}"),
+            ));
+        };
+        if s.contains('"') {
+            return Err(ScenarioError::new(
+                line,
+                format!("stray quote inside string value of {key:?}"),
+            ));
+        }
+        return Ok(Value::Str(s.to_string()));
+    }
+    match text {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    let plain = text.replace('_', "");
+    if let Some(hex) = plain
+        .strip_prefix("0x")
+        .or_else(|| plain.strip_prefix("0X"))
+    {
+        return i64::from_str_radix(hex, 16).map(Value::Int).map_err(|_| {
+            ScenarioError::new(line, format!("invalid hex integer {text:?} for {key:?}"))
+        });
+    }
+    if let Ok(i) = plain.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    if let Ok(x) = plain.parse::<f64>() {
+        if x.is_finite() {
+            return Ok(Value::Float(x));
+        }
+    }
+    Err(ScenarioError::new(
+        line,
+        format!(
+            "cannot parse value {text:?} for {key:?} \
+             (expected string, bool, number, or list)"
+        ),
+    ))
+}
+
+/// Splits list contents on top-level commas (strings and nested lists
+/// kept intact).
+fn split_list(inner: &str, line: usize, key: &str) -> Result<Vec<String>, ScenarioError> {
+    let mut parts = Vec::new();
+    let mut current = String::new();
+    let mut depth = 0;
+    let mut in_str = false;
+    for c in inner.chars() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                current.push(c);
+            }
+            '[' if !in_str => {
+                depth += 1;
+                current.push(c);
+            }
+            ']' if !in_str => {
+                depth -= 1;
+                if depth < 0 {
+                    return Err(ScenarioError::new(
+                        line,
+                        format!("unbalanced brackets in list value of {key:?}"),
+                    ));
+                }
+                current.push(c);
+            }
+            ',' if !in_str && depth == 0 => {
+                parts.push(std::mem::take(&mut current));
+            }
+            _ => current.push(c),
+        }
+    }
+    if in_str {
+        return Err(ScenarioError::new(
+            line,
+            format!("unterminated string in list value of {key:?}"),
+        ));
+    }
+    parts.push(current);
+    Ok(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_scalars_and_lists() {
+        let doc = parse(
+            r#"
+# a comment
+[scenario]
+name = "demo"            # trailing comment
+quick = true
+seed = 0x11_55           # hex with separators
+qos = 2.5
+[workload]
+cpu = ["x264", "vips"]
+"#,
+        )
+        .unwrap();
+        assert_eq!(doc.sections.len(), 2);
+        let sc = doc.section("scenario").unwrap();
+        assert_eq!(sc.get("name").unwrap().value, Value::Str("demo".into()));
+        assert_eq!(sc.get("quick").unwrap().value, Value::Bool(true));
+        assert_eq!(sc.get("seed").unwrap().value, Value::Int(0x1155));
+        assert_eq!(sc.get("qos").unwrap().value, Value::Float(2.5));
+        let wl = doc.section("workload").unwrap();
+        assert_eq!(
+            wl.get("cpu").unwrap().value,
+            Value::List(vec![Value::Str("x264".into()), Value::Str("vips".into())])
+        );
+    }
+
+    #[test]
+    fn lists_span_lines_and_allow_trailing_commas() {
+        let doc = parse("[workload]\ncpu = [\n  \"x264\",\n  \"vips\",\n]\n").unwrap();
+        let entry = doc.section("workload").unwrap().get("cpu").unwrap();
+        assert_eq!(entry.line, 2);
+        if let Value::List(items) = &entry.value {
+            assert_eq!(items.len(), 2);
+        } else {
+            panic!("not a list");
+        }
+    }
+
+    #[test]
+    fn duplicate_section_is_an_error_with_both_lines() {
+        let err = parse("[a]\nx = 1\n[b]\n[a]\n").unwrap_err();
+        assert_eq!(err.line, 4);
+        assert!(err.msg.contains("duplicate section"), "{}", err.msg);
+        assert!(err.msg.contains("line 1"), "{}", err.msg);
+    }
+
+    #[test]
+    fn duplicate_key_is_an_error() {
+        let err = parse("[a]\nx = 1\nx = 2\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.msg.contains("duplicate key"), "{}", err.msg);
+    }
+
+    #[test]
+    fn entry_before_section_is_an_error() {
+        let err = parse("x = 1\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.msg.contains("before any [section]"), "{}", err.msg);
+    }
+
+    #[test]
+    fn garbage_values_are_positioned() {
+        let err = parse("[a]\nx = fast\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.msg.contains("cannot parse value"), "{}", err.msg);
+
+        let err = parse("[a]\nx = \"open\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.msg.contains("unterminated string"), "{}", err.msg);
+
+        let err = parse("[a]\nx = [1, 2\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.msg.contains("unterminated list"), "{}", err.msg);
+
+        let err = parse("[a]\nx =\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.msg.contains("no value"), "{}", err.msg);
+    }
+
+    #[test]
+    fn malformed_headers_are_errors() {
+        assert!(parse("[a\n").is_err());
+        assert!(parse("[]\n").is_err());
+        assert!(parse("[two words]\n").is_err());
+    }
+
+    #[test]
+    fn comments_do_not_break_strings() {
+        let doc = parse("[a]\nx = \"has # inside\"\n").unwrap();
+        assert_eq!(
+            doc.section("a").unwrap().get("x").unwrap().value,
+            Value::Str("has # inside".into())
+        );
+    }
+
+    #[test]
+    fn error_display_includes_line() {
+        let err = ScenarioError::new(7, "boom");
+        assert_eq!(err.to_string(), "line 7: boom");
+    }
+}

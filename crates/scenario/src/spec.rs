@@ -1,0 +1,953 @@
+//! Typed scenario model: schema validation of a parsed [`Document`] into
+//! a [`Scenario`].
+//!
+//! A scenario describes one full experiment:
+//!
+//! - `[scenario]` — name and description,
+//! - `[system]` — overrides of the Table-II baseline [`SystemConfig`]
+//!   (cores, GPUs, C-states, timer tick, coalescing window, seed),
+//! - `[mitigation]` — §V switches and the §VI QoS threshold,
+//! - `[workload]` — the CPU-app list × GPU-app list grid, plus optional
+//!   quick-mode subsets,
+//! - `[run]` — seeds/replicas,
+//! - `[sweep]` — cartesian sweep axes over any numeric/enum knob,
+//! - `[expect]` — metric bands the batch results must fall within.
+//!
+//! Every diagnostic carries the offending line number.
+
+use hiss::{Mitigation, Ns, SystemConfig};
+
+use crate::parse::{Document, Entry, ScenarioError, Value};
+
+/// Every simulation knob a scenario (or one sweep point of it) pins
+/// down: the system configuration, number of GPU-app copies, mitigation
+/// switches, and QoS threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Knobs {
+    /// Full system configuration (already includes `[system]` overrides
+    /// and, per cell, the sweep-axis values and replica seed).
+    pub cfg: SystemConfig,
+    /// Number of concurrent copies of the GPU application.
+    pub gpus: usize,
+    /// §V mitigation switches.
+    pub mitigation: Mitigation,
+    /// §VI QoS threshold in percent; 0 disables the governor.
+    pub qos_percent: f64,
+}
+
+impl Default for Knobs {
+    fn default() -> Self {
+        Knobs {
+            cfg: SystemConfig::a10_7850k(),
+            gpus: 1,
+            mitigation: Mitigation::DEFAULT,
+            qos_percent: 0.0,
+        }
+    }
+}
+
+/// A sweepable (or `[system]`/`[mitigation]`-settable) scalar knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Field {
+    /// `cores` — number of CPU cores.
+    Cores,
+    /// `gpus` — concurrent copies of the GPU application.
+    Gpus,
+    /// `seed` — root RNG seed.
+    Seed,
+    /// `timer_tick_us` — OS scheduler tick period (0 disables).
+    TimerTickUs,
+    /// `coalesce_window_us` — IOMMU coalescing window when coalescing is
+    /// on.
+    CoalesceWindowUs,
+    /// `max_sim_time_ms` — safety cap on simulated time.
+    MaxSimTimeMs,
+    /// `cc6` — whether the deep C-state is available.
+    Cc6,
+    /// `steer` — §V-A single-core interrupt steering.
+    Steer,
+    /// `coalesce` — §V-B interrupt coalescing.
+    Coalesce,
+    /// `monolithic` — §V-C monolithic bottom half.
+    Monolithic,
+    /// `qos_percent` — §VI throttle threshold (0 = governor off).
+    QosPercent,
+    /// `mitigation` — enum over §V combinations: `"default"` or a
+    /// `+`-joined subset of `steer`, `coalesce`, `mono`
+    /// (e.g. `"steer+mono"`).
+    MitigationCombo,
+}
+
+impl Field {
+    /// The key naming this field in `[system]`, `[mitigation]`, and
+    /// `[sweep]` sections.
+    pub fn key(self) -> &'static str {
+        match self {
+            Field::Cores => "cores",
+            Field::Gpus => "gpus",
+            Field::Seed => "seed",
+            Field::TimerTickUs => "timer_tick_us",
+            Field::CoalesceWindowUs => "coalesce_window_us",
+            Field::MaxSimTimeMs => "max_sim_time_ms",
+            Field::Cc6 => "cc6",
+            Field::Steer => "steer",
+            Field::Coalesce => "coalesce",
+            Field::Monolithic => "monolithic",
+            Field::QosPercent => "qos_percent",
+            Field::MitigationCombo => "mitigation",
+        }
+    }
+
+    fn by_key(key: &str) -> Option<Field> {
+        [
+            Field::Cores,
+            Field::Gpus,
+            Field::Seed,
+            Field::TimerTickUs,
+            Field::CoalesceWindowUs,
+            Field::MaxSimTimeMs,
+            Field::Cc6,
+            Field::Steer,
+            Field::Coalesce,
+            Field::Monolithic,
+            Field::QosPercent,
+            Field::MitigationCombo,
+        ]
+        .into_iter()
+        .find(|f| f.key() == key)
+    }
+
+    /// Fields accepted in `[system]`.
+    const SYSTEM: &'static [Field] = &[
+        Field::Cores,
+        Field::Gpus,
+        Field::Seed,
+        Field::TimerTickUs,
+        Field::CoalesceWindowUs,
+        Field::MaxSimTimeMs,
+        Field::Cc6,
+    ];
+
+    /// Fields accepted in `[mitigation]`.
+    const MITIGATION: &'static [Field] = &[
+        Field::Steer,
+        Field::Coalesce,
+        Field::Monolithic,
+        Field::QosPercent,
+        Field::MitigationCombo,
+    ];
+
+    /// Validates `value` for this field and applies it to `knobs`.
+    pub fn apply(self, knobs: &mut Knobs, value: &Value, line: usize) -> Result<(), ScenarioError> {
+        let key = self.key();
+        match self {
+            Field::Cores => {
+                let n = expect_int(value, key, line, 1, 64)?;
+                knobs.cfg.num_cores = n as usize;
+            }
+            Field::Gpus => {
+                let n = expect_int(value, key, line, 1, 64)?;
+                knobs.gpus = n as usize;
+                knobs.cfg.num_gpus = n as usize;
+            }
+            Field::Seed => {
+                let s = expect_int(value, key, line, 0, i64::MAX)?;
+                knobs.cfg.seed = s as u64;
+            }
+            Field::TimerTickUs => {
+                let us = expect_int(value, key, line, 0, 1_000_000)?;
+                knobs.cfg.timer_tick = Ns::from_micros(us as u64);
+            }
+            Field::CoalesceWindowUs => {
+                let us = expect_int(value, key, line, 0, 1_000_000)?;
+                knobs.cfg.coalesce_window = Ns::from_micros(us as u64);
+            }
+            Field::MaxSimTimeMs => {
+                let ms = expect_int(value, key, line, 1, i64::MAX / 1_000_000)?;
+                knobs.cfg.max_sim_time = Ns::from_millis(ms as u64);
+            }
+            Field::Cc6 => {
+                // Disabling CC6 makes the governor threshold unreachable:
+                // idle cores stay in the shallow state forever. Re-enabling
+                // restores the Table-II threshold (a sweep axis may apply
+                // both values to the same scratch knobs).
+                knobs.cfg.cpu.cstate.entry_threshold = if expect_bool(value, key, line)? {
+                    SystemConfig::a10_7850k().cpu.cstate.entry_threshold
+                } else {
+                    Ns::MAX
+                };
+            }
+            Field::Steer => knobs.mitigation.steer_single_core = expect_bool(value, key, line)?,
+            Field::Coalesce => knobs.mitigation.coalesce = expect_bool(value, key, line)?,
+            Field::Monolithic => {
+                knobs.mitigation.monolithic_bottom_half = expect_bool(value, key, line)?
+            }
+            Field::QosPercent => {
+                let pct = expect_number(value, key, line)?;
+                if !(0.0..=100.0).contains(&pct) {
+                    return Err(ScenarioError::new(
+                        line,
+                        format!("{key:?} must be in [0, 100] (0 = governor off), got {pct}"),
+                    ));
+                }
+                knobs.qos_percent = pct;
+            }
+            Field::MitigationCombo => {
+                knobs.mitigation = parse_mitigation_combo(value, line)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn expect_int(
+    value: &Value,
+    key: &str,
+    line: usize,
+    min: i64,
+    max: i64,
+) -> Result<i64, ScenarioError> {
+    match value {
+        Value::Int(i) if (min..=max).contains(i) => Ok(*i),
+        Value::Int(i) => Err(ScenarioError::new(
+            line,
+            format!("{key:?} must be an integer in [{min}, {max}], got {i}"),
+        )),
+        other => Err(ScenarioError::new(
+            line,
+            format!("{key:?} expects an integer, got {}", other.type_name()),
+        )),
+    }
+}
+
+fn expect_bool(value: &Value, key: &str, line: usize) -> Result<bool, ScenarioError> {
+    match value {
+        Value::Bool(b) => Ok(*b),
+        other => Err(ScenarioError::new(
+            line,
+            format!("{key:?} expects true or false, got {}", other.type_name()),
+        )),
+    }
+}
+
+fn expect_number(value: &Value, key: &str, line: usize) -> Result<f64, ScenarioError> {
+    match value {
+        Value::Int(i) => Ok(*i as f64),
+        Value::Float(x) => Ok(*x),
+        other => Err(ScenarioError::new(
+            line,
+            format!("{key:?} expects a number, got {}", other.type_name()),
+        )),
+    }
+}
+
+fn expect_str<'v>(value: &'v Value, key: &str, line: usize) -> Result<&'v str, ScenarioError> {
+    match value {
+        Value::Str(s) => Ok(s),
+        other => Err(ScenarioError::new(
+            line,
+            format!("{key:?} expects a string, got {}", other.type_name()),
+        )),
+    }
+}
+
+/// Parses a `"default"` / `"steer+coalesce+mono"` mitigation combo.
+fn parse_mitigation_combo(value: &Value, line: usize) -> Result<Mitigation, ScenarioError> {
+    let text = expect_str(value, "mitigation", line)?;
+    if text == "default" || text == "none" {
+        return Ok(Mitigation::DEFAULT);
+    }
+    let mut m = Mitigation::DEFAULT;
+    for part in text.split('+') {
+        match part.trim() {
+            "steer" => m.steer_single_core = true,
+            "coalesce" => m.coalesce = true,
+            "mono" | "monolithic" => m.monolithic_bottom_half = true,
+            other => {
+                return Err(ScenarioError::new(
+                    line,
+                    format!(
+                        "unknown mitigation {other:?} in combo {text:?} \
+                         (expected \"default\" or a +-joined subset of \
+                         steer, coalesce, mono)"
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(m)
+}
+
+/// One cartesian sweep axis: a field and the values it ranges over.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepAxis {
+    /// Swept knob.
+    pub field: Field,
+    /// Values, in file order (each validated for the field's type).
+    pub values: Vec<Value>,
+    /// Line the axis was declared on.
+    pub line: usize,
+}
+
+/// Workload mix: the CPU × GPU application grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// CPU (PARSEC) application names, all catalog-checked.
+    pub cpu: Vec<String>,
+    /// GPU application names, all catalog-checked.
+    pub gpu: Vec<String>,
+    /// Quick-mode CPU subset (defaults to the first two of `cpu`).
+    pub quick_cpu: Vec<String>,
+    /// Quick-mode GPU subset (defaults to the first two of `gpu`).
+    pub quick_gpu: Vec<String>,
+}
+
+/// Aggregation applied to a row metric before band-checking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Agg {
+    Mean,
+    Min,
+    Max,
+}
+
+impl Agg {
+    fn prefix(self) -> &'static str {
+        match self {
+            Agg::Mean => "mean",
+            Agg::Min => "min",
+            Agg::Max => "max",
+        }
+    }
+}
+
+/// A per-row result metric an `[expect]` band can constrain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Normalised CPU application performance (Fig. 3a semantics).
+    CpuPerf,
+    /// Normalised GPU performance (Fig. 3b semantics; SSR rate for
+    /// ubench).
+    GpuPerf,
+    /// Mean CC6 residency across cores.
+    Cc6Residency,
+    /// Fraction of CPU time spent on SSR servicing.
+    SsrOverhead,
+    /// Mean end-to-end SSR latency, µs.
+    MeanLatencyUs,
+    /// p99 end-to-end SSR latency, µs.
+    P99LatencyUs,
+    /// SSR completions per second.
+    SsrRate,
+    /// Absolute GPU throughput (1.0 = never stalls).
+    GpuThroughput,
+    /// QoS deferral episodes.
+    QosDeferrals,
+    /// Inter-processor interrupts sent.
+    Ipis,
+}
+
+impl Metric {
+    /// The metric's key stem in `[expect]` band names.
+    pub fn key(self) -> &'static str {
+        match self {
+            Metric::CpuPerf => "cpu_perf",
+            Metric::GpuPerf => "gpu_perf",
+            Metric::Cc6Residency => "cc6_residency",
+            Metric::SsrOverhead => "ssr_overhead",
+            Metric::MeanLatencyUs => "ssr_latency_us",
+            Metric::P99LatencyUs => "p99_latency_us",
+            Metric::SsrRate => "ssr_rate",
+            Metric::GpuThroughput => "gpu_throughput",
+            Metric::QosDeferrals => "qos_deferrals",
+            Metric::Ipis => "ipis",
+        }
+    }
+
+    const ALL: &'static [Metric] = &[
+        Metric::CpuPerf,
+        Metric::GpuPerf,
+        Metric::Cc6Residency,
+        Metric::SsrOverhead,
+        Metric::MeanLatencyUs,
+        Metric::P99LatencyUs,
+        Metric::SsrRate,
+        Metric::GpuThroughput,
+        Metric::QosDeferrals,
+        Metric::Ipis,
+    ];
+}
+
+/// One `[expect]` band: `agg_metric = [lo, hi]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expect {
+    /// The band's key as written (`"mean_cpu_perf"`).
+    pub key: String,
+    /// Aggregation over the result rows.
+    pub agg: Agg,
+    /// Metric aggregated.
+    pub metric: Metric,
+    /// Inclusive lower bound.
+    pub lo: f64,
+    /// Inclusive upper bound.
+    pub hi: f64,
+    /// Line the band was declared on.
+    pub line: usize,
+}
+
+/// A fully validated scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Scenario name (`[scenario] name`).
+    pub name: String,
+    /// One-line description.
+    pub description: String,
+    /// Base knobs from `[system]` + `[mitigation]` (sweep axes and
+    /// replicas refine these per cell).
+    pub base: Knobs,
+    /// Workload mix.
+    pub workload: Workload,
+    /// Sweep axes in file order (first axis is the outermost loop).
+    pub sweeps: Vec<SweepAxis>,
+    /// Number of replicas per cell (replica *i* runs with `seed + i`).
+    pub replicas: u32,
+    /// Expected exact row count, if pinned (`[run] rows`).
+    pub expected_rows: Option<usize>,
+    /// Metric bands.
+    pub expects: Vec<Expect>,
+}
+
+const SECTIONS: &[&str] = &[
+    "scenario",
+    "system",
+    "mitigation",
+    "workload",
+    "run",
+    "sweep",
+    "expect",
+];
+
+impl std::str::FromStr for Scenario {
+    type Err = ScenarioError;
+
+    fn from_str(text: &str) -> Result<Scenario, ScenarioError> {
+        Scenario::from_document(&crate::parse::parse(text)?)
+    }
+}
+
+impl Scenario {
+    /// Parses and validates scenario text in one step (an inherent
+    /// mirror of the [`FromStr`](std::str::FromStr) impl, callable
+    /// without the trait in scope).
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_str(text: &str) -> Result<Scenario, ScenarioError> {
+        <Scenario as std::str::FromStr>::from_str(text)
+    }
+
+    /// Validates a parsed [`Document`] against the scenario schema.
+    pub fn from_document(doc: &Document) -> Result<Scenario, ScenarioError> {
+        for s in &doc.sections {
+            if !SECTIONS.contains(&s.name.as_str()) {
+                return Err(ScenarioError::new(
+                    s.line,
+                    format!(
+                        "unknown section [{}] (expected one of: {})",
+                        s.name,
+                        SECTIONS.join(", ")
+                    ),
+                ));
+            }
+        }
+
+        // [scenario]
+        let meta = doc
+            .section("scenario")
+            .ok_or_else(|| ScenarioError::new(0, "missing required [scenario] section"))?;
+        let mut name = None;
+        let mut description = String::new();
+        for e in &meta.entries {
+            match e.key.as_str() {
+                "name" => name = Some(expect_str(&e.value, "name", e.line)?.to_string()),
+                "description" => {
+                    description = expect_str(&e.value, "description", e.line)?.to_string()
+                }
+                other => {
+                    return Err(unknown_key(
+                        e.line,
+                        other,
+                        "scenario",
+                        &["name", "description"],
+                    ));
+                }
+            }
+        }
+        let name = name
+            .ok_or_else(|| ScenarioError::new(meta.line, "[scenario] must set `name = \"...\"`"))?;
+        if name.is_empty() {
+            return Err(ScenarioError::new(
+                meta.line,
+                "scenario name must not be empty",
+            ));
+        }
+
+        // [system] + [mitigation] → base knobs.
+        let mut base = Knobs::default();
+        if let Some(sys) = doc.section("system") {
+            for e in &sys.entries {
+                let field = Field::by_key(&e.key)
+                    .filter(|f| Field::SYSTEM.contains(f))
+                    .ok_or_else(|| unknown_field_key(e.line, &e.key, "system", Field::SYSTEM))?;
+                field.apply(&mut base, &e.value, e.line)?;
+            }
+        }
+        if let Some(mit) = doc.section("mitigation") {
+            for e in &mit.entries {
+                let field = Field::by_key(&e.key)
+                    .filter(|f| Field::MITIGATION.contains(f))
+                    .ok_or_else(|| {
+                        unknown_field_key(e.line, &e.key, "mitigation", Field::MITIGATION)
+                    })?;
+                field.apply(&mut base, &e.value, e.line)?;
+            }
+        }
+
+        // [workload]
+        let wl = doc
+            .section("workload")
+            .ok_or_else(|| ScenarioError::new(0, "missing required [workload] section"))?;
+        let mut cpu = Vec::new();
+        let mut gpu = Vec::new();
+        let mut quick_cpu = None;
+        let mut quick_gpu = None;
+        for e in &wl.entries {
+            match e.key.as_str() {
+                "cpu" => cpu = app_list(e, CatalogKind::Cpu)?,
+                "gpu" => gpu = app_list(e, CatalogKind::Gpu)?,
+                "quick_cpu" => quick_cpu = Some(app_list(e, CatalogKind::Cpu)?),
+                "quick_gpu" => quick_gpu = Some(app_list(e, CatalogKind::Gpu)?),
+                other => {
+                    return Err(unknown_key(
+                        e.line,
+                        other,
+                        "workload",
+                        &["cpu", "gpu", "quick_cpu", "quick_gpu"],
+                    ));
+                }
+            }
+        }
+        if cpu.is_empty() {
+            return Err(ScenarioError::new(
+                wl.line,
+                "[workload] must set a non-empty `cpu = [...]` list",
+            ));
+        }
+        if gpu.is_empty() {
+            return Err(ScenarioError::new(
+                wl.line,
+                "[workload] must set a non-empty `gpu = [...]` list",
+            ));
+        }
+        let workload = Workload {
+            quick_cpu: quick_cpu.unwrap_or_else(|| cpu.iter().take(2).cloned().collect()),
+            quick_gpu: quick_gpu.unwrap_or_else(|| gpu.iter().take(2).cloned().collect()),
+            cpu,
+            gpu,
+        };
+
+        // [run]
+        let mut replicas = 1u32;
+        let mut expected_rows = None;
+        if let Some(run) = doc.section("run") {
+            for e in &run.entries {
+                match e.key.as_str() {
+                    "replicas" => {
+                        replicas = expect_int(&e.value, "replicas", e.line, 1, 64)? as u32
+                    }
+                    "rows" => {
+                        expected_rows =
+                            Some(expect_int(&e.value, "rows", e.line, 0, i64::MAX)? as usize)
+                    }
+                    other => {
+                        return Err(unknown_key(e.line, other, "run", &["replicas", "rows"]));
+                    }
+                }
+            }
+        }
+
+        // [sweep]
+        let mut sweeps = Vec::new();
+        if let Some(sw) = doc.section("sweep") {
+            for e in &sw.entries {
+                let field = Field::by_key(&e.key).ok_or_else(|| {
+                    let keys: Vec<&str> = Field::SYSTEM
+                        .iter()
+                        .chain(Field::MITIGATION)
+                        .map(|f| f.key())
+                        .collect();
+                    unknown_key(e.line, &e.key, "sweep", &keys)
+                })?;
+                let Value::List(values) = &e.value else {
+                    return Err(ScenarioError::new(
+                        e.line,
+                        format!(
+                            "sweep axis {:?} expects a list of values, got {}",
+                            e.key,
+                            e.value.type_name()
+                        ),
+                    ));
+                };
+                if values.is_empty() {
+                    return Err(ScenarioError::new(
+                        e.line,
+                        format!("sweep axis {:?} must not be empty", e.key),
+                    ));
+                }
+                // Validate every value by trial application.
+                let mut scratch = base;
+                for v in values {
+                    field.apply(&mut scratch, v, e.line)?;
+                }
+                sweeps.push(SweepAxis {
+                    field,
+                    values: values.clone(),
+                    line: e.line,
+                });
+            }
+        }
+
+        // [expect]
+        let mut expects = Vec::new();
+        if let Some(ex) = doc.section("expect") {
+            for e in &ex.entries {
+                expects.push(parse_expect(e)?);
+            }
+        }
+
+        Ok(Scenario {
+            name,
+            description,
+            base,
+            workload,
+            sweeps,
+            replicas,
+            expected_rows,
+            expects,
+        })
+    }
+
+    /// The CPU-app list used in the given mode.
+    pub fn cpu_apps(&self, quick: bool) -> &[String] {
+        if quick {
+            &self.workload.quick_cpu
+        } else {
+            &self.workload.cpu
+        }
+    }
+
+    /// The GPU-app list used in the given mode.
+    pub fn gpu_apps(&self, quick: bool) -> &[String] {
+        if quick {
+            &self.workload.quick_gpu
+        } else {
+            &self.workload.gpu
+        }
+    }
+}
+
+/// Which catalog an application list is checked against.
+enum CatalogKind {
+    Cpu,
+    Gpu,
+}
+
+fn app_list(entry: &Entry, kind: CatalogKind) -> Result<Vec<String>, ScenarioError> {
+    let Value::List(items) = &entry.value else {
+        return Err(ScenarioError::new(
+            entry.line,
+            format!(
+                "{:?} expects a list of application names, got {}",
+                entry.key,
+                entry.value.type_name()
+            ),
+        ));
+    };
+    let mut out = Vec::with_capacity(items.len());
+    for item in items {
+        let name = expect_str(item, &entry.key, entry.line)?;
+        let known = match kind {
+            CatalogKind::Cpu => hiss_workloads::CpuAppSpec::by_name(name).is_some(),
+            CatalogKind::Gpu => hiss_workloads::GpuAppSpec::by_name(name).is_some(),
+        };
+        if !known {
+            let catalog: Vec<&str> = match kind {
+                CatalogKind::Cpu => hiss_workloads::parsec_suite()
+                    .iter()
+                    .map(|s| s.name)
+                    .collect(),
+                CatalogKind::Gpu => hiss_workloads::gpu_suite().iter().map(|s| s.name).collect(),
+            };
+            return Err(ScenarioError::new(
+                entry.line,
+                format!(
+                    "unknown {} application {name:?} (catalog: {})",
+                    match kind {
+                        CatalogKind::Cpu => "CPU",
+                        CatalogKind::Gpu => "GPU",
+                    },
+                    catalog.join(", ")
+                ),
+            ));
+        }
+        if out.iter().any(|n| n == name) {
+            return Err(ScenarioError::new(
+                entry.line,
+                format!("application {name:?} listed twice in {:?}", entry.key),
+            ));
+        }
+        out.push(name.to_string());
+    }
+    Ok(out)
+}
+
+fn parse_expect(entry: &Entry) -> Result<Expect, ScenarioError> {
+    let (agg, stem) = if let Some(stem) = entry.key.strip_prefix("mean_") {
+        (Agg::Mean, stem)
+    } else if let Some(stem) = entry.key.strip_prefix("min_") {
+        (Agg::Min, stem)
+    } else if let Some(stem) = entry.key.strip_prefix("max_") {
+        (Agg::Max, stem)
+    } else {
+        return Err(ScenarioError::new(
+            entry.line,
+            format!(
+                "expect band {:?} must start with mean_, min_, or max_",
+                entry.key
+            ),
+        ));
+    };
+    let metric = Metric::ALL
+        .iter()
+        .copied()
+        .find(|m| m.key() == stem)
+        .ok_or_else(|| {
+            let metrics: Vec<&str> = Metric::ALL.iter().map(|m| m.key()).collect();
+            ScenarioError::new(
+                entry.line,
+                format!(
+                    "unknown expect metric {stem:?} in {:?} (metrics: {})",
+                    entry.key,
+                    metrics.join(", ")
+                ),
+            )
+        })?;
+    let Value::List(band) = &entry.value else {
+        return Err(ScenarioError::new(
+            entry.line,
+            format!(
+                "expect band {:?} must be `[lo, hi]`, got {}",
+                entry.key,
+                entry.value.type_name()
+            ),
+        ));
+    };
+    let [lo, hi] = band.as_slice() else {
+        return Err(ScenarioError::new(
+            entry.line,
+            format!(
+                "expect band {:?} must have exactly two entries, got {}",
+                entry.key,
+                band.len()
+            ),
+        ));
+    };
+    let lo = expect_number(lo, &entry.key, entry.line)?;
+    let hi = expect_number(hi, &entry.key, entry.line)?;
+    if lo > hi {
+        return Err(ScenarioError::new(
+            entry.line,
+            format!("expect band {:?} is empty: lo {lo} > hi {hi}", entry.key),
+        ));
+    }
+    Ok(Expect {
+        key: entry.key.clone(),
+        agg,
+        metric,
+        lo,
+        hi,
+        line: entry.line,
+    })
+}
+
+fn unknown_key(line: usize, key: &str, section: &str, valid: &[&str]) -> ScenarioError {
+    let mut msg = format!(
+        "unknown key {key:?} in [{section}] (expected one of: {})",
+        valid.join(", ")
+    );
+    if let Some(suggestion) = crate::nearest(key, valid) {
+        msg.push_str(&format!("; did you mean {suggestion:?}?"));
+    }
+    ScenarioError::new(line, msg)
+}
+
+fn unknown_field_key(line: usize, key: &str, section: &str, valid: &[Field]) -> ScenarioError {
+    let keys: Vec<&str> = valid.iter().map(|f| f.key()).collect();
+    unknown_key(line, key, section, &keys)
+}
+
+impl Expect {
+    /// Renders the aggregated band as text (`mean_cpu_perf in [0.4, 1]`).
+    pub fn describe(&self) -> String {
+        format!(
+            "{}_{} in [{}, {}]",
+            self.agg.prefix(),
+            self.metric.key(),
+            self.lo,
+            self.hi
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINIMAL: &str = r#"
+[scenario]
+name = "t"
+[workload]
+cpu = ["x264"]
+gpu = ["ubench"]
+"#;
+
+    fn with(extra: &str) -> String {
+        format!("{MINIMAL}{extra}")
+    }
+
+    #[test]
+    fn minimal_scenario_defaults() {
+        let sc = Scenario::from_str(MINIMAL).unwrap();
+        assert_eq!(sc.name, "t");
+        assert_eq!(sc.base, Knobs::default());
+        assert_eq!(sc.replicas, 1);
+        assert!(sc.sweeps.is_empty());
+        assert!(sc.expects.is_empty());
+        // Quick subsets default to the (short) full lists.
+        assert_eq!(sc.cpu_apps(true), sc.cpu_apps(false));
+    }
+
+    #[test]
+    fn system_and_mitigation_overrides_apply() {
+        let sc = Scenario::from_str(&with(
+            "[system]\ncores = 2\ngpus = 3\nseed = 7\ntimer_tick_us = 0\ncc6 = false\n\
+             [mitigation]\nsteer = true\nqos_percent = 5\n",
+        ))
+        .unwrap();
+        assert_eq!(sc.base.cfg.num_cores, 2);
+        assert_eq!(sc.base.gpus, 3);
+        assert_eq!(sc.base.cfg.seed, 7);
+        assert_eq!(sc.base.cfg.timer_tick, Ns::ZERO);
+        assert_eq!(sc.base.cfg.cpu.cstate.entry_threshold, Ns::MAX);
+        assert!(sc.base.mitigation.steer_single_core);
+        assert_eq!(sc.base.qos_percent, 5.0);
+    }
+
+    #[test]
+    fn mitigation_combo_strings() {
+        let sc = Scenario::from_str(&with(
+            "[sweep]\nmitigation = [\"default\", \"steer+mono\"]\n",
+        ))
+        .unwrap();
+        assert_eq!(sc.sweeps.len(), 1);
+        let mut k = Knobs::default();
+        Field::MitigationCombo
+            .apply(&mut k, &Value::Str("steer+coalesce+mono".into()), 1)
+            .unwrap();
+        assert!(k.mitigation.steer_single_core);
+        assert!(k.mitigation.coalesce);
+        assert!(k.mitigation.monolithic_bottom_half);
+    }
+
+    #[test]
+    fn bad_mitigation_combo_is_positioned() {
+        let text = with("[sweep]\nmitigation = [\"default\", \"coalese\"]\n");
+        let err = Scenario::from_str(&text).unwrap_err();
+        assert_eq!(err.line, 8);
+        assert!(err.msg.contains("unknown mitigation"), "{}", err.msg);
+    }
+
+    #[test]
+    fn unknown_section_and_keys_are_errors() {
+        let err = Scenario::from_str(&with("[sweeps]\nx = [1]\n")).unwrap_err();
+        assert!(err.msg.contains("unknown section"), "{}", err.msg);
+        assert_eq!(err.line, 7);
+
+        let err = Scenario::from_str(&with("[system]\ncoers = 4\n")).unwrap_err();
+        assert_eq!(err.line, 8);
+        assert!(err.msg.contains("did you mean \"cores\""), "{}", err.msg);
+    }
+
+    #[test]
+    fn unknown_workload_names_list_the_catalog() {
+        let err = Scenario::from_str(
+            "[scenario]\nname = \"t\"\n[workload]\ncpu = [\"quake\"]\ngpu = [\"ubench\"]\n",
+        )
+        .unwrap_err();
+        assert_eq!(err.line, 4);
+        assert!(err.msg.contains("unknown CPU application"), "{}", err.msg);
+        assert!(err.msg.contains("x264"), "{}", err.msg);
+    }
+
+    #[test]
+    fn empty_sweep_axis_is_an_error() {
+        let err = Scenario::from_str(&with("[sweep]\ngpus = []\n")).unwrap_err();
+        assert_eq!(err.line, 8);
+        assert!(err.msg.contains("must not be empty"), "{}", err.msg);
+    }
+
+    #[test]
+    fn sweep_values_are_type_checked() {
+        let err = Scenario::from_str(&with("[sweep]\ngpus = [1, \"two\"]\n")).unwrap_err();
+        assert_eq!(err.line, 8);
+        assert!(err.msg.contains("expects an integer"), "{}", err.msg);
+    }
+
+    #[test]
+    fn expect_bands_parse_and_reject_garbage() {
+        let sc = Scenario::from_str(&with(
+            "[expect]\nmean_cpu_perf = [0.4, 1.0]\nmax_p99_latency_us = [0, 500]\n",
+        ))
+        .unwrap();
+        assert_eq!(sc.expects.len(), 2);
+        assert_eq!(sc.expects[0].agg, Agg::Mean);
+        assert_eq!(sc.expects[0].metric, Metric::CpuPerf);
+        assert_eq!(sc.expects[1].agg, Agg::Max);
+        assert_eq!(sc.expects[1].metric, Metric::P99LatencyUs);
+
+        let err = Scenario::from_str(&with("[expect]\ncpu_perf = [0, 1]\n")).unwrap_err();
+        assert!(err.msg.contains("must start with"), "{}", err.msg);
+
+        let err = Scenario::from_str(&with("[expect]\nmean_cpu_pref = [0, 1]\n")).unwrap_err();
+        assert!(err.msg.contains("unknown expect metric"), "{}", err.msg);
+
+        let err = Scenario::from_str(&with("[expect]\nmean_cpu_perf = [1.0, 0.4]\n")).unwrap_err();
+        assert!(err.msg.contains("empty"), "{}", err.msg);
+
+        let err = Scenario::from_str(&with("[expect]\nmean_cpu_perf = [1.0]\n")).unwrap_err();
+        assert!(err.msg.contains("exactly two"), "{}", err.msg);
+    }
+
+    #[test]
+    fn missing_required_sections_are_errors() {
+        let err =
+            Scenario::from_str("[workload]\ncpu = [\"x264\"]\ngpu = [\"ubench\"]\n").unwrap_err();
+        assert!(err.msg.contains("[scenario]"), "{}", err.msg);
+
+        let err = Scenario::from_str("[scenario]\nname = \"t\"\n").unwrap_err();
+        assert!(err.msg.contains("[workload]"), "{}", err.msg);
+    }
+
+    #[test]
+    fn qos_percent_range_checked() {
+        let err = Scenario::from_str(&with("[mitigation]\nqos_percent = 101\n")).unwrap_err();
+        assert!(err.msg.contains("[0, 100]"), "{}", err.msg);
+    }
+}
