@@ -169,6 +169,16 @@ impl BaselineCache {
     pub fn miss_count(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
     }
+
+    /// Publishes the cache's lifetime counters into a metrics registry
+    /// under `prefix`. These are process-global and depend on which
+    /// experiments ran first, so they belong in batch-level profiles,
+    /// never in a per-run [`RunReport`] snapshot.
+    pub fn publish(&self, reg: &mut hiss_obs::MetricsRegistry, prefix: &str) {
+        reg.counter(format!("{prefix}.hits"), self.hit_count());
+        reg.counter(format!("{prefix}.misses"), self.miss_count());
+        reg.counter(format!("{prefix}.entries"), self.len() as u64);
+    }
 }
 
 #[cfg(test)]
@@ -223,5 +233,18 @@ mod tests {
         assert_eq!(cache.len(), 2);
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn publish_exports_lifetime_counters() {
+        let cache = BaselineCache::default();
+        let cfg = SystemConfig::a10_7850k();
+        cache.gpu_idle_baseline(&cfg, "bfs");
+        cache.gpu_idle_baseline(&cfg, "bfs");
+        let mut reg = hiss_obs::MetricsRegistry::new();
+        cache.publish(&mut reg, "baseline_cache");
+        assert_eq!(reg.counter_value("baseline_cache.hits"), Some(1));
+        assert_eq!(reg.counter_value("baseline_cache.misses"), Some(1));
+        assert_eq!(reg.counter_value("baseline_cache.entries"), Some(1));
     }
 }

@@ -52,7 +52,9 @@ pub use energy::{EnergyParams, EnergyReport};
 pub use experiments::BaselineCache;
 pub use metrics::RunReport;
 pub use replicate::{replicate, MetricSummary, Replicated};
-pub use runner::{par_map, run_jobs, run_jobs_on, thread_count};
+pub use runner::{
+    par_map, run_jobs, run_jobs_on, run_jobs_profiled, thread_count, thread_count_from, PoolProfile,
+};
 pub use soc::{ExperimentBuilder, Soc};
 pub use trace::{Trace, TraceSpan, Tracer};
 
@@ -61,6 +63,7 @@ pub use hiss_cpu::{CoreId, TimeBreakdown, TimeCategory};
 pub use hiss_gpu::{SsrKind, SsrProfile};
 pub use hiss_iommu::MsiSteering;
 pub use hiss_kernel::HandlerCosts;
+pub use hiss_obs::{HistogramSnapshot, MetricValue, MetricsRegistry};
 pub use hiss_qos::QosParams;
 pub use hiss_sim::Ns;
 pub use hiss_workloads::{gpu_suite, parsec_suite, CpuAppSpec, GpuAppSpec};

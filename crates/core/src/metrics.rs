@@ -2,6 +2,7 @@
 
 use hiss_cpu::TimeBreakdown;
 use hiss_iommu::IommuStats;
+use hiss_obs::MetricsRegistry;
 use hiss_sim::Ns;
 
 use crate::energy::EnergyReport;
@@ -69,6 +70,12 @@ pub struct RunReport {
     /// Activity trace, when requested via
     /// [`ExperimentBuilder::trace_window`](crate::ExperimentBuilder::trace_window).
     pub trace: Option<Trace>,
+    /// Structured snapshot of every component's counters (`kernel.*`,
+    /// `iommu.*`, `cpu.*`, `gpu*.*`, `qos.*`, `run.*`, `energy.*`).
+    /// Built purely from deterministic simulation state, so it is
+    /// bit-identical across `HISS_THREADS` settings; serialize with
+    /// [`MetricsRegistry::to_json`].
+    pub metrics: MetricsRegistry,
 }
 
 impl RunReport {

@@ -28,7 +28,7 @@
 //! transitions.
 
 use hiss_cpu::{Core, CoreId, TimeCategory};
-use hiss_gpu::{Gpu, SsrId, SsrRequest};
+use hiss_gpu::{Gpu, GpuStats, SsrId, SsrRequest};
 use hiss_iommu::{Iommu, IommuDecision, PageWalker, WalkerConfig};
 use hiss_kernel::{CoreHost, Kernel, KernelConfig, KernelOutput};
 use hiss_mem::WarmthModel;
@@ -65,6 +65,7 @@ struct GpuRun {
     /// Busy/stall/SSR totals from *completed* iterations.
     done_busy: Ns,
     done_stalled: Ns,
+    done_raised: u64,
     done_completed: u64,
     rng: Rng,
     /// Scratch for the per-iteration RNG fork label, reused across
@@ -79,6 +80,18 @@ impl GpuRun {
     }
     fn total_completed(&self) -> u64 {
         self.done_completed + self.gpu.stats().ssrs_completed
+    }
+
+    /// Lifetime stats across completed iterations plus the current one.
+    fn total_stats(&self) -> GpuStats {
+        let cur = self.gpu.stats();
+        GpuStats {
+            busy: self.done_busy + cur.busy,
+            stalled: self.done_stalled + cur.stalled,
+            ssrs_raised: self.done_raised + cur.ssrs_raised,
+            ssrs_completed: self.done_completed + cur.ssrs_completed,
+            finished_at: cur.finished_at,
+        }
     }
 }
 
@@ -213,6 +226,7 @@ impl Soc {
                     iterations: 0,
                     done_busy: Ns::ZERO,
                     done_stalled: Ns::ZERO,
+                    done_raised: 0,
                     done_completed: 0,
                     rng: grng,
                     iter_label: String::with_capacity(16),
@@ -451,6 +465,7 @@ impl Soc {
             let stats = run.gpu.stats();
             run.done_busy += stats.busy;
             run.done_stalled += stats.stalled;
+            run.done_raised += stats.ssrs_raised;
             run.done_completed += stats.ssrs_completed;
             use std::fmt::Write as _;
             run.iter_label.clear();
@@ -733,12 +748,49 @@ impl Soc {
             qos_deferrals: ks.qos_deferrals,
         };
         let energy = EnergyReport::from_breakdowns(EnergyParams::default(), &per_core, end);
+        let gpu_iterations: u64 = self.gpus.iter().map(|r| r.iterations).sum();
+        let iommu_stats = self.iommu.stats();
+
+        // Structured snapshot: every component publishes into one
+        // registry, built purely from deterministic simulation state.
+        let mut metrics = hiss_obs::MetricsRegistry::new();
+        ks.publish(&mut metrics, "kernel");
+        iommu_stats.publish(&mut metrics, "iommu");
+        self.walker.stats().publish(&mut metrics, "iommu.walker");
+        for (i, b) in per_core.iter().enumerate() {
+            b.publish(&mut metrics, &format!("cpu.core{i}"));
+        }
+        whole.publish(&mut metrics, "cpu.total");
+        for (i, run) in self.gpus.iter().enumerate() {
+            run.total_stats().publish(&mut metrics, &format!("gpu{i}"));
+            metrics.counter(format!("gpu{i}.iterations"), run.iterations);
+        }
+        if let Some(gov) = self.kernel.governor() {
+            gov.publish(&mut metrics, "qos");
+        }
+        metrics.counter("run.elapsed_ns", end.as_nanos());
+        if let Some(rt) = cpu_app_runtime {
+            metrics.counter("run.cpu_app_runtime_ns", rt.as_nanos());
+        }
+        metrics.counter("run.gpu_progress_ns", gpu_progress.as_nanos());
+        metrics.gauge("run.gpu_throughput", gpu_throughput);
+        metrics.counter("run.gpu_iterations", gpu_iterations);
+        metrics.gauge("run.ssr_rate", ssr_rate);
+        metrics.gauge("run.cc6_residency", cc6_residency);
+        metrics.gauge("run.cpu_ssr_overhead", whole.ssr_overhead_fraction());
+        metrics.gauge("run.avg_cache_coldness", cache_cold);
+        metrics.gauge("run.avg_branch_coldness", branch_cold);
+        metrics.counter("run.pending_at_end", self.iommu.pending() as u64);
+        metrics.counter("run.truncated", self.truncated as u64);
+        metrics.gauge("energy.cpu_joules", energy.cpu_joules);
+        metrics.gauge("energy.cpu_avg_watts", energy.cpu_avg_watts);
+
         RunReport {
             elapsed: end,
             cpu_app_runtime,
             gpu_progress,
             gpu_throughput,
-            gpu_iterations: self.gpus.iter().map(|r| r.iterations).sum(),
+            gpu_iterations,
             ssr_rate,
             cc6_residency,
             cpu_ssr_overhead: whole.ssr_overhead_fraction(),
@@ -746,10 +798,11 @@ impl Soc {
             avg_branch_coldness: branch_cold,
             per_core,
             kernel,
-            iommu: self.iommu.stats(),
+            iommu: iommu_stats,
             pending_at_end: self.iommu.pending(),
             trace: self.tracer.take().map(Tracer::into_trace),
             energy,
+            metrics,
         }
     }
 }
@@ -1153,5 +1206,61 @@ mod tests {
     #[should_panic(expected = "unknown CPU benchmark")]
     fn unknown_cpu_app_panics() {
         let _ = ExperimentBuilder::new(cfg()).cpu_app("quake");
+    }
+
+    #[test]
+    fn metrics_snapshot_mirrors_report() {
+        let report = ExperimentBuilder::new(cfg())
+            .cpu_app("x264")
+            .gpu_app("ubench")
+            .run();
+        let m = &report.metrics;
+        assert_eq!(m.counter_value("kernel.ipis"), Some(report.kernel.ipis));
+        assert_eq!(
+            m.counter_value("kernel.interrupts.total"),
+            Some(report.kernel.interrupts_per_core.iter().sum())
+        );
+        assert_eq!(
+            m.counter_value("iommu.requests"),
+            Some(report.iommu.requests)
+        );
+        assert_eq!(
+            m.gauge_value("run.cc6_residency"),
+            Some(report.cc6_residency)
+        );
+        assert_eq!(
+            m.counter_value("run.elapsed_ns"),
+            Some(report.elapsed.as_nanos())
+        );
+        assert!(m.counter_value("gpu0.ssrs_raised").unwrap() > 0);
+        assert!(m.counter_value("gpu0.busy_ns").unwrap() > 0);
+        for core in 0..report.per_core.len() {
+            assert_eq!(
+                m.counter_value(&format!("cpu.core{core}.sleep_cc6_ns")),
+                Some(report.per_core[core].get(TimeCategory::SleepCc6).as_nanos())
+            );
+        }
+        // No governor configured: no qos.* namespace.
+        assert_eq!(m.counter_value("qos.deferrals"), None);
+        // The snapshot round-trips through JSON bit-exactly.
+        let json = m.to_json();
+        let back = hiss_obs::MetricsRegistry::from_json(&json).expect("parse");
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn qos_run_publishes_governor_metrics() {
+        let report = ExperimentBuilder::new(cfg())
+            .cpu_app("x264")
+            .gpu_app("ubench")
+            .qos(QosParams::threshold_percent(1.0))
+            .run();
+        let m = &report.metrics;
+        assert_eq!(
+            m.counter_value("qos.deferrals"),
+            Some(report.kernel.qos_deferrals)
+        );
+        assert!(m.counter_value("qos.passes").is_some());
+        assert_eq!(m.gauge_value("qos.threshold"), Some(0.01));
     }
 }

@@ -5,6 +5,7 @@
 //! residency (Figs. 4, 9), and the direct/indirect overhead split (Fig. 2)
 //! from these ledgers.
 
+use hiss_obs::MetricsRegistry;
 use hiss_sim::Ns;
 
 /// What a core was doing during an interval.
@@ -65,6 +66,24 @@ impl TimeCategory {
                 | TimeCategory::ModeSwitch
                 | TimeCategory::QosAccounting
         )
+    }
+
+    /// Stable snake_case metric name for this category (the
+    /// `hiss-obs` naming convention).
+    pub fn name(self) -> &'static str {
+        match self {
+            TimeCategory::User => "user",
+            TimeCategory::TopHalf => "top_half",
+            TimeCategory::Ipi => "ipi",
+            TimeCategory::BottomHalf => "bottom_half",
+            TimeCategory::Worker => "worker",
+            TimeCategory::ModeSwitch => "mode_switch",
+            TimeCategory::IdleShallow => "idle_shallow",
+            TimeCategory::SleepCc6 => "sleep_cc6",
+            TimeCategory::CStateTransition => "cstate_transition",
+            TimeCategory::QosAccounting => "qos_accounting",
+            TimeCategory::OsTick => "os_tick",
+        }
     }
 
     fn index(self) -> usize {
@@ -154,6 +173,21 @@ impl TimeBreakdown {
             self.buckets[i] += *v;
         }
     }
+
+    /// Publishes this ledger into a metrics registry under `prefix`:
+    /// one `{prefix}.{category}_ns` counter per time category, plus the
+    /// derived `{prefix}.cc6_residency` and `{prefix}.ssr_overhead`
+    /// gauges the paper's figures read.
+    pub fn publish(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        for c in TimeCategory::ALL {
+            reg.counter(format!("{prefix}.{}_ns", c.name()), self.get(c).as_nanos());
+        }
+        reg.gauge(format!("{prefix}.cc6_residency"), self.cc6_residency());
+        reg.gauge(
+            format!("{prefix}.ssr_overhead"),
+            self.ssr_overhead_fraction(),
+        );
+    }
 }
 
 #[cfg(test)]
@@ -201,6 +235,22 @@ mod tests {
         b.add(TimeCategory::SleepCc6, Ns::from_micros(86));
         b.add(TimeCategory::IdleShallow, Ns::from_micros(14));
         assert!((b.cc6_residency() - 0.86).abs() < 1e-12);
+    }
+
+    #[test]
+    fn publish_exports_every_category_and_derived_gauges() {
+        let mut b = TimeBreakdown::new();
+        b.add(TimeCategory::User, Ns::from_micros(14));
+        b.add(TimeCategory::SleepCc6, Ns::from_micros(86));
+        let mut reg = MetricsRegistry::new();
+        b.publish(&mut reg, "cpu.core0");
+        assert_eq!(reg.counter_value("cpu.core0.user_ns"), Some(14_000));
+        assert_eq!(reg.counter_value("cpu.core0.sleep_cc6_ns"), Some(86_000));
+        assert_eq!(reg.counter_value("cpu.core0.ipi_ns"), Some(0));
+        let cc6 = reg.gauge_value("cpu.core0.cc6_residency").unwrap();
+        assert!((cc6 - 0.86).abs() < 1e-12);
+        // 11 categories + 2 derived gauges.
+        assert_eq!(reg.len(), 13);
     }
 
     #[test]

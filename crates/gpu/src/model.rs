@@ -1,6 +1,7 @@
 //! The GPU execution state machine.
 
 use hiss_mem::{PageId, PageTable};
+use hiss_obs::MetricsRegistry;
 use hiss_sim::{Ns, Rng};
 
 use crate::request::{SsrId, SsrProfile, SsrRequest};
@@ -56,6 +57,20 @@ pub struct GpuStats {
     pub ssrs_completed: u64,
     /// Kernel completion time, if finished.
     pub finished_at: Option<Ns>,
+}
+
+impl GpuStats {
+    /// Publishes the GPU counters into a metrics registry under `prefix`.
+    /// An unfinished kernel publishes no `{prefix}.finished_at_ns`.
+    pub fn publish(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        reg.counter(format!("{prefix}.busy_ns"), self.busy.as_nanos());
+        reg.counter(format!("{prefix}.stalled_ns"), self.stalled.as_nanos());
+        reg.counter(format!("{prefix}.ssrs_raised"), self.ssrs_raised);
+        reg.counter(format!("{prefix}.ssrs_completed"), self.ssrs_completed);
+        if let Some(t) = self.finished_at {
+            reg.counter(format!("{prefix}.finished_at_ns"), t.as_nanos());
+        }
+    }
 }
 
 /// Execution state: what the GPU is doing *right now*.
@@ -382,6 +397,31 @@ impl Gpu {
 mod tests {
     use super::*;
     use crate::request::SsrKind;
+
+    #[test]
+    fn publish_exports_counters_and_optional_finish_time() {
+        let unfinished = GpuStats {
+            busy: Ns::from_micros(70),
+            stalled: Ns::from_micros(30),
+            ssrs_raised: 9,
+            ssrs_completed: 8,
+            finished_at: None,
+        };
+        let mut reg = MetricsRegistry::new();
+        unfinished.publish(&mut reg, "gpu0");
+        assert_eq!(reg.counter_value("gpu0.busy_ns"), Some(70_000));
+        assert_eq!(reg.counter_value("gpu0.stalled_ns"), Some(30_000));
+        assert_eq!(reg.counter_value("gpu0.ssrs_raised"), Some(9));
+        assert_eq!(reg.counter_value("gpu0.ssrs_completed"), Some(8));
+        assert_eq!(reg.get("gpu0.finished_at_ns"), None);
+
+        let finished = GpuStats {
+            finished_at: Some(Ns::from_micros(100)),
+            ..unfinished
+        };
+        finished.publish(&mut reg, "gpu0");
+        assert_eq!(reg.counter_value("gpu0.finished_at_ns"), Some(100_000));
+    }
 
     fn profile(gap_us: u64, blocking: f64) -> SsrProfile {
         SsrProfile {

@@ -2,6 +2,7 @@
 
 use hiss_cpu::CoreId;
 use hiss_gpu::SsrRequest;
+use hiss_obs::MetricsRegistry;
 use hiss_sim::Ns;
 
 use crate::steering::MsiSteering;
@@ -32,6 +33,18 @@ pub struct IommuStats {
     /// Total requests delivered via drain (should equal `requests` at
     /// quiescence).
     pub drained: u64,
+}
+
+impl IommuStats {
+    /// Publishes the IOMMU counters into a metrics registry under
+    /// `prefix` (one counter per field).
+    pub fn publish(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        reg.counter(format!("{prefix}.requests"), self.requests);
+        reg.counter(format!("{prefix}.interrupts"), self.interrupts);
+        reg.counter(format!("{prefix}.timer_fires"), self.timer_fires);
+        reg.counter(format!("{prefix}.log_full_flushes"), self.log_full_flushes);
+        reg.counter(format!("{prefix}.drained"), self.drained);
+    }
 }
 
 /// IO memory-management unit with optional interrupt coalescing.
@@ -193,6 +206,25 @@ impl Iommu {
 mod tests {
     use super::*;
     use hiss_gpu::{SsrId, SsrKind};
+
+    #[test]
+    fn publish_exports_one_counter_per_field() {
+        let stats = IommuStats {
+            requests: 10,
+            interrupts: 4,
+            timer_fires: 3,
+            log_full_flushes: 1,
+            drained: 10,
+        };
+        let mut reg = MetricsRegistry::new();
+        stats.publish(&mut reg, "iommu");
+        assert_eq!(reg.counter_value("iommu.requests"), Some(10));
+        assert_eq!(reg.counter_value("iommu.interrupts"), Some(4));
+        assert_eq!(reg.counter_value("iommu.timer_fires"), Some(3));
+        assert_eq!(reg.counter_value("iommu.log_full_flushes"), Some(1));
+        assert_eq!(reg.counter_value("iommu.drained"), Some(10));
+        assert_eq!(reg.len(), 5);
+    }
 
     fn req(id: u64, at: Ns) -> SsrRequest {
         SsrRequest {

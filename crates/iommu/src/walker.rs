@@ -13,6 +13,7 @@
 //! [`PageWalker::walk`] returns the walk latency for an address; the SoC
 //! adds it between the GPU raising a fault and the IOMMU logging it.
 
+use hiss_obs::MetricsRegistry;
 use hiss_sim::Ns;
 
 /// Bits of virtual address consumed per level (x86-64-style 4-level
@@ -48,6 +49,23 @@ pub struct WalkerStats {
     pub memory_fetches: u64,
     /// Levels served from the walk cache.
     pub pwc_hits: u64,
+}
+
+impl WalkerStats {
+    /// Publishes the walker counters into a metrics registry under
+    /// `prefix`, plus a derived `{prefix}.pwc_hit_rate` gauge.
+    pub fn publish(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        reg.counter(format!("{prefix}.walks"), self.walks);
+        reg.counter(format!("{prefix}.memory_fetches"), self.memory_fetches);
+        reg.counter(format!("{prefix}.pwc_hits"), self.pwc_hits);
+        let accesses = self.memory_fetches + self.pwc_hits;
+        if accesses > 0 {
+            reg.gauge(
+                format!("{prefix}.pwc_hit_rate"),
+                self.pwc_hits as f64 / accesses as f64,
+            );
+        }
+    }
 }
 
 /// One PWC level: recently-used intermediate entries, LRU.
@@ -207,6 +225,27 @@ mod tests {
             avg < Ns::from_nanos(120),
             "streaming walks should average near one fetch: {avg}"
         );
+    }
+
+    #[test]
+    fn publish_exports_counters_and_hit_rate() {
+        let mut w = PageWalker::new(WalkerConfig::default());
+        w.walk(0x5555_0000_0000);
+        w.walk(0x5555_0000_1000);
+        let mut reg = MetricsRegistry::new();
+        w.stats().publish(&mut reg, "iommu.walker");
+        assert_eq!(reg.counter_value("iommu.walker.walks"), Some(2));
+        assert_eq!(reg.counter_value("iommu.walker.memory_fetches"), Some(5));
+        assert_eq!(reg.counter_value("iommu.walker.pwc_hits"), Some(3));
+        assert_eq!(reg.gauge_value("iommu.walker.pwc_hit_rate"), Some(0.375));
+    }
+
+    #[test]
+    fn publish_of_idle_walker_omits_hit_rate() {
+        let mut reg = MetricsRegistry::new();
+        WalkerStats::default().publish(&mut reg, "w");
+        assert_eq!(reg.counter_value("w.walks"), Some(0));
+        assert_eq!(reg.gauge_value("w.pwc_hit_rate"), None);
     }
 
     #[test]

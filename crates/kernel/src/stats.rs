@@ -1,6 +1,7 @@
 //! Kernel-side counters, mirroring what the paper reads from
 //! `/proc/interrupts`, IPI counters, and driver instrumentation.
 
+use hiss_obs::MetricsRegistry;
 use hiss_sim::{Histogram, Ns, OnlineStats};
 
 /// Counters for one simulation run.
@@ -60,6 +61,25 @@ impl KernelStats {
             max as f64 / min as f64
         }
     }
+
+    /// Publishes the `/proc/interrupts`-style view into a metrics
+    /// registry under `prefix`: per-core and total interrupt counters,
+    /// IPI and service counts, the end-to-end latency histogram, and the
+    /// batch-size distribution.
+    pub fn publish(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        for (core, &n) in self.interrupts_per_core.iter().enumerate() {
+            reg.counter(format!("{prefix}.interrupts.core{core}"), n);
+        }
+        reg.counter(
+            format!("{prefix}.interrupts.total"),
+            self.total_interrupts(),
+        );
+        reg.counter(format!("{prefix}.ipis"), self.ipis);
+        reg.counter(format!("{prefix}.ssrs_serviced"), self.ssrs_serviced);
+        reg.counter(format!("{prefix}.qos_deferrals"), self.qos_deferrals);
+        reg.histogram(format!("{prefix}.latency"), &self.latency);
+        reg.stats(&format!("{prefix}.batch"), &self.batch_size);
+    }
 }
 
 #[cfg(test)]
@@ -91,5 +111,31 @@ mod tests {
         let mut s = KernelStats::new(2);
         s.interrupts_per_core = vec![3, 9];
         assert_eq!(s.total_interrupts(), 12);
+    }
+
+    #[test]
+    fn publish_exports_per_core_and_aggregate_counters() {
+        let mut s = KernelStats::new(2);
+        s.interrupts_per_core = vec![3, 9];
+        s.ipis = 477;
+        s.ssrs_serviced = 11;
+        s.qos_deferrals = 2;
+        s.latency.record(Ns::from_micros(25));
+        s.batch_size.push(4.0);
+        s.batch_size.push(8.0);
+        let mut reg = MetricsRegistry::new();
+        s.publish(&mut reg, "kernel");
+        assert_eq!(reg.counter_value("kernel.interrupts.core0"), Some(3));
+        assert_eq!(reg.counter_value("kernel.interrupts.core1"), Some(9));
+        assert_eq!(reg.counter_value("kernel.interrupts.total"), Some(12));
+        assert_eq!(reg.counter_value("kernel.ipis"), Some(477));
+        assert_eq!(reg.counter_value("kernel.ssrs_serviced"), Some(11));
+        assert_eq!(reg.counter_value("kernel.qos_deferrals"), Some(2));
+        assert_eq!(reg.counter_value("kernel.batch.count"), Some(2));
+        assert_eq!(reg.gauge_value("kernel.batch.mean"), Some(6.0));
+        match reg.get("kernel.latency") {
+            Some(hiss_obs::MetricValue::Histogram(h)) => assert_eq!(h.count, 1),
+            other => panic!("expected latency histogram, got {other:?}"),
+        }
     }
 }

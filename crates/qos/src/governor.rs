@@ -1,5 +1,6 @@
 //! The QoS governor (paper Fig. 11).
 
+use hiss_obs::MetricsRegistry;
 use hiss_sim::Ns;
 
 use crate::ledger::CycleLedger;
@@ -144,6 +145,19 @@ impl Governor {
     pub fn passes(&self) -> u64 {
         self.passes
     }
+
+    /// Publishes the governor's decision counters, lifetime recorded SSR
+    /// time, and configured threshold into a metrics registry under
+    /// `prefix`.
+    pub fn publish(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        reg.counter(format!("{prefix}.deferrals"), self.deferrals);
+        reg.counter(format!("{prefix}.passes"), self.passes);
+        reg.counter(
+            format!("{prefix}.recorded_ns"),
+            self.ledger.total().as_nanos(),
+        );
+        reg.gauge(format!("{prefix}.threshold"), self.params.threshold);
+    }
 }
 
 #[cfg(test)]
@@ -226,6 +240,19 @@ mod tests {
         assert_eq!(mk(1.0).gate(us(50)), Gate::Defer(us(60)));
         assert_eq!(mk(5.0).gate(us(50)), Gate::Proceed);
         assert_eq!(mk(25.0).gate(us(50)), Gate::Proceed);
+    }
+
+    #[test]
+    fn publish_exports_decisions_and_threshold() {
+        let mut g = saturated_governor(5.0);
+        let _ = g.gate(us(100)); // one deferral
+        let _ = g.gate(us(10_000)); // ledger aged out: one pass
+        let mut reg = MetricsRegistry::new();
+        g.publish(&mut reg, "qos");
+        assert_eq!(reg.counter_value("qos.deferrals"), Some(1));
+        assert_eq!(reg.counter_value("qos.passes"), Some(1));
+        assert_eq!(reg.counter_value("qos.recorded_ns"), Some(400_000));
+        assert_eq!(reg.gauge_value("qos.threshold"), Some(0.05));
     }
 
     #[test]

@@ -4,12 +4,19 @@
 //! hiss-cli list
 //! hiss-cli run --cpu x264 --gpu ubench [--steer] [--coalesce] [--mono]
 //!              [--qos <percent>] [--seed <n>] [--gpus <n>] [--json]
+//!              [--metrics <path>]
 //! hiss-cli timeline --cpu x264 --gpu ubench --from-us 5000 --to-us 5400
 //! hiss-cli figures [--quick]
+//! hiss-cli report <snapshot> [--json]
 //! hiss-cli scenario validate <file>...
 //! hiss-cli scenario run <file> [--quick] [--json] [--no-check]
+//!                      [--metrics <path>] [--profile]
 //! hiss-cli scenario list [<dir>]
 //! ```
+//!
+//! `report` renders a metrics snapshot file — one JSON object per line,
+//! as written by `run --metrics` / `scenario run --metrics` — as ASCII
+//! tables, or as JSON-lines (one metric per line) with `--json`.
 //!
 //! Unknown flags are errors (with a nearest-match suggestion), never
 //! silently ignored.
@@ -26,11 +33,14 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  hiss-cli list\n  hiss-cli run --cpu <app> --gpu <app> \
          [--pinned] [--steer] [--coalesce] [--mono] [--qos <pct>] \
-         [--seed <n>] [--gpus <n>] [--json]\n  hiss-cli timeline --cpu <app> \
+         [--seed <n>] [--gpus <n>] [--json] [--metrics <path>]\n  \
+         hiss-cli timeline --cpu <app> \
          --gpu <app> --from-us <t0> --to-us <t1> [--width <cols>]\n  \
          hiss-cli figures [--quick]\n  \
+         hiss-cli report <snapshot> [--json]\n  \
          hiss-cli scenario validate <file>...\n  \
-         hiss-cli scenario run <file> [--quick] [--json] [--no-check]\n  \
+         hiss-cli scenario run <file> [--quick] [--json] [--no-check] \
+         [--metrics <path>] [--profile]\n  \
          hiss-cli scenario list [<dir>]"
     );
     ExitCode::FAILURE
@@ -193,6 +203,58 @@ fn build(cfg: SystemConfig, args: &Args) -> Option<ExperimentBuilder> {
     Some(b)
 }
 
+/// `hiss-cli report <snapshot> [--json]` — renders a metrics snapshot
+/// file (one JSON object per line, as written by `run --metrics` and
+/// `scenario run --metrics`) as ASCII tables or JSON-lines.
+fn report_command(argv: Vec<String>) -> ExitCode {
+    let args = match Args::parse(argv, &["--json"], &[]) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let [file] = args.positional.as_slice() else {
+        eprintln!("report requires exactly one snapshot file");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut first = true;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let reg = match hiss::MetricsRegistry::from_json(line) {
+            Ok(reg) => reg,
+            Err(e) => {
+                eprintln!("{file}:{}: {e}", lineno + 1);
+                return ExitCode::FAILURE;
+            }
+        };
+        if args.flag("--json") {
+            print!("{}", reg.to_jsonl());
+        } else {
+            if !first {
+                println!();
+            }
+            print!("{}", reg.to_table());
+        }
+        first = false;
+    }
+    if first {
+        eprintln!("{file}: no snapshots found");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 /// `hiss-cli scenario <verb> ...`
 fn scenario_command(mut argv: Vec<String>) -> ExitCode {
     if argv.is_empty() {
@@ -238,7 +300,11 @@ fn scenario_command(mut argv: Vec<String>) -> ExitCode {
             }
         }
         "run" => {
-            let args = match Args::parse(argv, &["--quick", "--json", "--no-check"], &[]) {
+            let args = match Args::parse(
+                argv,
+                &["--quick", "--json", "--no-check", "--profile"],
+                &["--metrics"],
+            ) {
                 Ok(a) => a,
                 Err(e) => {
                     eprintln!("{e}");
@@ -257,7 +323,34 @@ fn scenario_command(mut argv: Vec<String>) -> ExitCode {
                 }
             };
             let quick = args.flag("--quick");
-            let rows = scenario::run(&sc, quick);
+            let metrics_path = args.value("--metrics");
+            let rows = if metrics_path.is_some() || args.flag("--profile") {
+                let (pairs, batch) = if args.flag("--profile") {
+                    let (pairs, batch) = scenario::run_profiled(&sc, quick);
+                    (pairs, Some(batch))
+                } else {
+                    (scenario::run_with_metrics(&sc, quick), None)
+                };
+                let (rows, snapshots): (Vec<_>, Vec<_>) = pairs.into_iter().unzip();
+                if let Some(path) = metrics_path {
+                    let mut out = String::new();
+                    for snap in &snapshots {
+                        out.push_str(&snap.to_json());
+                        out.push('\n');
+                    }
+                    if let Err(e) = std::fs::write(path, out) {
+                        eprintln!("cannot write {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                if let Some(batch) = batch {
+                    // Wall-clock profile: stderr, so piped stdout stays data.
+                    eprint!("{}", batch.to_table());
+                }
+                rows
+            } else {
+                scenario::run(&sc, quick)
+            };
             if args.flag("--json") {
                 print!("{}", scenario::output::to_jsonl(&rows));
             } else {
@@ -337,8 +430,9 @@ fn main() -> ExitCode {
         "run" => Args::parse(
             argv,
             &["--pinned", "--steer", "--coalesce", "--mono", "--json"],
-            &["--cpu", "--gpu", "--qos", "--seed", "--gpus"],
+            &["--cpu", "--gpu", "--qos", "--seed", "--gpus", "--metrics"],
         ),
+        "report" => return report_command(argv),
         "timeline" => Args::parse(
             argv,
             &["--pinned", "--steer", "--coalesce", "--mono"],
@@ -393,7 +487,17 @@ fn main() -> ExitCode {
             let Some(b) = build(cfg, &args) else {
                 return ExitCode::FAILURE;
             };
-            print_report(&b.run(), args.flag("--json"));
+            let report = b.run();
+            if let Some(path) = args.value("--metrics") {
+                let snapshot = format!("{}\n", report.metrics.to_json());
+                if path == "-" {
+                    print!("{snapshot}");
+                } else if let Err(e) = std::fs::write(path, snapshot) {
+                    eprintln!("cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            print_report(&report, args.flag("--json"));
             ExitCode::SUCCESS
         }
         "timeline" => {

@@ -21,6 +21,7 @@
 //! with the figure modules).
 
 use hiss::{BaselineCache, ExperimentBuilder, Mitigation, QosParams, RunReport};
+use hiss_obs::MetricsRegistry;
 
 use crate::spec::{Knobs, Scenario};
 
@@ -135,7 +136,7 @@ pub fn expand(sc: &Scenario, quick: bool) -> Vec<Cell> {
 }
 
 /// Runs one cell: the noisy run plus its two cached baselines.
-fn run_cell(cell: &Cell) -> Row {
+fn run_cell_report(cell: &Cell) -> (Row, std::sync::Arc<RunReport>) {
     let cache = BaselineCache::global();
     let cfg = &cell.knobs.cfg;
     let base = cache.cpu_baseline(cfg, &cell.cpu_app, &cell.gpu_app);
@@ -157,7 +158,26 @@ fn run_cell(cell: &Cell) -> Row {
         }
         std::sync::Arc::new(b.run())
     };
-    row_from_report(cell, &run, &base, &gpu_base)
+    let row = row_from_report(cell, &run, &base, &gpu_base);
+    (row, run)
+}
+
+fn run_cell(cell: &Cell) -> Row {
+    run_cell_report(cell).0
+}
+
+/// The cell's metrics snapshot: the run's registry plus `cell.*` labels
+/// (application names, replica, sweep coordinates) so a snapshot file is
+/// self-describing without the surrounding row.
+fn cell_metrics(cell: &Cell, run: &RunReport) -> MetricsRegistry {
+    let mut m = run.metrics.clone();
+    m.label("cell.cpu_app", &cell.cpu_app);
+    m.label("cell.gpu_app", &cell.gpu_app);
+    m.counter("cell.replica", cell.replica as u64);
+    for (key, value) in &cell.axes {
+        m.label(format!("cell.axis.{key}"), value);
+    }
+    m
 }
 
 fn row_from_report(cell: &Cell, run: &RunReport, base: &RunReport, gpu_base: &RunReport) -> Row {
@@ -193,6 +213,37 @@ fn row_from_report(cell: &Cell, run: &RunReport, base: &RunReport, gpu_base: &Ru
 pub fn run(sc: &Scenario, quick: bool) -> Vec<Row> {
     let cells = expand(sc, quick);
     hiss::run_jobs(cells.len(), |i| run_cell(&cells[i]))
+}
+
+/// [`run`], additionally returning each cell's metrics snapshot (the
+/// run's [`hiss::RunReport::metrics`] registry plus `cell.*` identity
+/// labels). Snapshots are built purely from deterministic simulation
+/// state, so they too are bit-identical whatever the worker count.
+pub fn run_with_metrics(sc: &Scenario, quick: bool) -> Vec<(Row, MetricsRegistry)> {
+    let cells = expand(sc, quick);
+    hiss::run_jobs(cells.len(), |i| {
+        let (row, report) = run_cell_report(&cells[i]);
+        let metrics = cell_metrics(&cells[i], &report);
+        (row, metrics)
+    })
+}
+
+/// [`run_with_metrics`] with batch-level profiling: also returns a
+/// registry of pool wall-times (`pool.*`) and process-wide baseline-cache
+/// counters (`baseline_cache.*`). Unlike the per-cell snapshots, this
+/// profile is wall-clock- and scheduling-dependent — it is reported
+/// separately and never mixed into cell snapshots.
+pub fn run_profiled(sc: &Scenario, quick: bool) -> (Vec<(Row, MetricsRegistry)>, MetricsRegistry) {
+    let cells = expand(sc, quick);
+    let (rows, profile) = hiss::run_jobs_profiled(hiss::thread_count(), cells.len(), |i| {
+        let (row, report) = run_cell_report(&cells[i]);
+        let metrics = cell_metrics(&cells[i], &report);
+        (row, metrics)
+    });
+    let mut batch = MetricsRegistry::new();
+    profile.publish(&mut batch, "pool");
+    BaselineCache::global().publish(&mut batch, "baseline_cache");
+    (rows, batch)
 }
 
 #[cfg(test)]
@@ -277,6 +328,43 @@ cc6 = [true, false]
         assert_eq!(cells.len(), 2);
         assert!(cells[0].knobs.cfg.cpu.cstate.entry_threshold < hiss::Ns::MAX);
         assert_eq!(cells[1].knobs.cfg.cpu.cstate.entry_threshold, hiss::Ns::MAX);
+    }
+
+    #[test]
+    fn metrics_snapshots_carry_cell_identity_and_mirror_rows() {
+        let sc = Scenario::from_str(
+            r#"
+[scenario]
+name = "t"
+[workload]
+cpu = ["x264"]
+gpu = ["ubench"]
+[sweep]
+qos_percent = [0, 1]
+"#,
+        )
+        .unwrap();
+        let pairs = run_with_metrics(&sc, false);
+        assert_eq!(pairs.len(), 2);
+        for (row, m) in &pairs {
+            assert_eq!(m.label_value("cell.cpu_app"), Some("x264"));
+            assert_eq!(m.label_value("cell.gpu_app"), Some("ubench"));
+            assert_eq!(m.counter_value("cell.replica"), Some(0));
+            assert_eq!(
+                m.label_value("cell.axis.qos_percent"),
+                Some(row.axes[0].1.as_str())
+            );
+            assert_eq!(m.counter_value("kernel.ipis"), Some(row.ipis));
+            assert_eq!(
+                m.counter_value("kernel.ssrs_serviced"),
+                Some(row.ssrs_serviced)
+            );
+            assert_eq!(m.gauge_value("run.cc6_residency"), Some(row.cc6_residency));
+        }
+        // Plain `run` and the metrics variant agree row-for-row.
+        let rows = run(&sc, false);
+        let row_only: Vec<&Row> = pairs.iter().map(|(r, _)| r).collect();
+        assert_eq!(rows.iter().collect::<Vec<_>>(), row_only);
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub mod output;
 pub mod parse;
 pub mod spec;
 
-pub use compile::{expand, run, Cell, Row};
+pub use compile::{expand, run, run_profiled, run_with_metrics, Cell, Row};
 pub use expect::{check, Violation};
 pub use parse::{Document, ScenarioError, Value};
 pub use spec::{Agg, Expect, Field, Knobs, Metric, Scenario, SweepAxis, Workload};

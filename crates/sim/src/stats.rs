@@ -49,7 +49,9 @@ pub fn percentile(values: &[f64], p: f64) -> f64 {
         return 0.0;
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    // total_cmp is a total order over all f64 bit patterns, so NaN input
+    // sorts to the ends instead of panicking mid-sort.
+    sorted.sort_by(f64::total_cmp);
     let p = p.clamp(0.0, 100.0);
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
@@ -76,13 +78,22 @@ pub fn percentile(values: &[f64], p: f64) -> f64 {
 /// assert_eq!(s.count(), 3);
 /// assert!((s.mean() - 4.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct OnlineStats {
     n: u64,
     mean: f64,
     m2: f64,
     min: f64,
     max: f64,
+}
+
+/// Same as [`OnlineStats::new`]. (A derived `Default` would zero the
+/// min/max fields, making the first `push` unable to raise `min` above
+/// 0.0 — the ±∞ sentinels are load-bearing.)
+impl Default for OnlineStats {
+    fn default() -> Self {
+        OnlineStats::new()
+    }
 }
 
 impl OnlineStats {
@@ -234,7 +245,14 @@ impl Histogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return Ns::from_nanos(1u64 << (i + 1).min(63));
+                // Bucket 63's upper bound (2^64) overflows u64, so the
+                // top bucket reports Ns::MAX rather than its *lower*
+                // bound 2^63.
+                return if i >= 63 {
+                    Ns::MAX
+                } else {
+                    Ns::from_nanos(1u64 << (i + 1))
+                };
             }
         }
         Ns::MAX
@@ -335,6 +353,62 @@ mod tests {
         assert!(h.quantile(1.0) >= Ns::from_nanos(1 << 20));
     }
 
+    /// Regression: the derived `Default` zeroed `min`/`max`, so
+    /// `OnlineStats::default()` reported `min() == 0.0` for all-positive
+    /// samples (and `max() == 0.0` for all-negative ones).
+    #[test]
+    fn default_matches_new_sentinels() {
+        let mut d = OnlineStats::default();
+        for x in [5.0, 7.0, 6.0] {
+            d.push(x);
+        }
+        assert_eq!(d.min(), 5.0, "default() must start min at +INFINITY");
+        assert_eq!(d.max(), 7.0);
+
+        let mut neg = OnlineStats::default();
+        neg.push(-3.0);
+        assert_eq!(neg.max(), -3.0, "default() must start max at -INFINITY");
+
+        // And an untouched default still reports the empty-case zeros.
+        let empty = OnlineStats::default();
+        assert_eq!(empty.min(), 0.0);
+        assert_eq!(empty.max(), 0.0);
+        assert_eq!(empty.count(), 0);
+    }
+
+    /// Regression: `percentile` used `partial_cmp().expect(...)` and
+    /// panicked on NaN input.
+    #[test]
+    fn percentile_tolerates_nan() {
+        let v = [2.0, f64::NAN, 1.0, 3.0];
+        // Must not panic; finite percentiles of the finite values are
+        // still ordered sensibly (NaN sorts to one end under total_cmp).
+        let p0 = percentile(&v, 0.0);
+        let p50 = percentile(&v, 50.0);
+        assert!(p0 <= p50 || p0.is_nan() || p50.is_nan());
+        assert!(percentile(&[f64::NAN], 50.0).is_nan());
+    }
+
+    /// Regression: an observation in the top bucket (63) returned
+    /// `1 << 63` — the bucket's *lower* bound — as the quantile "upper
+    /// bound", under-reporting every latency in `[2^63, u64::MAX]`.
+    #[test]
+    fn histogram_quantile_top_bucket_upper_bound() {
+        let mut h = Histogram::new();
+        h.record(Ns::from_nanos(u64::MAX));
+        assert_eq!(h.count(), 1);
+        let q = h.quantile(1.0);
+        assert!(
+            q >= Ns::from_nanos(u64::MAX),
+            "quantile {q} below the recorded observation"
+        );
+        assert_eq!(q, Ns::MAX);
+        // Bucket 62 still reports its true upper bound, 2^63.
+        let mut h = Histogram::new();
+        h.record(Ns::from_nanos(1u64 << 62));
+        assert_eq!(h.quantile(1.0), Ns::from_nanos(1u64 << 63));
+    }
+
     #[test]
     fn histogram_empty_is_safe() {
         let h = Histogram::new();
@@ -368,6 +442,21 @@ mod proptests {
         ) {
             let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
             prop_assert!(percentile(&v, lo) <= percentile(&v, hi) + 1e-9);
+        }
+
+        /// `percentile` must never panic, even when NaN is sprinkled into
+        /// the sample at arbitrary positions (regression for the
+        /// `partial_cmp().expect(...)` sort).
+        #[test]
+        fn percentile_never_panics_with_nan(
+            v in proptest::collection::vec(-100.0f64..100.0, 1..50),
+            nan_at in 0usize..50,
+            p in 0.0f64..100.0,
+        ) {
+            let mut v = v;
+            let i = nan_at % v.len();
+            v[i] = f64::NAN;
+            let _ = percentile(&v, p);
         }
 
         #[test]
