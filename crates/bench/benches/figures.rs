@@ -8,6 +8,9 @@
 //! Output is the textual equivalent of each artifact: the same rows and
 //! series the paper plots, produced by the simulator. EXPERIMENTS.md
 //! records the paper-vs-measured comparison for the most recent full run.
+// Wall-clock timing is this bench target's purpose (see lint.toml
+// entry for hiss-bench).
+#![allow(clippy::disallowed_types)]
 
 use std::time::Instant;
 

@@ -18,6 +18,9 @@
 //! human-readable line *and* a machine-readable `{"bench":...}` JSON line
 //! so perf trajectories can be tracked by scripts (see
 //! `examples/perf_report.rs` for the grid-level harness).
+// Sanctioned exemption (see lint.toml): the harness measures host
+// wall-clock time by design.
+#![allow(clippy::disallowed_types)]
 
 use std::hint::black_box;
 use std::time::Instant;

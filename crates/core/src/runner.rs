@@ -38,6 +38,9 @@
 //!   occupancy. Timing is inherently non-deterministic, which is why the
 //!   profile is a separate return value and never enters a
 //!   [`crate::RunReport`] snapshot.
+// Sanctioned exemption (see lint.toml): the job pool is the one
+// concurrency boundary, and Instant feeds only the pool.* profile.
+#![allow(clippy::disallowed_types, clippy::disallowed_methods)]
 
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -1,0 +1,340 @@
+//! The committed `lint.toml` allowlist the determinism source lint runs
+//! under.
+//!
+//! The file is a deliberately tiny TOML subset (same philosophy as the
+//! `.hiss` parser: std-only, line-numbered errors):
+//!
+//! ```toml
+//! [scan]
+//! roots = ["crates"]
+//!
+//! [[allow]]
+//! path = "crates/core/src/runner.rs"
+//! construct = "threads"
+//! reason = "the job pool is the one sanctioned threading site"
+//! ```
+//!
+//! Every `[[allow]]` entry must carry a non-empty `reason`; an entry
+//! that matches no finding is itself a finding (`HL304`), so stale
+//! exemptions cannot linger.
+
+use std::fmt;
+
+/// Banned-construct families the source lint recognises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Construct {
+    /// `HashMap` / `HashSet` (iteration order can leak into results).
+    HashCollections,
+    /// `Instant` / `SystemTime` (wall-clock reads).
+    WallClock,
+    /// `std::thread` (threading outside the runner).
+    Threads,
+}
+
+impl Construct {
+    /// All recognised families.
+    pub const ALL: &'static [Construct] = &[
+        Construct::HashCollections,
+        Construct::WallClock,
+        Construct::Threads,
+    ];
+
+    /// The spelling used in `lint.toml`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Construct::HashCollections => "hash-collections",
+            Construct::WallClock => "wall-clock",
+            Construct::Threads => "threads",
+        }
+    }
+
+    /// Parses the `lint.toml` spelling.
+    pub fn parse(s: &str) -> Option<Construct> {
+        Construct::ALL.iter().copied().find(|c| c.as_str() == s)
+    }
+}
+
+impl fmt::Display for Construct {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One `[[allow]]` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Root-relative source path, forward slashes
+    /// (`crates/mem/src/page.rs`).
+    pub path: String,
+    /// The construct family being sanctioned there.
+    pub construct: Construct,
+    /// One-line justification (required, surfaced in docs).
+    pub reason: String,
+    /// Line of the entry header in `lint.toml` (for `HL304`).
+    pub line: usize,
+}
+
+/// Parsed `lint.toml`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LintConfig {
+    /// Directories (relative to the scan root) whose `*/src` trees are
+    /// scanned. Defaults to `["crates"]` when `[scan]` is absent.
+    pub roots: Vec<String>,
+    /// Sanctioned banned-construct sites.
+    pub allows: Vec<AllowEntry>,
+}
+
+/// A `lint.toml` syntax or validation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn err(line: usize, msg: impl Into<String>) -> ConfigError {
+    ConfigError {
+        line,
+        msg: msg.into(),
+    }
+}
+
+/// Strips an unescaped trailing comment and whitespace.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return line[..i].trim(),
+            _ => {}
+        }
+    }
+    line.trim()
+}
+
+/// Parses a double-quoted string literal (no escapes needed for paths
+/// and reasons).
+fn parse_string(raw: &str, line: usize) -> Result<String, ConfigError> {
+    let raw = raw.trim();
+    let inner = raw
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or_else(|| err(line, format!("expected a quoted string, got `{raw}`")))?;
+    if inner.contains('"') {
+        return Err(err(line, "embedded quotes are not supported"));
+    }
+    Ok(inner.to_string())
+}
+
+/// Parses `["a", "b"]`.
+fn parse_string_list(raw: &str, line: usize) -> Result<Vec<String>, ConfigError> {
+    let raw = raw.trim();
+    let inner = raw
+        .strip_prefix('[')
+        .and_then(|r| r.strip_suffix(']'))
+        .ok_or_else(|| err(line, format!("expected a list of strings, got `{raw}`")))?;
+    let inner = inner.trim();
+    if inner.is_empty() {
+        return Ok(Vec::new());
+    }
+    inner
+        .split(',')
+        .map(|item| parse_string(item, line))
+        .collect()
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    None,
+    Scan,
+    Allow,
+}
+
+/// A half-built `[[allow]]` entry.
+#[derive(Default)]
+struct PartialAllow {
+    path: Option<String>,
+    construct: Option<Construct>,
+    reason: Option<String>,
+    line: usize,
+}
+
+impl PartialAllow {
+    fn finish(self) -> Result<AllowEntry, ConfigError> {
+        let line = self.line;
+        let missing = |what: &str| err(line, format!("[[allow]] entry is missing `{what}`"));
+        let entry = AllowEntry {
+            path: self.path.ok_or_else(|| missing("path"))?,
+            construct: self.construct.ok_or_else(|| missing("construct"))?,
+            reason: self.reason.ok_or_else(|| missing("reason"))?,
+            line,
+        };
+        if entry.reason.trim().is_empty() {
+            return Err(err(line, "[[allow]] reason must not be empty"));
+        }
+        Ok(entry)
+    }
+}
+
+/// Parses `lint.toml` source text.
+pub fn parse(text: &str) -> Result<LintConfig, ConfigError> {
+    let mut config = LintConfig {
+        roots: vec!["crates".to_string()],
+        allows: Vec::new(),
+    };
+    let mut saw_scan_roots = false;
+    let mut section = Section::None;
+    let mut current: Option<PartialAllow> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw);
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[allow]]" {
+            if let Some(partial) = current.take() {
+                config.allows.push(partial.finish()?);
+            }
+            section = Section::Allow;
+            current = Some(PartialAllow {
+                line: lineno,
+                ..PartialAllow::default()
+            });
+            continue;
+        }
+        if line == "[scan]" {
+            if let Some(partial) = current.take() {
+                config.allows.push(partial.finish()?);
+            }
+            section = Section::Scan;
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(err(lineno, format!("unknown section `{line}`")));
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| err(lineno, format!("expected `key = value`, got `{line}`")))?;
+        let key = key.trim();
+        match section {
+            Section::None => {
+                return Err(err(lineno, "key outside any section"));
+            }
+            Section::Scan => match key {
+                "roots" => {
+                    config.roots = parse_string_list(value, lineno)?;
+                    saw_scan_roots = true;
+                }
+                other => {
+                    return Err(err(lineno, format!("unknown [scan] key `{other}`")));
+                }
+            },
+            Section::Allow => {
+                let partial = current.as_mut().expect("allow section implies entry");
+                match key {
+                    "path" => partial.path = Some(parse_string(value, lineno)?),
+                    "construct" => {
+                        let raw = parse_string(value, lineno)?;
+                        partial.construct = Some(Construct::parse(&raw).ok_or_else(|| {
+                            let names: Vec<&str> =
+                                Construct::ALL.iter().map(|c| c.as_str()).collect();
+                            err(
+                                lineno,
+                                format!("unknown construct `{raw}` (one of: {})", names.join(", ")),
+                            )
+                        })?);
+                    }
+                    "reason" => partial.reason = Some(parse_string(value, lineno)?),
+                    other => {
+                        return Err(err(lineno, format!("unknown [[allow]] key `{other}`")));
+                    }
+                }
+            }
+        }
+    }
+    if let Some(partial) = current.take() {
+        config.allows.push(partial.finish()?);
+    }
+    if saw_scan_roots && config.roots.is_empty() {
+        return Err(err(1, "[scan] roots must not be empty"));
+    }
+    Ok(config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# determinism-lint allowlist
+[scan]
+roots = ["crates"]
+
+[[allow]]
+path = "crates/core/src/runner.rs"
+construct = "threads"
+reason = "the job pool is the sanctioned threading site"
+
+[[allow]]
+path = "crates/mem/src/page.rs"
+construct = "hash-collections"
+reason = "membership-only sets; iteration order never observed"
+"#;
+
+    #[test]
+    fn parses_scan_and_allow_entries() {
+        let cfg = parse(SAMPLE).unwrap();
+        assert_eq!(cfg.roots, vec!["crates"]);
+        assert_eq!(cfg.allows.len(), 2);
+        assert_eq!(cfg.allows[0].path, "crates/core/src/runner.rs");
+        assert_eq!(cfg.allows[0].construct, Construct::Threads);
+        assert_eq!(cfg.allows[0].line, 6);
+        assert_eq!(cfg.allows[1].construct, Construct::HashCollections);
+    }
+
+    #[test]
+    fn defaults_roots_when_scan_absent() {
+        let cfg =
+            parse("[[allow]]\npath = \"a\"\nconstruct = \"wall-clock\"\nreason = \"x\"\n").unwrap();
+        assert_eq!(cfg.roots, vec!["crates"]);
+        assert_eq!(cfg.allows[0].construct, Construct::WallClock);
+    }
+
+    #[test]
+    fn missing_reason_is_an_error() {
+        let e = parse("[[allow]]\npath = \"a\"\nconstruct = \"threads\"\n").unwrap_err();
+        assert!(e.msg.contains("reason"), "{e}");
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn unknown_construct_lists_valid_ones() {
+        let e = parse("[[allow]]\npath = \"a\"\nconstruct = \"mutexes\"\nreason = \"x\"\n")
+            .unwrap_err();
+        assert!(e.msg.contains("hash-collections"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unknown_sections_and_keys() {
+        assert!(parse("[nope]\n").is_err());
+        assert!(parse("[scan]\nfoo = 1\n").is_err());
+        assert!(parse("stray = 1\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let cfg = parse("# top\n\n[scan]\nroots = [\"crates\"] # trailing\n").unwrap();
+        assert_eq!(cfg.roots, vec!["crates"]);
+        assert!(cfg.allows.is_empty());
+    }
+}

@@ -1,0 +1,34 @@
+//! # hiss-lint — static analysis for the HISS simulator
+//!
+//! The paper's headline numbers (477× IPI inflation, CC6 residency
+//! collapse, the Figure 6 mitigation deltas) are only trustworthy if
+//! every scenario spec is semantically valid *before* it runs and the
+//! simulator itself stays bit-deterministic. This crate moves both
+//! failure classes from "runtime surprise" to "CI error with a stable
+//! diagnostic code":
+//!
+//! - [`diag`] — the shared diagnostic model: stable `HLxxx` codes,
+//!   severities, `file:line` positions, and the edit-distance
+//!   "did you mean" helper (previously private to `hiss-scenario`).
+//! - [`config`] — the committed `lint.toml` allowlist format.
+//! - [`sources`] — the determinism lint: a token-level scanner over
+//!   `crates/*/src` rejecting hash collections, wall-clock reads, and
+//!   threading outside their sanctioned, justified sites.
+//! - [`docs`] — the documentation half of the metric-schema pass,
+//!   checking `docs/OBSERVABILITY.md` names against
+//!   [`hiss_obs::schema`].
+//!
+//! The scenario semantic lints (`HL001`–`HL011`) live in
+//! `hiss-scenario` (they need the parser and compiler), but report
+//! through this crate's [`Diagnostic`] type; `hiss-cli lint` is the
+//! front-end for all three passes.
+//!
+//! The full code catalogue is `docs/LINTS.md`.
+
+pub mod config;
+pub mod diag;
+pub mod docs;
+pub mod sources;
+
+pub use config::{AllowEntry, ConfigError, Construct, LintConfig};
+pub use diag::{edit_distance, nearest, Code, Diagnostic, Severity};

@@ -1,0 +1,426 @@
+//! The determinism lint: a token-level scanner over `crates/*/src` that
+//! rejects constructs which can leak nondeterminism into simulation
+//! results — hash collections (iteration order), wall-clock reads, and
+//! threading outside the runner.
+//!
+//! The scanner is deliberately token-level, not syntactic: it strips
+//! comments and string/char literals with a small lexer, then matches
+//! identifier tokens. That makes it immune to formatting and `use`
+//! aliasing tricks at the definition site (`use std::collections::
+//! HashMap as Map` still names the banned type once), while string
+//! literals and docs may mention the constructs freely.
+//!
+//! Findings are suppressed only by a committed `lint.toml` allowlist
+//! entry naming the file and construct with a justification; entries
+//! that match nothing are reported as stale (`HL304`).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::config::{Construct, LintConfig};
+use crate::diag::{Code, Diagnostic};
+
+/// One identifier (or `::`) with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Token {
+    line: usize,
+    text: String,
+}
+
+/// Lexes Rust source into identifier and `::` tokens, skipping line and
+/// (nested) block comments, string/raw-string/byte-string literals, and
+/// char literals (distinguished from lifetimes).
+fn tokenize(src: &str) -> Vec<Token> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    let bump_lines = |chunk: &[u8], line: &mut usize| {
+        *line += chunk.iter().filter(|&&b| b == b'\n').count();
+    };
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                bump_lines(&bytes[start..i], &mut line);
+            }
+            b'"' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                bump_lines(&bytes[start..i.min(bytes.len())], &mut line);
+            }
+            b'\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`): a
+                // lifetime is `'` + ident NOT followed by a closing `'`.
+                let is_lifetime = match bytes.get(i + 1) {
+                    Some(&c) if c.is_ascii_alphabetic() || c == b'_' => {
+                        let mut j = i + 2;
+                        while j < bytes.len()
+                            && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_')
+                        {
+                            j += 1;
+                        }
+                        bytes.get(j) != Some(&b'\'')
+                    }
+                    _ => false,
+                };
+                if is_lifetime {
+                    i += 1; // skip the quote; the ident lexes normally
+                } else {
+                    let start = i;
+                    i += 1;
+                    while i < bytes.len() {
+                        match bytes[i] {
+                            b'\\' => i += 2,
+                            b'\'' => {
+                                i += 1;
+                                break;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                    bump_lines(&bytes[start..i.min(bytes.len())], &mut line);
+                }
+            }
+            b'r' | b'b' if is_raw_string_start(bytes, i) => {
+                let start = i;
+                i = skip_raw_string(bytes, i);
+                bump_lines(&bytes[start..i], &mut line);
+            }
+            b':' if bytes.get(i + 1) == Some(&b':') => {
+                tokens.push(Token {
+                    line,
+                    text: "::".to_string(),
+                });
+                i += 2;
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    line,
+                    text: src[start..i].to_string(),
+                });
+            }
+            _ => i += 1,
+        }
+    }
+    tokens
+}
+
+/// `r"`, `r#"`, `br"`, `br#"` (any number of `#`s) at position `i`?
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        // bare `b"..."` byte string: handled as a normal string because
+        // the `"` branch consumes it after the `b` ident; but `b` would
+        // lex as an ident first, so treat `b"` here too.
+        return bytes[i] == b'b' && bytes.get(i + 1) == Some(&b'"');
+    }
+    j += 1;
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&b'"')
+}
+
+/// Skips past a raw/byte string starting at `i`, returning the index
+/// just after its closing delimiter.
+fn skip_raw_string(bytes: &[u8], i: usize) -> usize {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'r') {
+        j += 1;
+        let mut hashes = 0usize;
+        while bytes.get(j) == Some(&b'#') {
+            hashes += 1;
+            j += 1;
+        }
+        j += 1; // opening quote
+        loop {
+            match bytes.get(j) {
+                None => return bytes.len(),
+                Some(&b'"') => {
+                    let mut k = j + 1;
+                    let mut seen = 0usize;
+                    while seen < hashes && bytes.get(k) == Some(&b'#') {
+                        seen += 1;
+                        k += 1;
+                    }
+                    if seen == hashes {
+                        return k;
+                    }
+                    j += 1;
+                }
+                _ => j += 1,
+            }
+        }
+    } else {
+        // plain byte string `b"..."`
+        j += 1; // opening quote
+        while j < bytes.len() {
+            match bytes[j] {
+                b'\\' => j += 2,
+                b'"' => return j + 1,
+                _ => j += 1,
+            }
+        }
+        bytes.len()
+    }
+}
+
+/// A banned-construct hit before allowlisting.
+#[derive(Debug, Clone)]
+struct Finding {
+    construct: Construct,
+    line: usize,
+    what: String,
+}
+
+/// Scans one file's tokens for banned constructs.
+fn scan_tokens(tokens: &[Token]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        let construct = match tok.text.as_str() {
+            "HashMap" | "HashSet" => Some(Construct::HashCollections),
+            "Instant" | "SystemTime" => Some(Construct::WallClock),
+            // `thread` counts only as a path segment (`std::thread`,
+            // `thread::scope`), not as a plain variable name.
+            "thread" => {
+                let before = i.checked_sub(1).map(|j| tokens[j].text.as_str());
+                let after = tokens.get(i + 1).map(|t| t.text.as_str());
+                if before == Some("::") || after == Some("::") {
+                    Some(Construct::Threads)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        if let Some(construct) = construct {
+            findings.push(Finding {
+                construct,
+                line: tok.line,
+                what: tok.text.clone(),
+            });
+        }
+    }
+    findings
+}
+
+/// Collects every `.rs` file under `<root>/<scan_root>/*/src`, sorted,
+/// as `(root-relative path, absolute path)`.
+fn source_files(root: &Path, scan_root: &str) -> std::io::Result<Vec<(String, PathBuf)>> {
+    let mut out = Vec::new();
+    let scan_dir = root.join(scan_root);
+    let mut crates: Vec<PathBuf> = fs::read_dir(&scan_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crates.sort();
+    for krate in crates {
+        let src = krate.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        collect_rs(&src, &mut out)?;
+    }
+    let mut rel = Vec::new();
+    for path in out {
+        let r = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy().into_owned())
+            .collect::<Vec<_>>()
+            .join("/");
+        rel.push((r, path));
+    }
+    rel.sort();
+    Ok(rel)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Runs the determinism lint over every crate source tree under `root`
+/// (the repository root), applying `config`'s allowlist. Returns
+/// diagnostics — banned constructs (`HL301`–`HL303`) and stale allow
+/// entries (`HL304`) — in stable order.
+pub fn scan(root: &Path, config: &LintConfig) -> std::io::Result<Vec<Diagnostic>> {
+    let mut diags = Vec::new();
+    let mut used = vec![false; config.allows.len()];
+
+    for scan_root in &config.roots {
+        for (rel, path) in source_files(root, scan_root)? {
+            let src = fs::read_to_string(&path)?;
+            for finding in scan_tokens(&tokenize(&src)) {
+                let allowed = config
+                    .allows
+                    .iter()
+                    .enumerate()
+                    .find(|(_, a)| a.construct == finding.construct && a.path == rel);
+                if let Some((idx, _)) = allowed {
+                    used[idx] = true;
+                    continue;
+                }
+                let code = match finding.construct {
+                    Construct::HashCollections => Code::BannedHashCollection,
+                    Construct::WallClock => Code::BannedWallClock,
+                    Construct::Threads => Code::BannedThreads,
+                };
+                diags.push(Diagnostic::new(
+                    code,
+                    Some(&rel),
+                    finding.line,
+                    format!(
+                        "banned construct `{}` ({}); allowlist in lint.toml with a reason \
+                         or remove it",
+                        finding.what, finding.construct
+                    ),
+                ));
+            }
+        }
+    }
+
+    for (entry, used) in config.allows.iter().zip(used) {
+        if !used {
+            diags.push(Diagnostic::new(
+                Code::UnusedAllowEntry,
+                Some("lint.toml"),
+                entry.line,
+                format!(
+                    "allow entry for `{}` in {} matched nothing; remove it",
+                    entry.construct, entry.path
+                ),
+            ));
+        }
+    }
+
+    crate::diag::sort(&mut diags);
+    Ok(diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<(usize, String)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.line, t.text))
+            .collect()
+    }
+
+    // The banned names in these fixtures live inside string literals of
+    // THIS file, which the scanner strips when it lints its own source —
+    // so the tests cannot self-flag.
+
+    #[test]
+    fn comments_and_strings_are_stripped() {
+        let src = "// mentions Instant here\nlet a = \"HashMap\"; /* SystemTime */\n";
+        let toks = idents(src);
+        assert_eq!(toks, vec![(2, "let".into()), (2, "a".into())]);
+        assert!(scan_tokens(&tokenize(src)).is_empty());
+    }
+
+    #[test]
+    fn raw_and_byte_strings_are_stripped() {
+        let src = "let x = r#\"HashMap\"#; let y = b\"Instant\"; let z = br\"x\";\n";
+        assert!(scan_tokens(&tokenize(src)).is_empty());
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_following_code() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }";
+        let toks = idents(src);
+        assert!(toks.iter().any(|(_, t)| t == "str"), "{toks:?}");
+        // the lifetime ident itself lexes as `a`, which is harmless
+        assert!(scan_tokens(&tokenize(src)).is_empty());
+    }
+
+    #[test]
+    fn detects_each_banned_family_with_lines() {
+        let src =
+            "use std::collections::HashMap;\nlet t = Instant::now();\nstd::thread::sleep(d);\n";
+        let findings = scan_tokens(&tokenize(src));
+        assert_eq!(findings.len(), 3, "{findings:?}");
+        assert_eq!(findings[0].construct, Construct::HashCollections);
+        assert_eq!(findings[0].line, 1);
+        assert_eq!(findings[1].construct, Construct::WallClock);
+        assert_eq!(findings[1].line, 2);
+        assert_eq!(findings[2].construct, Construct::Threads);
+        assert_eq!(findings[2].line, 3);
+    }
+
+    #[test]
+    fn plain_thread_variable_is_not_flagged() {
+        let src = "let thread = 1; let x = thread + 1;";
+        assert!(scan_tokens(&tokenize(src)).is_empty());
+        let src2 = "thread::scope(|s| {});";
+        assert_eq!(scan_tokens(&tokenize(src2)).len(), 1);
+    }
+
+    #[test]
+    fn nested_block_comments_are_handled() {
+        let src = "/* outer /* inner HashSet */ still comment */ fn main() {}";
+        assert!(scan_tokens(&tokenize(src)).is_empty());
+        assert!(idents(src).iter().any(|(_, t)| t == "main"));
+    }
+}

@@ -5,6 +5,9 @@
 //! fault* that the host CPU must service (paper §III). [`PageTable`] is the
 //! shared residency map: the GPU calls [`PageTable::touch`], and the kernel
 //! fault handler calls [`PageTable::make_resident`] at service completion.
+// Sanctioned exemption (see lint.toml): residency sets answer
+// membership queries only and are never iterated.
+#![allow(clippy::disallowed_types)]
 
 use std::collections::HashSet;
 

@@ -29,9 +29,14 @@
 //! `cpu.core1.sleep_cc6_ns`, `gpu0.ssrs_completed`, `run.cc6_residency`.
 //! Identity metadata (application names, sweep coordinates) rides along
 //! as labels under `cell.*` so a snapshot file is self-describing.
+//!
+//! The full namespace is declared statically in [`schema`]; `hiss-cli
+//! lint` checks scenario `[expect]` metrics and `docs/OBSERVABILITY.md`
+//! against it so specs, docs, and the registry cannot drift.
 
 mod json;
 mod registry;
 mod render;
+pub mod schema;
 
 pub use registry::{HistogramSnapshot, MetricValue, MetricsRegistry};

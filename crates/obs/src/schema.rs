@@ -1,0 +1,427 @@
+//! The canonical metric-namespace schema.
+//!
+//! Every name a component may publish into a [`crate::MetricsRegistry`]
+//! is declared here, statically, as a pattern. The schema is the single
+//! source of truth three consumers are linted against:
+//!
+//! - scenario `[expect]` metrics (each maps to a registry name),
+//! - `docs/OBSERVABILITY.md` (every documented name must resolve),
+//! - live registries produced by a run (conformance test in
+//!   `tests/observability.rs`).
+//!
+//! Patterns are dotted names where a segment may be:
+//!
+//! - a literal (`ipis`, `cc6_residency`),
+//! - an indexed family — a literal ending in `N` (`coreN`, `gpuN`,
+//!   `workerN`) matching that stem followed by a decimal index,
+//! - `*`, matching exactly one arbitrary segment (sweep-axis labels).
+
+/// The value type a schema entry promises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic `u64` event count.
+    Counter,
+    /// Point-in-time or derived `f64`.
+    Gauge,
+    /// Identity metadata string.
+    Label,
+    /// A latency distribution snapshot.
+    Histogram,
+}
+
+impl MetricKind {
+    /// Lowercase kind name used in docs and diagnostics.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Label => "label",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// Which registry a name appears in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// `RunReport::metrics` — deterministic simulation state only.
+    Run,
+    /// Per-cell identity added by the scenario compiler.
+    Cell,
+    /// The wall-clock batch profile (never part of run results).
+    Profile,
+}
+
+/// One declared name pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchemaEntry {
+    /// Dotted pattern, e.g. `cpu.coreN.sleep_cc6_ns`.
+    pub pattern: &'static str,
+    /// Promised value type.
+    pub kind: MetricKind,
+    /// Registry the name belongs to.
+    pub scope: Scope,
+    /// One-line meaning.
+    pub doc: &'static str,
+}
+
+const fn run_c(pattern: &'static str, doc: &'static str) -> SchemaEntry {
+    SchemaEntry {
+        pattern,
+        kind: MetricKind::Counter,
+        scope: Scope::Run,
+        doc,
+    }
+}
+
+const fn run_g(pattern: &'static str, doc: &'static str) -> SchemaEntry {
+    SchemaEntry {
+        pattern,
+        kind: MetricKind::Gauge,
+        scope: Scope::Run,
+        doc,
+    }
+}
+
+/// The full declared namespace. Kept in publish order per component so a
+/// reviewer can diff this against the `publish` methods it mirrors.
+pub const SCHEMA: &[SchemaEntry] = &[
+    // KernelStats::publish ("kernel")
+    run_c("kernel.interrupts.coreN", "SSR interrupts taken by core N"),
+    run_c("kernel.interrupts.total", "SSR interrupts across all cores"),
+    run_c("kernel.ipis", "wakeup IPIs sent to kernel worker threads"),
+    run_c("kernel.ssrs_serviced", "SSRs fully serviced"),
+    run_c("kernel.qos_deferrals", "QoS deferral episodes applied"),
+    SchemaEntry {
+        pattern: "kernel.latency",
+        kind: MetricKind::Histogram,
+        scope: Scope::Run,
+        doc: "end-to-end SSR latency (raise to completion)",
+    },
+    run_c("kernel.batch.count", "interrupt batches observed"),
+    run_g("kernel.batch.mean", "mean requests per interrupt batch"),
+    run_g("kernel.batch.min", "smallest interrupt batch"),
+    run_g("kernel.batch.max", "largest interrupt batch"),
+    run_g("kernel.batch.stddev", "batch-size standard deviation"),
+    // IommuStats::publish ("iommu")
+    run_c("iommu.requests", "SSRs enqueued to the IOMMU event log"),
+    run_c("iommu.interrupts", "log-threshold interrupts raised"),
+    run_c("iommu.timer_fires", "batching-timer expirations"),
+    run_c(
+        "iommu.log_full_flushes",
+        "forced flushes on a full event log",
+    ),
+    run_c("iommu.drained", "requests drained from the event log"),
+    // WalkerStats::publish ("iommu.walker")
+    run_c("iommu.walker.walks", "page-table walks performed"),
+    run_c("iommu.walker.memory_fetches", "memory fetches during walks"),
+    run_c("iommu.walker.pwc_hits", "page-walk-cache hits"),
+    run_g(
+        "iommu.walker.pwc_hit_rate",
+        "PWC hit fraction (when walked)",
+    ),
+    // TimeBreakdown::publish ("cpu.coreN" per core, "cpu.total" summed)
+    run_c("cpu.coreN.user_ns", "user-mode application time, core N"),
+    run_c("cpu.coreN.top_half_ns", "interrupt top-half time, core N"),
+    run_c("cpu.coreN.ipi_ns", "IPI send/receive time, core N"),
+    run_c(
+        "cpu.coreN.bottom_half_ns",
+        "softirq/bottom-half time, core N",
+    ),
+    run_c("cpu.coreN.worker_ns", "kernel worker-thread time, core N"),
+    run_c(
+        "cpu.coreN.mode_switch_ns",
+        "user/kernel switch time, core N",
+    ),
+    run_c("cpu.coreN.idle_shallow_ns", "shallow-idle time, core N"),
+    run_c("cpu.coreN.sleep_cc6_ns", "CC6 deep-sleep time, core N"),
+    run_c(
+        "cpu.coreN.cstate_transition_ns",
+        "C-state entry/exit, core N",
+    ),
+    run_c("cpu.coreN.qos_accounting_ns", "QoS governor time, core N"),
+    run_c("cpu.coreN.os_tick_ns", "periodic OS tick time, core N"),
+    run_g("cpu.coreN.cc6_residency", "CC6 residency fraction, core N"),
+    run_g("cpu.coreN.ssr_overhead", "SSR-servicing fraction, core N"),
+    run_c("cpu.total.user_ns", "user-mode application time, all cores"),
+    run_c(
+        "cpu.total.top_half_ns",
+        "interrupt top-half time, all cores",
+    ),
+    run_c("cpu.total.ipi_ns", "IPI send/receive time, all cores"),
+    run_c("cpu.total.bottom_half_ns", "softirq time, all cores"),
+    run_c("cpu.total.worker_ns", "kernel worker time, all cores"),
+    run_c("cpu.total.mode_switch_ns", "mode-switch time, all cores"),
+    run_c("cpu.total.idle_shallow_ns", "shallow-idle time, all cores"),
+    run_c("cpu.total.sleep_cc6_ns", "CC6 deep-sleep time, all cores"),
+    run_c(
+        "cpu.total.cstate_transition_ns",
+        "C-state entry/exit, total",
+    ),
+    run_c(
+        "cpu.total.qos_accounting_ns",
+        "QoS governor time, all cores",
+    ),
+    run_c("cpu.total.os_tick_ns", "periodic OS tick time, all cores"),
+    run_g("cpu.total.cc6_residency", "whole-package CC6 residency"),
+    run_g("cpu.total.ssr_overhead", "whole-package SSR overhead"),
+    // GpuStats::publish ("gpuN") + per-GPU iteration counter
+    run_c("gpuN.busy_ns", "GPU N busy time"),
+    run_c("gpuN.stalled_ns", "GPU N time stalled on SSRs"),
+    run_c("gpuN.ssrs_raised", "SSRs raised by GPU N"),
+    run_c("gpuN.ssrs_completed", "SSRs completed for GPU N"),
+    run_c(
+        "gpuN.finished_at_ns",
+        "GPU N kernel completion time (if any)",
+    ),
+    run_c("gpuN.iterations", "workload iterations finished on GPU N"),
+    // Governor::publish ("qos"), present only when QoS is enabled
+    run_c("qos.deferrals", "interrupts deferred by the governor"),
+    run_c("qos.passes", "interrupts passed through immediately"),
+    run_c("qos.recorded_ns", "kernel time accounted by the governor"),
+    run_g("qos.threshold", "configured kernel-time threshold fraction"),
+    // Soc::finalize derived metrics ("run", "energy")
+    run_c("run.elapsed_ns", "simulated wall time of the run"),
+    run_c(
+        "run.cpu_app_runtime_ns",
+        "CPU benchmark runtime (if it ran)",
+    ),
+    run_c("run.gpu_progress_ns", "summed GPU busy progress"),
+    run_g("run.gpu_throughput", "GPU busy fraction of elapsed time"),
+    run_c("run.gpu_iterations", "workload iterations across all GPUs"),
+    run_g("run.ssr_rate", "SSRs raised per simulated second"),
+    run_g("run.cc6_residency", "whole-run CC6 residency fraction"),
+    run_g("run.cpu_ssr_overhead", "whole-run SSR-servicing fraction"),
+    run_g(
+        "run.avg_cache_coldness",
+        "mean cache coldness on user cores",
+    ),
+    run_g(
+        "run.avg_branch_coldness",
+        "mean branch coldness on user cores",
+    ),
+    run_c("run.pending_at_end", "SSRs still pending at simulation end"),
+    run_c("run.truncated", "1 when the run hit the time limit"),
+    run_g("energy.cpu_joules", "modeled CPU package energy"),
+    run_g("energy.cpu_avg_watts", "modeled average CPU package power"),
+    // Scenario compiler cell identity (compile.rs::cell_metrics)
+    SchemaEntry {
+        pattern: "cell.cpu_app",
+        kind: MetricKind::Label,
+        scope: Scope::Cell,
+        doc: "CPU benchmark name for this grid cell",
+    },
+    SchemaEntry {
+        pattern: "cell.gpu_app",
+        kind: MetricKind::Label,
+        scope: Scope::Cell,
+        doc: "GPU benchmark name for this grid cell",
+    },
+    SchemaEntry {
+        pattern: "cell.replica",
+        kind: MetricKind::Counter,
+        scope: Scope::Cell,
+        doc: "replica index within the cell",
+    },
+    SchemaEntry {
+        pattern: "cell.axis.*",
+        kind: MetricKind::Label,
+        scope: Scope::Cell,
+        doc: "sweep-axis coordinate (one label per swept key)",
+    },
+    // PoolProfile::publish ("pool") — wall-clock, batch profile only
+    SchemaEntry {
+        pattern: "pool.threads",
+        kind: MetricKind::Counter,
+        scope: Scope::Profile,
+        doc: "worker threads used by the job pool",
+    },
+    SchemaEntry {
+        pattern: "pool.jobs",
+        kind: MetricKind::Counter,
+        scope: Scope::Profile,
+        doc: "jobs executed by the pool",
+    },
+    SchemaEntry {
+        pattern: "pool.wall_s",
+        kind: MetricKind::Gauge,
+        scope: Scope::Profile,
+        doc: "batch wall-clock seconds",
+    },
+    SchemaEntry {
+        pattern: "pool.job_s.count",
+        kind: MetricKind::Counter,
+        scope: Scope::Profile,
+        doc: "per-job duration samples",
+    },
+    SchemaEntry {
+        pattern: "pool.job_s.mean",
+        kind: MetricKind::Gauge,
+        scope: Scope::Profile,
+        doc: "mean per-job seconds",
+    },
+    SchemaEntry {
+        pattern: "pool.job_s.min",
+        kind: MetricKind::Gauge,
+        scope: Scope::Profile,
+        doc: "fastest job, seconds",
+    },
+    SchemaEntry {
+        pattern: "pool.job_s.max",
+        kind: MetricKind::Gauge,
+        scope: Scope::Profile,
+        doc: "slowest job, seconds",
+    },
+    SchemaEntry {
+        pattern: "pool.job_s.stddev",
+        kind: MetricKind::Gauge,
+        scope: Scope::Profile,
+        doc: "per-job duration standard deviation",
+    },
+    SchemaEntry {
+        pattern: "pool.workerN.jobs",
+        kind: MetricKind::Counter,
+        scope: Scope::Profile,
+        doc: "jobs executed by worker N",
+    },
+    SchemaEntry {
+        pattern: "baseline_cache.hits",
+        kind: MetricKind::Counter,
+        scope: Scope::Profile,
+        doc: "baseline runs served from the cache",
+    },
+    SchemaEntry {
+        pattern: "baseline_cache.misses",
+        kind: MetricKind::Counter,
+        scope: Scope::Profile,
+        doc: "baseline runs computed on a miss",
+    },
+    SchemaEntry {
+        pattern: "baseline_cache.entries",
+        kind: MetricKind::Counter,
+        scope: Scope::Profile,
+        doc: "distinct configurations cached",
+    },
+];
+
+/// Matches one pattern segment against one name segment.
+///
+/// `*` matches anything; a literal ending in `N` also matches its stem
+/// followed by a decimal index (`coreN` matches `core0`, `core12`).
+fn segment_matches(pat: &str, seg: &str) -> bool {
+    if pat == "*" || pat == seg {
+        return true;
+    }
+    if let Some(stem) = pat.strip_suffix('N') {
+        if let Some(idx) = seg.strip_prefix(stem) {
+            return !idx.is_empty() && idx.bytes().all(|b| b.is_ascii_digit());
+        }
+    }
+    false
+}
+
+/// Whether `pattern` (dotted, with `N`/`*` placeholders) matches the
+/// concrete dotted `name` segment-for-segment.
+pub fn pattern_matches(pattern: &str, name: &str) -> bool {
+    let mut pats = pattern.split('.');
+    let mut segs = name.split('.');
+    loop {
+        match (pats.next(), segs.next()) {
+            (None, None) => return true,
+            (Some(p), Some(s)) if segment_matches(p, s) => {}
+            _ => return false,
+        }
+    }
+}
+
+/// Looks up the schema entry a concrete metric name conforms to.
+pub fn lookup(name: &str) -> Option<&'static SchemaEntry> {
+    SCHEMA.iter().find(|e| pattern_matches(e.pattern, name))
+}
+
+/// The distinct first segments of every pattern (the namespace roots:
+/// `kernel`, `iommu`, `cpu`, `gpuN`, `qos`, `run`, `energy`, `cell`,
+/// `pool`, `baseline_cache`), in first-appearance order.
+pub fn roots() -> Vec<&'static str> {
+    let mut out: Vec<&'static str> = Vec::new();
+    for e in SCHEMA {
+        let root = e.pattern.split('.').next().unwrap_or(e.pattern);
+        if !out.contains(&root) {
+            out.push(root);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_patterns_are_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for e in SCHEMA {
+            assert!(seen.insert(e.pattern), "duplicate pattern {}", e.pattern);
+        }
+    }
+
+    #[test]
+    fn indexed_families_match_digits_only() {
+        assert!(pattern_matches(
+            "cpu.coreN.sleep_cc6_ns",
+            "cpu.core0.sleep_cc6_ns"
+        ));
+        assert!(pattern_matches(
+            "cpu.coreN.sleep_cc6_ns",
+            "cpu.core15.sleep_cc6_ns"
+        ));
+        assert!(!pattern_matches(
+            "cpu.coreN.sleep_cc6_ns",
+            "cpu.coreX.sleep_cc6_ns"
+        ));
+        assert!(!pattern_matches(
+            "cpu.coreN.sleep_cc6_ns",
+            "cpu.core.sleep_cc6_ns"
+        ));
+        assert!(pattern_matches("gpuN.busy_ns", "gpu3.busy_ns"));
+        assert!(!pattern_matches("gpuN.busy_ns", "gpu.busy_ns"));
+    }
+
+    #[test]
+    fn wildcard_matches_exactly_one_segment() {
+        assert!(pattern_matches("cell.axis.*", "cell.axis.qos_percent"));
+        assert!(!pattern_matches("cell.axis.*", "cell.axis"));
+        assert!(!pattern_matches("cell.axis.*", "cell.axis.a.b"));
+    }
+
+    #[test]
+    fn lookup_finds_known_names_and_rejects_unknown() {
+        let e = lookup("kernel.ipis").expect("kernel.ipis");
+        assert_eq!(e.kind, MetricKind::Counter);
+        assert_eq!(e.scope, Scope::Run);
+        let e = lookup("cpu.total.cc6_residency").expect("cc6_residency");
+        assert_eq!(e.kind, MetricKind::Gauge);
+        assert!(lookup("cpu.total.cc6").is_none());
+        assert!(lookup("kernel.typo").is_none());
+        assert!(lookup("pool.worker7.jobs").is_some());
+    }
+
+    #[test]
+    fn roots_cover_the_documented_namespace() {
+        let roots = roots();
+        for expected in [
+            "kernel",
+            "iommu",
+            "cpu",
+            "gpuN",
+            "qos",
+            "run",
+            "energy",
+            "cell",
+            "pool",
+            "baseline_cache",
+        ] {
+            assert!(roots.contains(&expected), "missing root {expected}");
+        }
+    }
+}

@@ -12,11 +12,20 @@
 //! hiss-cli scenario run <file> [--quick] [--json] [--no-check]
 //!                      [--metrics <path>] [--profile]
 //! hiss-cli scenario list [<dir>]
+//! hiss-cli lint [<file.hiss>...] [--sources] [--docs]
+//!               [--root <dir>] [--config <lint.toml>]
 //! ```
 //!
 //! `report` renders a metrics snapshot file — one JSON object per line,
 //! as written by `run --metrics` / `scenario run --metrics` — as ASCII
 //! tables, or as JSON-lines (one metric per line) with `--json`.
+//!
+//! `lint` runs static analysis with no simulation: scenario semantic
+//! lints over the given `.hiss` files, the determinism source lint over
+//! `crates/*/src` (`--sources`, honouring the committed `lint.toml`
+//! allowlist), and the `docs/OBSERVABILITY.md` metric-schema check
+//! (`--docs`). Exit status is nonzero on any finding; the code
+//! catalogue is `docs/LINTS.md`.
 //!
 //! Unknown flags are errors (with a nearest-match suggestion), never
 //! silently ignored.
@@ -41,7 +50,9 @@ fn usage() -> ExitCode {
          hiss-cli scenario validate <file>...\n  \
          hiss-cli scenario run <file> [--quick] [--json] [--no-check] \
          [--metrics <path>] [--profile]\n  \
-         hiss-cli scenario list [<dir>]"
+         hiss-cli scenario list [<dir>]\n  \
+         hiss-cli lint [<file.hiss>...] [--sources] [--docs] \
+         [--root <dir>] [--config <lint.toml>]"
     );
     ExitCode::FAILURE
 }
@@ -255,6 +266,95 @@ fn report_command(argv: Vec<String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `hiss-cli lint [<file.hiss>...] [--sources] [--docs] [--root <dir>]
+/// [--config <lint.toml>]` — static analysis without running any
+/// simulation. Exits nonzero on any finding (errors and warnings
+/// alike), so CI can gate on it.
+fn lint_command(argv: Vec<String>) -> ExitCode {
+    let args = match Args::parse(argv, &["--sources", "--docs"], &["--root", "--config"]) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.positional.is_empty() && !args.flag("--sources") && !args.flag("--docs") {
+        eprintln!("lint requires scenario files and/or --sources / --docs");
+        return ExitCode::FAILURE;
+    }
+    let root = PathBuf::from(args.value("--root").unwrap_or("."));
+    let mut diags = Vec::new();
+
+    for file in &args.positional {
+        diags.extend(scenario::lint::lint_file(Path::new(file)));
+    }
+
+    if args.flag("--sources") {
+        // The allowlist is read from <root>/lint.toml unless --config
+        // overrides it; a missing default config just means an empty
+        // allowlist, while a missing explicit one is an error.
+        let config_path = match args.value("--config") {
+            Some(p) => PathBuf::from(p),
+            None => root.join("lint.toml"),
+        };
+        let config_text = match std::fs::read_to_string(&config_path) {
+            Ok(t) => t,
+            Err(e)
+                if args.value("--config").is_none() && e.kind() == std::io::ErrorKind::NotFound =>
+            {
+                String::new()
+            }
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", config_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let config = match hiss_lint::config::parse(&config_text) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("{}:{e}", config_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        match hiss_lint::sources::scan(&root, &config) {
+            Ok(found) => diags.extend(found),
+            Err(e) => {
+                eprintln!("source scan under {} failed: {e}", root.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if args.flag("--docs") {
+        let doc_rel = "docs/OBSERVABILITY.md";
+        let doc_path = root.join(doc_rel);
+        match std::fs::read_to_string(&doc_path) {
+            Ok(text) => diags.extend(hiss_lint::docs::check_doc(doc_rel, &text)),
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", doc_path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    hiss_lint::diag::sort(&mut diags);
+    for d in &diags {
+        println!("{d}");
+    }
+    let errors = diags
+        .iter()
+        .filter(|d| d.code.severity() == hiss_lint::Severity::Error)
+        .count();
+    let warnings = diags.len() - errors;
+    if diags.is_empty() {
+        println!("lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        println!("lint: {errors} error(s), {warnings} warning(s)");
+        ExitCode::FAILURE
+    }
+}
+
 /// `hiss-cli scenario <verb> ...`
 fn scenario_command(mut argv: Vec<String>) -> ExitCode {
     if argv.is_empty() {
@@ -367,8 +467,10 @@ fn scenario_command(mut argv: Vec<String>) -> ExitCode {
                 }
                 ExitCode::SUCCESS
             } else {
+                // Violations of loaded scenarios render as `file:line:
+                // msg` themselves; no prefix needed.
                 for v in &violations {
-                    eprintln!("{file}: expect violation: {v}");
+                    eprintln!("expect violation: {v}");
                 }
                 ExitCode::FAILURE
             }
@@ -448,6 +550,7 @@ fn main() -> ExitCode {
             ],
         ),
         "scenario" => return scenario_command(argv),
+        "lint" => return lint_command(argv),
         _ => return usage(),
     };
     let args = match parsed {

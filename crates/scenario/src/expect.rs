@@ -8,6 +8,9 @@ use crate::spec::{Agg, Expect, Metric, Scenario};
 /// One failed expectation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Violation {
+    /// Scenario file the band came from, when known ([`crate::load`]
+    /// records it on the scenario; `from_str` scenarios have none).
+    pub file: Option<String>,
     /// Line of the `[expect]` band (or `[run] rows`) in the scenario
     /// file.
     pub line: usize,
@@ -17,7 +20,12 @@ pub struct Violation {
 
 impl std::fmt::Display for Violation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "line {}: {}", self.line, self.msg)
+        match (&self.file, self.line) {
+            (Some(file), 0) => write!(f, "{file}: {}", self.msg),
+            (Some(file), line) => write!(f, "{file}:{line}: {}", self.msg),
+            (None, 0) => write!(f, "{}", self.msg),
+            (None, line) => write!(f, "line {line}: {}", self.msg),
+        }
     }
 }
 
@@ -38,46 +46,55 @@ fn metric_value(metric: Metric, row: &Row) -> Option<f64> {
     })
 }
 
-fn aggregate(agg: Agg, values: &[f64]) -> f64 {
-    match agg {
+/// Aggregates the selected values, or `None` when there are none — an
+/// empty selection has no minimum or maximum. The fold identities
+/// (±INFINITY) are not real data: they render as nonsense `actual inf`
+/// reports and silently satisfy a band whose matching bound is itself
+/// infinite, so the caller reports the empty selection explicitly.
+fn aggregate(agg: Agg, values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    Some(match agg {
         Agg::Mean => hiss_sim::mean(values),
         Agg::Min => values.iter().copied().fold(f64::INFINITY, f64::min),
         Agg::Max => values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
-    }
+    })
 }
 
-/// Evaluates one band against the rows.
-pub fn check_band(expect: &Expect, rows: &[Row]) -> Option<Violation> {
+/// Evaluates one band against the rows. `file` attributes any violation
+/// to the scenario file the band came from.
+pub fn check_band(expect: &Expect, rows: &[Row], file: Option<&str>) -> Option<Violation> {
+    let violation = |msg: String| {
+        Some(Violation {
+            file: file.map(str::to_string),
+            line: expect.line,
+            msg,
+        })
+    };
     let mut values = Vec::with_capacity(rows.len());
     for row in rows {
         match metric_value(expect.metric, row) {
             Some(v) => values.push(v),
             None => {
-                return Some(Violation {
-                    line: expect.line,
-                    msg: format!(
-                        "{}: cell {}×{} did not finish its CPU application \
-                         within the simulation-time cap",
-                        expect.describe(),
-                        row.cpu_app,
-                        row.gpu_app
-                    ),
-                });
+                return violation(format!(
+                    "{}: cell {}×{} did not finish its CPU application \
+                     within the simulation-time cap",
+                    expect.describe(),
+                    row.cpu_app,
+                    row.gpu_app
+                ));
             }
         }
     }
-    if values.is_empty() {
-        return Some(Violation {
-            line: expect.line,
-            msg: format!("{}: no result rows to aggregate", expect.describe()),
-        });
-    }
-    let actual = aggregate(expect.agg, &values);
+    let Some(actual) = aggregate(expect.agg, &values) else {
+        return violation(format!(
+            "{}: no result rows to aggregate",
+            expect.describe()
+        ));
+    };
     if actual < expect.lo || actual > expect.hi || actual.is_nan() {
-        return Some(Violation {
-            line: expect.line,
-            msg: format!("{}: actual {actual}", expect.describe()),
-        });
+        return violation(format!("{}: actual {actual}", expect.describe()));
     }
     None
 }
@@ -85,17 +102,19 @@ pub fn check_band(expect: &Expect, rows: &[Row]) -> Option<Violation> {
 /// Evaluates every expectation of a scenario (the pinned row count plus
 /// all metric bands) against its batch results.
 pub fn check(sc: &Scenario, rows: &[Row]) -> Vec<Violation> {
+    let file = sc.source.as_deref();
     let mut violations = Vec::new();
     if let Some(want) = sc.expected_rows {
         if rows.len() != want {
             violations.push(Violation {
+                file: file.map(str::to_string),
                 line: 0,
                 msg: format!("expected {want} result rows, got {}", rows.len()),
             });
         }
     }
     for expect in &sc.expects {
-        violations.extend(check_band(expect, rows));
+        violations.extend(check_band(expect, rows, file));
     }
     violations
 }
@@ -171,6 +190,46 @@ mod tests {
         let v = check(&sc, &[]);
         assert_eq!(v.len(), 1);
         assert!(v[0].msg.contains("no result rows"), "{}", v[0].msg);
+    }
+
+    #[test]
+    fn min_and_max_over_empty_selection_are_violations_not_infinities() {
+        // Regression: `aggregate` used to fold Min/Max from ±INFINITY,
+        // so over an empty selection a `min_*` band saw +INFINITY
+        // (silently PASSING any `[lo, ∞)`-shaped band) and a `max_*`
+        // band saw -INFINITY. Both must be reported as violations.
+        let sc = scenario("min_cpu_perf = [0.5, 1.0]\nmax_p99_latency_us = [0, 100]\n");
+        let v = check(&sc, &[]);
+        assert_eq!(v.len(), 2, "{v:?}");
+        for violation in &v {
+            assert!(
+                violation.msg.contains("no result rows"),
+                "{}",
+                violation.msg
+            );
+            assert!(!violation.msg.contains("inf"), "{}", violation.msg);
+        }
+    }
+
+    #[test]
+    fn violations_carry_the_scenario_source_file() {
+        let mut sc = scenario("mean_gpu_perf = [10.0, 11.0]\n");
+        sc.source = Some("scenarios/demo.hiss".to_string());
+        let v = check(&sc, &[row(0.5, 1.0)]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].file.as_deref(), Some("scenarios/demo.hiss"));
+        let rendered = v[0].to_string();
+        assert!(rendered.starts_with("scenarios/demo.hiss:"), "{rendered}");
+        // Line is embedded between the file and the message.
+        assert!(
+            rendered.contains(&format!(":{}: ", v[0].line)),
+            "{rendered}"
+        );
+
+        // Without a source, rendering falls back to the line-only form.
+        let sc = scenario("mean_gpu_perf = [10.0, 11.0]\n");
+        let v = check(&sc, &[row(0.5, 1.0)]);
+        assert!(v[0].to_string().starts_with("line "), "{}", v[0]);
     }
 
     #[test]

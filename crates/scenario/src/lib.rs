@@ -42,6 +42,7 @@
 
 pub mod compile;
 pub mod expect;
+pub mod lint;
 pub mod output;
 pub mod parse;
 pub mod spec;
@@ -51,11 +52,15 @@ pub use expect::{check, Violation};
 pub use parse::{Document, ScenarioError, Value};
 pub use spec::{Agg, Expect, Field, Knobs, Metric, Scenario, SweepAxis, Workload};
 
-/// Loads and validates a scenario file from disk.
+/// Loads and validates a scenario file from disk. The returned scenario
+/// remembers its path ([`Scenario::source`]), so expect violations are
+/// reported as `file:line: msg`.
 pub fn load(path: &std::path::Path) -> Result<Scenario, ScenarioError> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| ScenarioError::new(0, format!("cannot read {}: {e}", path.display())))?;
-    Scenario::from_str(&text)
+    let mut sc = Scenario::from_str(&text)?;
+    sc.source = Some(path.display().to_string());
+    Ok(sc)
 }
 
 /// Lists the `.hiss` scenario files under `dir`, sorted by name.
@@ -70,32 +75,10 @@ pub fn list_files(dir: &std::path::Path) -> std::io::Result<Vec<std::path::PathB
 }
 
 /// The closest string in `candidates` within edit distance 2 of `input`
-/// (typo suggestions for flags and keys).
-pub fn nearest<'a>(input: &str, candidates: &[&'a str]) -> Option<&'a str> {
-    candidates
-        .iter()
-        .map(|c| (edit_distance(input, c), *c))
-        .filter(|(d, _)| *d <= 2)
-        .min_by_key(|(d, _)| *d)
-        .map(|(_, c)| c)
-}
-
-/// Levenshtein distance (small inputs only: flag and key names).
-fn edit_distance(a: &str, b: &str) -> usize {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
-    let mut prev: Vec<usize> = (0..=b.len()).collect();
-    let mut cur = vec![0usize; b.len() + 1];
-    for (i, ca) in a.iter().enumerate() {
-        cur[0] = i + 1;
-        for (j, cb) in b.iter().enumerate() {
-            let sub = prev[j] + usize::from(ca != cb);
-            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
-        }
-        std::mem::swap(&mut prev, &mut cur);
-    }
-    prev[b.len()]
-}
+/// (typo suggestions for flags and keys). Re-exported from
+/// [`hiss_lint`], where the helper now lives so every diagnostic
+/// producer shares one implementation.
+pub use hiss_lint::nearest;
 
 #[cfg(test)]
 mod tests {
@@ -107,12 +90,5 @@ mod tests {
         assert_eq!(nearest("--coalese", &flags), Some("--coalesce"));
         assert_eq!(nearest("--steer", &flags), Some("--steer"));
         assert_eq!(nearest("--frobnicate", &flags), None);
-    }
-
-    #[test]
-    fn edit_distance_basics() {
-        assert_eq!(edit_distance("", "abc"), 3);
-        assert_eq!(edit_distance("kitten", "sitting"), 3);
-        assert_eq!(edit_distance("same", "same"), 0);
     }
 }

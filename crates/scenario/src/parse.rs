@@ -26,6 +26,10 @@ pub struct ScenarioError {
     pub line: usize,
     /// Human-readable description.
     pub msg: String,
+    /// Stable lint code, when the error corresponds to one of the
+    /// specific `HLxxx` classes (`hiss-cli lint` reports errors without
+    /// one as `HL000`).
+    pub code: Option<hiss_lint::Code>,
 }
 
 impl ScenarioError {
@@ -33,7 +37,14 @@ impl ScenarioError {
         ScenarioError {
             line,
             msg: msg.into(),
+            code: None,
         }
+    }
+
+    /// Tags the error with its stable lint code.
+    pub(crate) fn with_code(mut self, code: hiss_lint::Code) -> Self {
+        self.code = Some(code);
+        self
     }
 }
 

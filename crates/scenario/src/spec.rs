@@ -363,7 +363,8 @@ impl Metric {
         }
     }
 
-    const ALL: &'static [Metric] = &[
+    /// Every expectable metric, in catalog order.
+    pub const ALL: &'static [Metric] = &[
         Metric::CpuPerf,
         Metric::GpuPerf,
         Metric::Cc6Residency,
@@ -375,6 +376,26 @@ impl Metric {
         Metric::QosDeferrals,
         Metric::Ipis,
     ];
+
+    /// The `hiss-obs` registry name this metric is derived from, or
+    /// `None` for metrics computed against a baseline run rather than
+    /// read from the registry. The schema lint (`HL201`) holds every
+    /// `Some` name against [`hiss_obs::schema`].
+    pub fn registry_key(self) -> Option<&'static str> {
+        match self {
+            // Normalised against a separate baseline run; no single
+            // registry name.
+            Metric::CpuPerf | Metric::GpuPerf => None,
+            Metric::Cc6Residency => Some("run.cc6_residency"),
+            Metric::SsrOverhead => Some("run.cpu_ssr_overhead"),
+            // Mean and p99 are both read off the latency histogram.
+            Metric::MeanLatencyUs | Metric::P99LatencyUs => Some("kernel.latency"),
+            Metric::SsrRate => Some("run.ssr_rate"),
+            Metric::GpuThroughput => Some("run.gpu_throughput"),
+            Metric::QosDeferrals => Some("kernel.qos_deferrals"),
+            Metric::Ipis => Some("kernel.ipis"),
+        }
+    }
 }
 
 /// One `[expect]` band: `agg_metric = [lo, hi]`.
@@ -414,6 +435,9 @@ pub struct Scenario {
     pub expected_rows: Option<usize>,
     /// Metric bands.
     pub expects: Vec<Expect>,
+    /// Path the scenario was loaded from ([`crate::load`] sets it;
+    /// `from_str` leaves `None`), used to attribute violations.
+    pub source: Option<String>,
 }
 
 const SECTIONS: &[&str] = &[
@@ -560,7 +584,9 @@ impl Scenario {
             for e in &run.entries {
                 match e.key.as_str() {
                     "replicas" => {
-                        replicas = expect_int(&e.value, "replicas", e.line, 1, 64)? as u32
+                        replicas = expect_int(&e.value, "replicas", e.line, 1, 64)
+                            .map_err(|err| err.with_code(hiss_lint::Code::BadReplicas))?
+                            as u32
                     }
                     "rows" => {
                         expected_rows =
@@ -599,7 +625,8 @@ impl Scenario {
                     return Err(ScenarioError::new(
                         e.line,
                         format!("sweep axis {:?} must not be empty", e.key),
-                    ));
+                    )
+                    .with_code(hiss_lint::Code::EmptySweepAxis));
                 }
                 // Validate every value by trial application.
                 let mut scratch = base;
@@ -631,6 +658,7 @@ impl Scenario {
             replicas,
             expected_rows,
             expects,
+            source: None,
         })
     }
 
@@ -730,14 +758,15 @@ fn parse_expect(entry: &Entry) -> Result<Expect, ScenarioError> {
         .find(|m| m.key() == stem)
         .ok_or_else(|| {
             let metrics: Vec<&str> = Metric::ALL.iter().map(|m| m.key()).collect();
-            ScenarioError::new(
-                entry.line,
-                format!(
-                    "unknown expect metric {stem:?} in {:?} (metrics: {})",
-                    entry.key,
-                    metrics.join(", ")
-                ),
-            )
+            let mut msg = format!(
+                "unknown expect metric {stem:?} in {:?} (metrics: {})",
+                entry.key,
+                metrics.join(", ")
+            );
+            if let Some(suggestion) = crate::nearest(stem, &metrics) {
+                msg.push_str(&format!("; did you mean {suggestion:?}?"));
+            }
+            ScenarioError::new(entry.line, msg).with_code(hiss_lint::Code::UnknownExpectMetric)
         })?;
     let Value::List(band) = &entry.value else {
         return Err(ScenarioError::new(
@@ -765,7 +794,8 @@ fn parse_expect(entry: &Entry) -> Result<Expect, ScenarioError> {
         return Err(ScenarioError::new(
             entry.line,
             format!("expect band {:?} is empty: lo {lo} > hi {hi}", entry.key),
-        ));
+        )
+        .with_code(hiss_lint::Code::EmptyExpectBand));
     }
     Ok(Expect {
         key: entry.key.clone(),

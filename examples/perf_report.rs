@@ -21,6 +21,9 @@
 //! ```text
 //! cargo run --release --example perf_report
 //! ```
+// Wall-clock timing is this example's purpose; it reports host
+// performance, not simulation results.
+#![allow(clippy::disallowed_types)]
 
 use std::time::Instant;
 

@@ -1,0 +1,14 @@
+//! Fixture crate for the determinism source lint: every banned
+//! construct class appears once. This file is never compiled — the
+//! scanner works on tokens, not on a build.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn racy() {
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    m.insert(1, 2);
+    let t0 = Instant::now();
+    let handle = std::thread::spawn(move || m.len());
+    let _ = (t0.elapsed(), handle.join());
+}

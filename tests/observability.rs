@@ -13,7 +13,9 @@
 //!    fields.
 
 use hiss::experiments::BaselineCache;
-use hiss::{ExperimentBuilder, MetricsRegistry, Mitigation, RunReport, SystemConfig};
+use hiss::{ExperimentBuilder, MetricsRegistry, Mitigation, QosParams, RunReport, SystemConfig};
+use hiss_obs::schema::{self, MetricKind, Scope};
+use hiss_obs::MetricValue;
 use hiss_scenario::{run_with_metrics, Scenario};
 
 const SCENARIO: &str = r#"
@@ -150,6 +152,58 @@ fn coalescing_reduction_reproducible_from_snapshot() {
         (0.02..=0.7).contains(&mean),
         "coalescing reduction {mean} (paper: 0.16)"
     );
+}
+
+fn kind_matches(value: &MetricValue, kind: MetricKind) -> bool {
+    matches!(
+        (value, kind),
+        (MetricValue::Counter(_), MetricKind::Counter)
+            | (MetricValue::Gauge(_), MetricKind::Gauge)
+            | (MetricValue::Label(_), MetricKind::Label)
+            | (MetricValue::Histogram(_), MetricKind::Histogram)
+    )
+}
+
+/// Asserts every metric in `reg` is declared in the schema with the
+/// right kind, in one of the `scopes`.
+fn assert_conforms(reg: &MetricsRegistry, scopes: &[Scope], what: &str) {
+    for (name, value) in reg.iter() {
+        let entry = schema::lookup(name)
+            .unwrap_or_else(|| panic!("{what}: `{name}` is not declared in the schema"));
+        assert!(
+            kind_matches(value, entry.kind),
+            "{what}: `{name}` is a {value:?} but the schema declares {}",
+            entry.kind.as_str()
+        );
+        assert!(
+            scopes.contains(&entry.scope),
+            "{what}: `{name}` has scope {:?}, outside {scopes:?}",
+            entry.scope
+        );
+    }
+}
+
+/// Schema conformance: a real run (with a QoS governor, so `qos.*` is
+/// present), a scenario cell snapshot, and the wall-clock batch profile
+/// publish only names the static `hiss_obs::schema` declares — the
+/// third leg of the lint triangle (the other two, `[expect]` metrics
+/// and `docs/OBSERVABILITY.md`, are checked by `hiss-cli lint`).
+#[test]
+fn published_metrics_conform_to_the_declared_schema() {
+    let cfg = SystemConfig::a10_7850k();
+    let report = ExperimentBuilder::new(cfg)
+        .cpu_app("x264")
+        .gpu_app("ubench")
+        .qos(QosParams::threshold_percent(5.0))
+        .run();
+    assert_conforms(&report.metrics, &[Scope::Run], "run registry");
+
+    let sc = Scenario::from_str(SCENARIO).unwrap();
+    let (pairs, profile) = hiss_scenario::run_profiled(&sc, true);
+    for (_, cell) in &pairs {
+        assert_conforms(cell, &[Scope::Run, Scope::Cell], "cell snapshot");
+    }
+    assert_conforms(&profile, &[Scope::Profile], "batch profile");
 }
 
 /// §IV-B / Fig. 4: ubench SSRs collapse CC6 residency from 86% to 12%;
