@@ -1,0 +1,532 @@
+//! The bench comparator: fresh suite snapshots vs the committed
+//! baseline, with per-counter tolerance classes.
+//!
+//! Every metric name falls into exactly one class:
+//!
+//! | class | names | tolerance | on breach |
+//! |---|---|---|---|
+//! | wall-clock | `bench.wall.*` | ratio ≤ [`WALL_WARN_RATIO`]× either way | **warning** only |
+//! | allocation | `bench.alloc.*` | ±[`ALLOC_BAND`] relative band | violation |
+//! | counter | any other counter | exact | violation |
+//! | identity | labels | exact | violation |
+//!
+//! Deterministic work counters get no band at all: the simulator is
+//! bit-reproducible, so *any* drift is a real behaviour change (or an
+//! intentional one, recorded via `bench update --reason`). Allocation
+//! counts are deterministic for a fixed toolchain but legitimately move
+//! when `std` internals change, hence the band. Wall-clock exists for
+//! humans and never gates.
+//!
+//! Missing/extra names and whole suites are hard violations — except
+//! `bench.wall.tN.s` entries for thread counts the fresh run did not
+//! exercise, which are expected asymmetry and reported as notes.
+
+use hiss_obs::{MetricValue, MetricsRegistry};
+
+use crate::baseline::{BaselineFile, SuiteSnapshot};
+
+/// Warn when wall-clock drifts by more than this factor either way.
+pub const WALL_WARN_RATIO: f64 = 1.5;
+
+/// Relative tolerance band for `bench.alloc.*` counters.
+pub const ALLOC_BAND: f64 = 0.25;
+
+/// How bad one comparator finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational only (e.g. wall entry for an unmeasured thread
+    /// count).
+    Note,
+    /// Soft breach — reported, never fails the check (wall-clock).
+    Warning,
+    /// Hard breach — `bench check` exits nonzero.
+    Violation,
+}
+
+impl Severity {
+    /// Lowercase rendering used in diff lines.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Violation => "violation",
+        }
+    }
+}
+
+/// One comparator finding, anchored to the baseline line it concerns.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Severity class.
+    pub severity: Severity,
+    /// Suite the finding belongs to.
+    pub suite: String,
+    /// Metric name (empty for whole-suite findings).
+    pub name: String,
+    /// 1-based baseline line (0 when the suite is absent from the
+    /// baseline entirely).
+    pub line: usize,
+    /// Human-readable explanation with both values.
+    pub msg: String,
+}
+
+impl Finding {
+    /// Renders `path:line: severity: suite: name: msg`, matching the
+    /// `file:line:` shape of the lint diagnostics so editors can jump.
+    pub fn render(&self, path: &str) -> String {
+        let subject = if self.name.is_empty() {
+            self.suite.clone()
+        } else {
+            format!("{} {}", self.suite, self.name)
+        };
+        format!(
+            "{path}:{}: {}: {subject}: {}",
+            self.line,
+            self.severity.as_str(),
+            self.msg
+        )
+    }
+}
+
+/// Result of one `bench check` comparison.
+#[derive(Debug, Clone, Default)]
+pub struct Comparison {
+    /// All findings, in baseline order then name order.
+    pub findings: Vec<Finding>,
+}
+
+impl Comparison {
+    /// `true` when no hard violation was found (warnings/notes allowed).
+    pub fn passed(&self) -> bool {
+        !self
+            .findings
+            .iter()
+            .any(|f| f.severity == Severity::Violation)
+    }
+
+    /// Counts by severity: `(violations, warnings, notes)`.
+    pub fn tallies(&self) -> (usize, usize, usize) {
+        let mut v = (0, 0, 0);
+        for f in &self.findings {
+            match f.severity {
+                Severity::Violation => v.0 += 1,
+                Severity::Warning => v.1 += 1,
+                Severity::Note => v.2 += 1,
+            }
+        }
+        v
+    }
+
+    /// The findings as a label-only registry (`diff.<suite>.<name>` →
+    /// `severity: msg`), so the existing obs renderers (`to_table`,
+    /// `to_jsonl`) produce the table / JSON-lines diff.
+    pub fn to_registry(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        for f in &self.findings {
+            let key = if f.name.is_empty() {
+                format!("diff.{}", f.suite)
+            } else {
+                format!("diff.{}.{}", f.suite, f.name)
+            };
+            reg.label(key, format!("{}: {}", f.severity.as_str(), f.msg));
+        }
+        reg
+    }
+}
+
+/// Tolerance class of one metric name.
+fn class(name: &str) -> Class {
+    if name.starts_with("bench.wall.") {
+        Class::Wall
+    } else if name.starts_with("bench.alloc.") {
+        Class::Alloc
+    } else {
+        Class::Exact
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Class {
+    Wall,
+    Alloc,
+    Exact,
+}
+
+fn show(v: &MetricValue) -> String {
+    match v {
+        MetricValue::Counter(c) => c.to_string(),
+        MetricValue::Gauge(g) => format!("{g:?}"),
+        MetricValue::Label(s) => format!("{s:?}"),
+        MetricValue::Histogram(h) => format!("histogram(count={})", h.count),
+    }
+}
+
+/// Compares one metric present in both snapshots.
+fn compare_value(
+    suite: &str,
+    name: &str,
+    line: usize,
+    base: &MetricValue,
+    fresh: &MetricValue,
+    out: &mut Vec<Finding>,
+) {
+    let push = |sev: Severity, msg: String, out: &mut Vec<Finding>| {
+        out.push(Finding {
+            severity: sev,
+            suite: suite.to_string(),
+            name: name.to_string(),
+            line,
+            msg,
+        });
+    };
+
+    match class(name) {
+        Class::Wall => {
+            let (b, f) = match (base, fresh) {
+                (MetricValue::Gauge(b), MetricValue::Gauge(f)) => (*b, *f),
+                _ => {
+                    push(
+                        Severity::Violation,
+                        format!(
+                            "wall entry must be a gauge (baseline {}, fresh {})",
+                            show(base),
+                            show(fresh)
+                        ),
+                        out,
+                    );
+                    return;
+                }
+            };
+            // Zero, negative, or non-finite reference times make the
+            // ratio meaningless — note it rather than dividing into a
+            // NaN/infinity and pretending that is a measurement.
+            if !(b.is_finite() && f.is_finite()) || b <= 0.0 || f <= 0.0 {
+                push(
+                    Severity::Note,
+                    format!("unmeasurable wall ratio (baseline {b:?}, fresh {f:?})"),
+                    out,
+                );
+                return;
+            }
+            let ratio = f / b;
+            if !(1.0 / WALL_WARN_RATIO..=WALL_WARN_RATIO).contains(&ratio) {
+                push(
+                    Severity::Warning,
+                    format!(
+                        "wall-clock moved {ratio:.2}x (baseline {b:.3}s, fresh {f:.3}s; informational)"
+                    ),
+                    out,
+                );
+            }
+        }
+        Class::Alloc => {
+            let (b, f) = match (base, fresh) {
+                (MetricValue::Counter(b), MetricValue::Counter(f)) => (*b, *f),
+                _ => {
+                    push(
+                        Severity::Violation,
+                        format!(
+                            "alloc entry must be a counter (baseline {}, fresh {})",
+                            show(base),
+                            show(fresh)
+                        ),
+                        out,
+                    );
+                    return;
+                }
+            };
+            let drift = if b == 0 {
+                if f == 0 {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                (f as f64 - b as f64).abs() / b as f64
+            };
+            if drift > ALLOC_BAND {
+                push(
+                    Severity::Violation,
+                    format!(
+                        "allocation drifted {:+.1}% (baseline {b}, fresh {f}, band ±{:.0}%)",
+                        (f as f64 / b as f64 - 1.0) * 100.0,
+                        ALLOC_BAND * 100.0
+                    ),
+                    out,
+                );
+            }
+        }
+        Class::Exact => {
+            if base != fresh {
+                push(
+                    Severity::Violation,
+                    format!("baseline {} != fresh {}", show(base), show(fresh)),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+/// Compares fresh suite snapshots against a parsed baseline.
+///
+/// Order: suites in baseline order (then fresh-only suites), names in
+/// registry (lexicographic) order — deterministic, so two runs render
+/// byte-identical reports.
+pub fn compare(baseline: &BaselineFile, fresh: &[SuiteSnapshot]) -> Comparison {
+    let mut findings = Vec::new();
+
+    for base in &baseline.suites {
+        let Some(f) = fresh.iter().find(|s| s.suite == base.suite) else {
+            findings.push(Finding {
+                severity: Severity::Violation,
+                suite: base.suite.clone(),
+                name: String::new(),
+                line: base.line,
+                msg: "suite in baseline but not produced by this run".into(),
+            });
+            continue;
+        };
+        // Names present in both, then baseline-only, then fresh-only.
+        for (name, bval) in base.metrics.iter() {
+            match f.metrics.get(name) {
+                Some(fval) => {
+                    compare_value(&base.suite, name, base.line, bval, fval, &mut findings);
+                }
+                None if class(name) == Class::Wall => findings.push(Finding {
+                    severity: Severity::Note,
+                    suite: base.suite.clone(),
+                    name: name.to_string(),
+                    line: base.line,
+                    msg: "wall entry for a thread count this run did not measure".into(),
+                }),
+                None => findings.push(Finding {
+                    severity: Severity::Violation,
+                    suite: base.suite.clone(),
+                    name: name.to_string(),
+                    line: base.line,
+                    msg: format!("in baseline ({}) but missing from fresh run", show(bval)),
+                }),
+            }
+        }
+        for (name, fval) in f.metrics.iter() {
+            if base.metrics.get(name).is_some() {
+                continue;
+            }
+            let (sev, msg) = if class(name) == Class::Wall {
+                (
+                    Severity::Note,
+                    "wall entry for a thread count the baseline has not recorded".to_string(),
+                )
+            } else {
+                (
+                    Severity::Violation,
+                    format!(
+                        "fresh run produced {} but the baseline has no such entry",
+                        show(fval)
+                    ),
+                )
+            };
+            findings.push(Finding {
+                severity: sev,
+                suite: base.suite.clone(),
+                name: name.to_string(),
+                line: base.line,
+                msg,
+            });
+        }
+    }
+
+    for f in fresh {
+        if baseline.suite(&f.suite).is_none() {
+            findings.push(Finding {
+                severity: Severity::Violation,
+                suite: f.suite.clone(),
+                name: String::new(),
+                line: 0,
+                msg: "suite produced by this run but absent from the baseline".into(),
+            });
+        }
+    }
+
+    Comparison { findings }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline;
+
+    fn snap(suite: &str, fill: impl FnOnce(&mut MetricsRegistry)) -> SuiteSnapshot {
+        let mut m = MetricsRegistry::new();
+        m.label("bench.suite", suite);
+        fill(&mut m);
+        SuiteSnapshot {
+            line: 0,
+            suite: suite.to_string(),
+            metrics: m,
+        }
+    }
+
+    fn base_file(suites: &[SuiteSnapshot]) -> BaselineFile {
+        baseline::parse(&baseline::render("test", suites)).unwrap()
+    }
+
+    #[test]
+    fn identical_snapshots_pass_clean() {
+        let s = snap("engine", |m| {
+            m.counter("bench.total.events_pushed", 42);
+            m.counter("bench.alloc.bytes", 1000);
+            m.gauge("bench.wall.t1.s", 1.0);
+        });
+        let cmp = compare(&base_file(std::slice::from_ref(&s)), &[s]);
+        assert!(cmp.passed(), "{:?}", cmp.findings);
+        assert!(cmp.findings.is_empty());
+    }
+
+    #[test]
+    fn exact_counter_drift_of_one_is_a_violation() {
+        let b = snap("engine", |m| m.counter("bench.total.events_pushed", 42));
+        let f = snap("engine", |m| m.counter("bench.total.events_pushed", 43));
+        let cmp = compare(&base_file(&[b]), &[f]);
+        assert!(!cmp.passed());
+        assert_eq!(cmp.findings.len(), 1);
+        let fd = &cmp.findings[0];
+        assert_eq!(fd.severity, Severity::Violation);
+        assert_eq!(fd.name, "bench.total.events_pushed");
+        assert!(fd.msg.contains("42") && fd.msg.contains("43"), "{}", fd.msg);
+        // The baseline line number points at the suite's JSON line.
+        assert_eq!(fd.line, 2);
+    }
+
+    #[test]
+    fn missing_baseline_key_is_a_violation() {
+        let b = snap("engine", |m| {
+            m.counter("bench.total.events_pushed", 42);
+            m.counter("bench.cells", 3);
+        });
+        let f = snap("engine", |m| m.counter("bench.total.events_pushed", 42));
+        let cmp = compare(&base_file(&[b]), &[f]);
+        assert!(!cmp.passed());
+        assert!(cmp.findings[0].msg.contains("missing from fresh run"));
+        assert_eq!(cmp.findings[0].name, "bench.cells");
+    }
+
+    #[test]
+    fn extra_fresh_key_is_a_violation() {
+        let b = snap("engine", |m| m.counter("bench.cells", 3));
+        let f = snap("engine", |m| {
+            m.counter("bench.cells", 3);
+            m.counter("bench.total.events_pushed", 9);
+        });
+        let cmp = compare(&base_file(&[b]), &[f]);
+        assert!(!cmp.passed());
+        assert!(cmp.findings[0].msg.contains("no such entry"));
+    }
+
+    #[test]
+    fn missing_and_extra_suites_are_violations() {
+        let b = snap("engine", |m| m.counter("bench.cells", 1));
+        let f = snap("fig3_quick", |m| m.counter("bench.cells", 1));
+        let cmp = compare(&base_file(&[b]), &[f]);
+        let (violations, _, _) = cmp.tallies();
+        assert_eq!(violations, 2);
+        assert!(cmp
+            .findings
+            .iter()
+            .any(|x| x.suite == "engine" && x.line == 2));
+        assert!(cmp
+            .findings
+            .iter()
+            .any(|x| x.suite == "fig3_quick" && x.line == 0));
+    }
+
+    #[test]
+    fn alloc_band_tolerates_small_drift_and_flags_large() {
+        let b = snap("engine", |m| m.counter("bench.alloc.bytes", 1000));
+        let ok = snap("engine", |m| m.counter("bench.alloc.bytes", 1200));
+        assert!(compare(&base_file(std::slice::from_ref(&b)), &[ok]).passed());
+        let bad = snap("engine", |m| m.counter("bench.alloc.bytes", 1300));
+        let cmp = compare(&base_file(&[b]), &[bad]);
+        assert!(!cmp.passed());
+        assert!(
+            cmp.findings[0].msg.contains("+30.0%"),
+            "{}",
+            cmp.findings[0].msg
+        );
+    }
+
+    #[test]
+    fn alloc_zero_baseline_flags_any_nonzero_fresh() {
+        let b = snap("engine", |m| m.counter("bench.alloc.bytes", 0));
+        let same = snap("engine", |m| m.counter("bench.alloc.bytes", 0));
+        assert!(compare(&base_file(std::slice::from_ref(&b)), &[same]).passed());
+        let grew = snap("engine", |m| m.counter("bench.alloc.bytes", 1));
+        assert!(!compare(&base_file(&[b]), &[grew]).passed());
+    }
+
+    #[test]
+    fn wall_clock_breach_warns_but_passes() {
+        let b = snap("engine", |m| m.gauge("bench.wall.t1.s", 1.0));
+        let f = snap("engine", |m| m.gauge("bench.wall.t1.s", 2.0));
+        let cmp = compare(&base_file(&[b]), &[f]);
+        assert!(cmp.passed(), "wall drift must never fail the check");
+        assert_eq!(cmp.findings[0].severity, Severity::Warning);
+        assert!(cmp.findings[0].msg.contains("2.00x"));
+    }
+
+    #[test]
+    fn zero_and_nan_wall_ratios_are_notes_not_math_errors() {
+        for (b, f) in [(0.0, 1.0), (1.0, 0.0), (f64::NAN, 1.0), (1.0, f64::NAN)] {
+            let bs = snap("engine", |m| m.gauge("bench.wall.t1.s", b));
+            let fs = snap("engine", |m| m.gauge("bench.wall.t1.s", f));
+            let cmp = compare(&base_file(&[bs]), &[fs]);
+            assert!(cmp.passed(), "({b},{f}): {:?}", cmp.findings);
+            assert_eq!(cmp.findings.len(), 1, "({b},{f})");
+            assert_eq!(cmp.findings[0].severity, Severity::Note, "({b},{f})");
+            assert!(cmp.findings[0].msg.contains("unmeasurable"), "({b},{f})");
+        }
+    }
+
+    #[test]
+    fn wall_entries_for_unmeasured_thread_counts_are_notes() {
+        let b = snap("engine", |m| {
+            m.gauge("bench.wall.t1.s", 1.0);
+            m.gauge("bench.wall.t8.s", 0.3);
+        });
+        let f = snap("engine", |m| m.gauge("bench.wall.t1.s", 1.0));
+        let cmp = compare(&base_file(&[b]), &[f]);
+        assert!(cmp.passed());
+        assert_eq!(cmp.findings.len(), 1);
+        assert_eq!(cmp.findings[0].severity, Severity::Note);
+        assert_eq!(cmp.findings[0].name, "bench.wall.t8.s");
+    }
+
+    #[test]
+    fn label_drift_is_a_violation() {
+        let b = snap("engine", |m| m.label("bench.baseline.version", "x"));
+        let f = snap("engine", |m| m.label("bench.baseline.version", "y"));
+        assert!(!compare(&base_file(&[b]), &[f]).passed());
+    }
+
+    #[test]
+    fn findings_render_file_line_style_and_registry_diff() {
+        let b = snap("engine", |m| m.counter("bench.cells", 3));
+        let f = snap("engine", |m| m.counter("bench.cells", 4));
+        let cmp = compare(&base_file(&[b]), &[f]);
+        let line = cmp.findings[0].render("BENCH_BASELINE.json");
+        assert!(
+            line.starts_with("BENCH_BASELINE.json:2: violation: engine bench.cells:"),
+            "{line}"
+        );
+        let reg = cmp.to_registry();
+        assert_eq!(reg.len(), 1);
+        assert!(reg
+            .label_value("diff.engine.bench.cells")
+            .unwrap()
+            .contains("violation"));
+        // And it renders through the stock obs renderers.
+        assert!(reg.to_table().contains("diff.engine.bench.cells"));
+        assert!(reg.to_jsonl().contains("diff.engine.bench.cells"));
+    }
+}

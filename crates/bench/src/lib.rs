@@ -12,15 +12,32 @@
 //! - **`experiments`**: timings of each experiment family on scaled-down
 //!   grids, tracking the harness's own cost.
 //!
-//! The timing machinery here ([`bench`], [`Timing`]) is in-tree and
+//! The timing machinery here ([`bench()`], [`Timing`]) is in-tree and
 //! criterion-free: the workspace builds with no registry access, so the
 //! harness relies on `std::time::Instant` only. Each measurement prints a
 //! human-readable line *and* a machine-readable `{"bench":...}` JSON line
 //! so perf trajectories can be tracked by scripts (see
 //! `examples/perf_report.rs` for the grid-level harness).
+//!
+//! Beyond the timing harness, this crate carries the
+//! performance-regression subsystem behind `hiss-cli bench`
+//! (see `docs/BENCH.md`):
+//!
+//! - [`alloc`] — a counting global allocator and per-thread
+//!   [`AllocProbe`] for deterministic allocation counters,
+//! - [`baseline`] — the committed `BENCH_BASELINE.json` format
+//!   (JSON-lines of [`hiss_obs::MetricsRegistry`] snapshots),
+//! - [`compare`] — the tolerance-band comparator `bench check` gates
+//!   on.
 // Sanctioned exemption (see lint.toml): the harness measures host
 // wall-clock time by design.
 #![allow(clippy::disallowed_types)]
+
+pub mod alloc;
+pub mod baseline;
+pub mod compare;
+
+pub use alloc::{AllocProbe, CountingAlloc};
 
 use std::hint::black_box;
 use std::time::Instant;

@@ -53,7 +53,8 @@ pub use experiments::BaselineCache;
 pub use metrics::RunReport;
 pub use replicate::{replicate, MetricSummary, Replicated};
 pub use runner::{
-    par_map, run_jobs, run_jobs_on, run_jobs_profiled, thread_count, thread_count_from, PoolProfile,
+    par_map, pool_totals, run_jobs, run_jobs_on, run_jobs_profiled, thread_count,
+    thread_count_from, PoolProfile,
 };
 pub use soc::{ExperimentBuilder, Soc};
 pub use trace::{Trace, TraceSpan, Tracer};

@@ -43,12 +43,30 @@
 #![allow(clippy::disallowed_types, clippy::disallowed_methods)]
 
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Once;
 use std::time::Instant;
 
 use hiss_obs::MetricsRegistry;
 use hiss_sim::OnlineStats;
+
+/// Lifetime pool invocations (each `run_jobs*` call is one invocation).
+static POOL_INVOCATIONS: AtomicU64 = AtomicU64::new(0);
+/// Lifetime jobs scheduled across every pool invocation.
+static POOL_JOBS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-lifetime pool work counters: `(invocations, jobs_scheduled)`.
+///
+/// Both are *deterministic* for a fixed workload — the number of pool
+/// calls and the number of jobs handed to them do not depend on worker
+/// count or scheduling — which is what lets `hiss-cli bench` gate on
+/// them (deltas around a suite) without machine noise.
+pub fn pool_totals() -> (u64, u64) {
+    (
+        POOL_INVOCATIONS.load(Ordering::Relaxed),
+        POOL_JOBS.load(Ordering::Relaxed),
+    )
+}
 
 fn default_threads() -> usize {
     std::thread::available_parallelism()
@@ -134,6 +152,8 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    POOL_INVOCATIONS.fetch_add(1, Ordering::Relaxed);
+    POOL_JOBS.fetch_add(n as u64, Ordering::Relaxed);
     if threads == 1 {
         return vec![(0..n).map(|i| (i, job(i))).collect()];
     }
@@ -338,6 +358,20 @@ mod tests {
         // workers and ~synchronized 5 ms jobs that is a couple of rounds
         // at most. Draining the whole queue (the bug) would hit 64.
         assert!(ran < 32, "pool drained {ran}/64 jobs after a panic");
+    }
+
+    /// The lifetime work counters advance by at least one invocation and
+    /// `n` jobs per pool call. (Sibling tests share the process-global
+    /// counters and may run concurrently, so exact deltas are pinned by
+    /// the single-process bench e2e in `tests/bench.rs`, not here.)
+    #[test]
+    fn pool_totals_advance_per_invocation() {
+        let (inv0, jobs0) = pool_totals();
+        run_jobs_on(1, 7, |i| i);
+        run_jobs_on(4, 13, |i| i);
+        let (inv1, jobs1) = pool_totals();
+        assert!(inv1 - inv0 >= 2, "invocations: {inv0} -> {inv1}");
+        assert!(jobs1 - jobs0 >= 20, "jobs: {jobs0} -> {jobs1}");
     }
 
     #[test]

@@ -782,6 +782,8 @@ impl Soc {
         metrics.gauge("run.avg_branch_coldness", branch_cold);
         metrics.counter("run.pending_at_end", self.iommu.pending() as u64);
         metrics.counter("run.truncated", self.truncated as u64);
+        metrics.counter("run.events_pushed", self.queue.pushed());
+        metrics.counter("run.events_popped", self.queue.popped());
         metrics.gauge("energy.cpu_joules", energy.cpu_joules);
         metrics.gauge("energy.cpu_avg_watts", energy.cpu_avg_watts);
 

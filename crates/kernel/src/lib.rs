@@ -25,7 +25,7 @@
 //!
 //! The three §V mitigations appear here and in `hiss-iommu`:
 //!
-//! - interrupt steering: IOMMU-side ([`hiss_iommu::MsiSteering`]), plus
+//! - interrupt steering: IOMMU-side (`hiss_iommu::MsiSteering`), plus
 //!   [`KernelConfig::bh_affinity`] to pin the bottom-half kthread to the
 //!   steered core as the paper's setup does,
 //! - interrupt coalescing: IOMMU-side; the kernel amortises per-batch

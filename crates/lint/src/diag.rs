@@ -70,6 +70,9 @@ pub enum Code {
     /// A metric name documented in `docs/OBSERVABILITY.md` is unknown
     /// to the `hiss-obs` schema.
     DocMetricNotInSchema,
+    /// A `BENCH_BASELINE.json` entry is outside the `bench.*` namespace
+    /// or does not resolve in the `hiss-obs` schema with the right kind.
+    BenchMetricNotInSchema,
     /// Banned hash collection (`HashMap`/`HashSet`) in sim-state source.
     BannedHashCollection,
     /// Banned wall-clock construct (`Instant`/`SystemTime`) in
@@ -99,6 +102,7 @@ impl Code {
         Code::RowsMismatch,
         Code::ExpectMetricNotInSchema,
         Code::DocMetricNotInSchema,
+        Code::BenchMetricNotInSchema,
         Code::BannedHashCollection,
         Code::BannedWallClock,
         Code::BannedThreads,
@@ -122,6 +126,7 @@ impl Code {
             Code::RowsMismatch => "HL011",
             Code::ExpectMetricNotInSchema => "HL201",
             Code::DocMetricNotInSchema => "HL202",
+            Code::BenchMetricNotInSchema => "HL203",
             Code::BannedHashCollection => "HL301",
             Code::BannedWallClock => "HL302",
             Code::BannedThreads => "HL303",

@@ -25,6 +25,7 @@
 //!
 //! The full code catalogue is `docs/LINTS.md`.
 
+pub mod baseline;
 pub mod config;
 pub mod diag;
 pub mod docs;

@@ -90,7 +90,7 @@ impl CacheConfig {
         );
         let lines = self.capacity_bytes / self.line_bytes;
         assert!(
-            lines >= self.ways && lines.is_multiple_of(self.ways),
+            lines >= self.ways && lines % self.ways == 0,
             "capacity {} does not divide into whole sets of {} ways",
             self.capacity_bytes,
             self.ways

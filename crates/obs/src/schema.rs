@@ -50,6 +50,10 @@ pub enum Scope {
     Cell,
     /// The wall-clock batch profile (never part of run results).
     Profile,
+    /// `hiss-cli bench` suite snapshots and the committed
+    /// `BENCH_BASELINE.json` (deterministic work counters; the
+    /// `bench.wall.*` family is the informational exception).
+    Bench,
 }
 
 /// One declared name pattern.
@@ -79,6 +83,24 @@ const fn run_g(pattern: &'static str, doc: &'static str) -> SchemaEntry {
         pattern,
         kind: MetricKind::Gauge,
         scope: Scope::Run,
+        doc,
+    }
+}
+
+const fn bench_c(pattern: &'static str, doc: &'static str) -> SchemaEntry {
+    SchemaEntry {
+        pattern,
+        kind: MetricKind::Counter,
+        scope: Scope::Bench,
+        doc,
+    }
+}
+
+const fn bench_l(pattern: &'static str, doc: &'static str) -> SchemaEntry {
+    SchemaEntry {
+        pattern,
+        kind: MetricKind::Label,
+        scope: Scope::Bench,
         doc,
     }
 }
@@ -202,6 +224,14 @@ pub const SCHEMA: &[SchemaEntry] = &[
     ),
     run_c("run.pending_at_end", "SSRs still pending at simulation end"),
     run_c("run.truncated", "1 when the run hit the time limit"),
+    run_c(
+        "run.events_pushed",
+        "events pushed onto the simulation calendar",
+    ),
+    run_c(
+        "run.events_popped",
+        "events popped from the simulation calendar",
+    ),
     run_g("energy.cpu_joules", "modeled CPU package energy"),
     run_g("energy.cpu_avg_watts", "modeled average CPU package power"),
     // Scenario compiler cell identity (compile.rs::cell_metrics)
@@ -302,6 +332,111 @@ pub const SCHEMA: &[SchemaEntry] = &[
         scope: Scope::Profile,
         doc: "distinct configurations cached",
     },
+    // hiss-cli bench suite snapshots (crates/scenario bench_suite) and
+    // the committed BENCH_BASELINE.json. Everything here except
+    // `bench.wall.*` is a deterministic work counter or identity label,
+    // so `bench check` can hold it to an exact (or banded) tolerance.
+    bench_l("bench.suite", "bench suite name this snapshot belongs to"),
+    bench_l(
+        "bench.baseline.version",
+        "baseline file format version (meta line)",
+    ),
+    bench_l(
+        "bench.baseline.reason",
+        "operator-supplied reason for the last `bench update`",
+    ),
+    bench_c("bench.cells", "scenario cells executed by the suite"),
+    bench_c(
+        "bench.pool.invocations",
+        "job-pool invocations during the suite (delta)",
+    ),
+    bench_c(
+        "bench.pool.jobs",
+        "jobs scheduled on the pool during the suite (delta)",
+    ),
+    bench_c(
+        "bench.cache.hits",
+        "BaselineCache hits during the suite (delta)",
+    ),
+    bench_c(
+        "bench.cache.misses",
+        "BaselineCache misses during the suite (delta)",
+    ),
+    bench_c(
+        "bench.cache.entries",
+        "distinct BaselineCache entries at suite end",
+    ),
+    bench_c(
+        "bench.alloc.bytes",
+        "heap bytes allocated by the probe run (banded ±25%)",
+    ),
+    bench_c(
+        "bench.alloc.allocs",
+        "heap allocations by the probe run (banded ±25%)",
+    ),
+    SchemaEntry {
+        pattern: "bench.wall.tN.s",
+        kind: MetricKind::Gauge,
+        scope: Scope::Bench,
+        doc: "informational suite wall-clock under HISS_THREADS=N",
+    },
+    bench_c("bench.cell.*.kernel_ipis", "per-cell kernel.ipis"),
+    bench_c(
+        "bench.cell.*.kernel_ssrs_serviced",
+        "per-cell kernel.ssrs_serviced",
+    ),
+    bench_c(
+        "bench.cell.*.kernel_interrupts",
+        "per-cell kernel.interrupts.total",
+    ),
+    bench_c("bench.cell.*.iommu_requests", "per-cell iommu.requests"),
+    bench_c("bench.cell.*.iommu_drained", "per-cell iommu.drained"),
+    bench_c("bench.cell.*.walker_walks", "per-cell iommu.walker.walks"),
+    bench_c(
+        "bench.cell.*.walker_memory_fetches",
+        "per-cell iommu.walker.memory_fetches",
+    ),
+    bench_c("bench.cell.*.events_pushed", "per-cell run.events_pushed"),
+    bench_c("bench.cell.*.events_popped", "per-cell run.events_popped"),
+    bench_c("bench.cell.*.elapsed_ns", "per-cell run.elapsed_ns"),
+    bench_c("bench.cell.*.gpu_iterations", "per-cell run.gpu_iterations"),
+    bench_c("bench.cell.*.pending_at_end", "per-cell run.pending_at_end"),
+    bench_c("bench.total.kernel_ipis", "suite-summed kernel.ipis"),
+    bench_c(
+        "bench.total.kernel_ssrs_serviced",
+        "suite-summed kernel.ssrs_serviced",
+    ),
+    bench_c(
+        "bench.total.kernel_interrupts",
+        "suite-summed kernel.interrupts.total",
+    ),
+    bench_c("bench.total.iommu_requests", "suite-summed iommu.requests"),
+    bench_c("bench.total.iommu_drained", "suite-summed iommu.drained"),
+    bench_c(
+        "bench.total.walker_walks",
+        "suite-summed iommu.walker.walks",
+    ),
+    bench_c(
+        "bench.total.walker_memory_fetches",
+        "suite-summed iommu.walker.memory_fetches",
+    ),
+    bench_c(
+        "bench.total.events_pushed",
+        "suite-summed run.events_pushed",
+    ),
+    bench_c(
+        "bench.total.events_popped",
+        "suite-summed run.events_popped",
+    ),
+    bench_c("bench.total.elapsed_ns", "suite-summed run.elapsed_ns"),
+    bench_c(
+        "bench.total.gpu_iterations",
+        "suite-summed run.gpu_iterations",
+    ),
+    bench_c(
+        "bench.total.pending_at_end",
+        "suite-summed run.pending_at_end",
+    ),
 ];
 
 /// Matches one pattern segment against one name segment.
@@ -341,7 +476,7 @@ pub fn lookup(name: &str) -> Option<&'static SchemaEntry> {
 
 /// The distinct first segments of every pattern (the namespace roots:
 /// `kernel`, `iommu`, `cpu`, `gpuN`, `qos`, `run`, `energy`, `cell`,
-/// `pool`, `baseline_cache`), in first-appearance order.
+/// `pool`, `baseline_cache`, `bench`), in first-appearance order.
 pub fn roots() -> Vec<&'static str> {
     let mut out: Vec<&'static str> = Vec::new();
     for e in SCHEMA {
@@ -420,8 +555,23 @@ mod tests {
             "cell",
             "pool",
             "baseline_cache",
+            "bench",
         ] {
             assert!(roots.contains(&expected), "missing root {expected}");
         }
+    }
+
+    #[test]
+    fn bench_namespace_resolves_with_expected_kinds() {
+        let e = lookup("bench.suite").expect("bench.suite");
+        assert_eq!(e.kind, MetricKind::Label);
+        assert_eq!(e.scope, Scope::Bench);
+        let e = lookup("bench.cell.x264-ubench-r0.events_pushed").expect("cell counter");
+        assert_eq!(e.kind, MetricKind::Counter);
+        let e = lookup("bench.wall.t8.s").expect("wall gauge");
+        assert_eq!(e.kind, MetricKind::Gauge);
+        assert!(lookup("bench.wall.tX.s").is_none());
+        assert!(lookup("bench.cell.a.b.events_pushed").is_none());
+        assert!(lookup("bench.total.typo").is_none());
     }
 }

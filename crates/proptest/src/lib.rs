@@ -10,7 +10,7 @@
 //! - the [`proptest!`] macro (with optional `#![proptest_config(...)]`),
 //! - [`prop_assert!`] / [`prop_assert_eq!`],
 //! - [`any`] for primitive types,
-//! - integer and float [`Range`](std::ops::Range) strategies,
+//! - integer and float [`Range`] strategies,
 //! - tuple strategies (arity 2–4),
 //! - [`collection::vec`] and [`option::of`].
 //!

@@ -12,8 +12,13 @@
 //! hiss-cli scenario run <file> [--quick] [--json] [--no-check]
 //!                      [--metrics <path>] [--profile]
 //! hiss-cli scenario list [<dir>]
-//! hiss-cli lint [<file.hiss>...] [--sources] [--docs]
+//! hiss-cli lint [<file.hiss>...] [--sources] [--docs] [--bench]
 //!               [--root <dir>] [--config <lint.toml>]
+//! hiss-cli bench run [--json] [--out <path>] [--root <dir>]
+//! hiss-cli bench check [--baseline <path>] [--fresh <path>] [--json]
+//!                      [--root <dir>]
+//! hiss-cli bench update --reason <text> [--baseline <path>]
+//!                       [--fresh <path>] [--root <dir>]
 //! ```
 //!
 //! `report` renders a metrics snapshot file — one JSON object per line,
@@ -23,9 +28,18 @@
 //! `lint` runs static analysis with no simulation: scenario semantic
 //! lints over the given `.hiss` files, the determinism source lint over
 //! `crates/*/src` (`--sources`, honouring the committed `lint.toml`
-//! allowlist), and the `docs/OBSERVABILITY.md` metric-schema check
-//! (`--docs`). Exit status is nonzero on any finding; the code
-//! catalogue is `docs/LINTS.md`.
+//! allowlist), the `docs/OBSERVABILITY.md` metric-schema check
+//! (`--docs`), and the `BENCH_BASELINE.json` schema check (`--bench`).
+//! Exit status is nonzero on any finding; the code catalogue is
+//! `docs/LINTS.md`.
+//!
+//! `bench` is the performance-regression subsystem (`docs/BENCH.md`):
+//! `run` executes the suites and prints their deterministic work
+//! counters (stdout is byte-identical whatever `HISS_THREADS`; the
+//! informational wall-clock goes to stderr), `check` compares a fresh
+//! run against the committed `BENCH_BASELINE.json` and exits nonzero on
+//! any hard violation, and `update` rewrites the baseline, recording a
+//! mandatory `--reason`.
 //!
 //! Unknown flags are errors (with a nearest-match suggestion), never
 //! silently ignored.
@@ -36,7 +50,15 @@ use std::process::ExitCode;
 
 use hiss::experiments::{fig12, fig3, fig4, fig9, tables};
 use hiss::{ExperimentBuilder, Mitigation, Ns, QosParams, RunReport, SystemConfig};
+use hiss_bench::baseline::{self, BaselineFile, SuiteSnapshot};
+use hiss_bench::compare;
 use hiss_scenario as scenario;
+
+/// Count allocation traffic (per thread) so the bench engine suite can
+/// report deterministic `bench.alloc.*` counters. Pure delegation to
+/// the system allocator otherwise.
+#[global_allocator]
+static ALLOC: hiss_bench::CountingAlloc = hiss_bench::CountingAlloc::new();
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -51,8 +73,13 @@ fn usage() -> ExitCode {
          hiss-cli scenario run <file> [--quick] [--json] [--no-check] \
          [--metrics <path>] [--profile]\n  \
          hiss-cli scenario list [<dir>]\n  \
-         hiss-cli lint [<file.hiss>...] [--sources] [--docs] \
-         [--root <dir>] [--config <lint.toml>]"
+         hiss-cli lint [<file.hiss>...] [--sources] [--docs] [--bench] \
+         [--root <dir>] [--config <lint.toml>]\n  \
+         hiss-cli bench run [--json] [--out <path>] [--root <dir>]\n  \
+         hiss-cli bench check [--baseline <path>] [--fresh <path>] \
+         [--json] [--root <dir>]\n  \
+         hiss-cli bench update --reason <text> [--baseline <path>] \
+         [--fresh <path>] [--root <dir>]"
     );
     ExitCode::FAILURE
 }
@@ -271,15 +298,23 @@ fn report_command(argv: Vec<String>) -> ExitCode {
 /// simulation. Exits nonzero on any finding (errors and warnings
 /// alike), so CI can gate on it.
 fn lint_command(argv: Vec<String>) -> ExitCode {
-    let args = match Args::parse(argv, &["--sources", "--docs"], &["--root", "--config"]) {
+    let args = match Args::parse(
+        argv,
+        &["--sources", "--docs", "--bench"],
+        &["--root", "--config"],
+    ) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     };
-    if args.positional.is_empty() && !args.flag("--sources") && !args.flag("--docs") {
-        eprintln!("lint requires scenario files and/or --sources / --docs");
+    if args.positional.is_empty()
+        && !args.flag("--sources")
+        && !args.flag("--docs")
+        && !args.flag("--bench")
+    {
+        eprintln!("lint requires scenario files and/or --sources / --docs / --bench");
         return ExitCode::FAILURE;
     }
     let root = PathBuf::from(args.value("--root").unwrap_or("."));
@@ -337,6 +372,18 @@ fn lint_command(argv: Vec<String>) -> ExitCode {
         }
     }
 
+    if args.flag("--bench") {
+        let bench_rel = "BENCH_BASELINE.json";
+        let bench_path = root.join(bench_rel);
+        match std::fs::read_to_string(&bench_path) {
+            Ok(text) => diags.extend(hiss_lint::baseline::check_baseline(bench_rel, &text)),
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", bench_path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     hiss_lint::diag::sort(&mut diags);
     for d in &diags {
         println!("{d}");
@@ -352,6 +399,201 @@ fn lint_command(argv: Vec<String>) -> ExitCode {
     } else {
         println!("lint: {errors} error(s), {warnings} warning(s)");
         ExitCode::FAILURE
+    }
+}
+
+/// The deterministic view of a suite snapshot: everything except the
+/// `bench.wall.*` gauges. This is what `bench run` prints on stdout, so
+/// the report is byte-identical whatever `HISS_THREADS` is.
+fn deterministic_view(reg: &hiss::MetricsRegistry) -> hiss::MetricsRegistry {
+    let mut out = hiss::MetricsRegistry::new();
+    for (name, value) in reg.iter() {
+        if !name.starts_with("bench.wall.") {
+            out.set(name.to_string(), value.clone());
+        }
+    }
+    out
+}
+
+/// Fresh suite snapshots: loaded from a `--fresh` snapshot file when
+/// given (skipping re-simulation, e.g. in tests), executed otherwise.
+fn fresh_snapshots(args: &Args, root: &Path) -> Result<Vec<SuiteSnapshot>, String> {
+    match args.value("--fresh") {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let file = baseline::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+            Ok(file.suites)
+        }
+        None => scenario::bench_suite::run_all(root),
+    }
+}
+
+fn load_baseline(path: &Path) -> Result<BaselineFile, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    baseline::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// `hiss-cli bench <verb> ...` — the performance-regression subsystem
+/// (see `docs/BENCH.md`).
+fn bench_command(mut argv: Vec<String>) -> ExitCode {
+    if argv.is_empty() {
+        eprintln!("bench requires a verb: run, check, or update");
+        return ExitCode::FAILURE;
+    }
+    let verb = argv.remove(0);
+    let parsed = match verb.as_str() {
+        "run" => Args::parse(argv, &["--json"], &["--out", "--root"]),
+        "check" => Args::parse(argv, &["--json"], &["--baseline", "--fresh", "--root"]),
+        "update" => Args::parse(argv, &[], &["--reason", "--baseline", "--fresh", "--root"]),
+        other => {
+            eprintln!("unknown bench verb {other:?}: expected run, check, or update");
+            return ExitCode::FAILURE;
+        }
+    };
+    let args = match parsed {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(stray) = args.positional.first() {
+        eprintln!("unexpected argument {stray:?}");
+        return ExitCode::FAILURE;
+    }
+    let root = PathBuf::from(args.value("--root").unwrap_or("."));
+    let baseline_path = args
+        .value("--baseline")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| root.join(baseline::DEFAULT_PATH));
+
+    match verb.as_str() {
+        "run" => {
+            let snaps = match scenario::bench_suite::run_all(&root) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            // stdout: deterministic counters only, in suite order.
+            for (i, snap) in snaps.iter().enumerate() {
+                let det = deterministic_view(&snap.metrics);
+                if args.flag("--json") {
+                    print!("{}", det.to_jsonl());
+                } else {
+                    if i > 0 {
+                        println!();
+                    }
+                    print!("{}", det.to_table());
+                }
+            }
+            // stderr: the informational wall-clock.
+            for snap in &snaps {
+                for (name, _) in snap.metrics.iter() {
+                    if let Some(wall) = snap.metrics.gauge_value(name) {
+                        if name.starts_with("bench.wall.") {
+                            eprintln!("{}: {name} = {wall:.3}s", snap.suite);
+                        }
+                    }
+                }
+            }
+            if let Some(path) = args.value("--out") {
+                let text = baseline::render("(fresh bench run, not a baseline)", &snaps);
+                if let Err(e) = std::fs::write(path, text) {
+                    eprintln!("cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        "check" => {
+            let base = match load_baseline(&baseline_path) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("{e}");
+                    eprintln!("(generate one with `hiss-cli bench update --reason ...`)");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let snaps = match fresh_snapshots(&args, &root) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let cmp = compare::compare(&base, &snaps);
+            let shown = baseline_path.display().to_string();
+            for f in &cmp.findings {
+                println!("{}", f.render(&shown));
+            }
+            if !cmp.findings.is_empty() {
+                // The machine-readable diff through the stock renderers.
+                let reg = cmp.to_registry();
+                if args.flag("--json") {
+                    print!("{}", reg.to_jsonl());
+                } else {
+                    print!("{}", reg.to_table());
+                }
+            }
+            let (violations, warnings, notes) = cmp.tallies();
+            if cmp.passed() {
+                println!(
+                    "bench check: ok — {} suites vs {shown} \
+                     ({warnings} warning(s), {notes} note(s))",
+                    snaps.len()
+                );
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "bench check: {violations} violation(s), {warnings} warning(s), \
+                     {notes} note(s) vs {shown}"
+                );
+                ExitCode::FAILURE
+            }
+        }
+        "update" => {
+            let reason = match args.value("--reason").map(str::trim) {
+                Some(r) if !r.is_empty() => r.to_string(),
+                _ => {
+                    eprintln!(
+                        "bench update requires --reason <text> explaining why the baseline moved"
+                    );
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut snaps = match fresh_snapshots(&args, &root) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            // Keep wall entries for thread counts this run didn't
+            // measure, so one update doesn't drop the other reference.
+            if let Ok(old) = load_baseline(&baseline_path) {
+                for snap in &mut snaps {
+                    if let Some(prev) = old.suite(&snap.suite) {
+                        baseline::merge_missing_wall(&mut snap.metrics, &prev.metrics);
+                    }
+                }
+            }
+            let text = baseline::render(&reason, &snaps);
+            if let Err(e) = std::fs::write(&baseline_path, text) {
+                eprintln!("cannot write {}: {e}", baseline_path.display());
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "bench update: wrote {} ({} suites; reason: {reason})",
+                baseline_path.display(),
+                snaps.len()
+            );
+            ExitCode::SUCCESS
+        }
+        _ => unreachable!("verb validated above"),
     }
 }
 
@@ -550,6 +792,7 @@ fn main() -> ExitCode {
             ],
         ),
         "scenario" => return scenario_command(argv),
+        "bench" => return bench_command(argv),
         "lint" => return lint_command(argv),
         _ => return usage(),
     };

@@ -15,7 +15,7 @@
 //! (`tests/scenarios.rs` pins this).
 //!
 //! Every cell reuses the process-wide
-//! [`BaselineCache`](hiss::BaselineCache) for its two normalisation
+//! [`BaselineCache`] for its two normalisation
 //! baselines, and cells whose knobs are the paper's default
 //! configuration resolve the noisy run through the cache too (sharing it
 //! with the figure modules).

@@ -40,6 +40,7 @@
 //! assert!(hiss_scenario::check(&scenario, &rows).is_empty());
 //! ```
 
+pub mod bench_suite;
 pub mod compile;
 pub mod expect;
 pub mod lint;

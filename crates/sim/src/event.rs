@@ -137,6 +137,20 @@ impl<E> EventQueue<E> {
     pub fn now(&self) -> Ns {
         self.watermark
     }
+
+    /// Lifetime number of events pushed into this calendar (the
+    /// insertion sequence counter, so it costs nothing extra to track).
+    /// A deterministic work counter: two identical simulations push
+    /// exactly the same events, whatever the host looks like.
+    pub fn pushed(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Lifetime number of events popped from this calendar
+    /// (`pushed() - len()`, both already tracked).
+    pub fn popped(&self) -> u64 {
+        self.next_seq - self.heap.len() as u64
+    }
 }
 
 impl<E> Default for EventQueue<E> {
@@ -208,6 +222,21 @@ mod tests {
         q.pop();
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn push_pop_work_counters_track_lifetime_totals() {
+        let mut q = EventQueue::new();
+        assert_eq!((q.pushed(), q.popped()), (0, 0));
+        for i in 0..5 {
+            q.push(Ns::from_nanos(i), i);
+        }
+        assert_eq!((q.pushed(), q.popped()), (5, 0));
+        q.pop();
+        q.pop();
+        assert_eq!((q.pushed(), q.popped()), (5, 2));
+        while q.pop().is_some() {}
+        assert_eq!((q.pushed(), q.popped()), (5, 5));
     }
 
     #[test]

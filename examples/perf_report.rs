@@ -15,11 +15,13 @@
 //! targets.
 //!
 //! Emits one human-readable block and one machine-readable JSON line
-//! (prefix `PERF_REPORT_JSON`), suitable for committing alongside the
-//! code it measures. Run with:
+//! (prefix `PERF_REPORT_JSON` on stdout, and written verbatim to
+//! `target/perf_report.json` or the `--out` path — under `target/` so a
+//! run never dirties the working tree; CI uploads it as an artifact).
+//! Run with:
 //!
 //! ```text
-//! cargo run --release --example perf_report
+//! cargo run --release --example perf_report [-- --out <path>]
 //! ```
 // Wall-clock timing is this example's purpose; it reports host
 // performance, not simulation results.
@@ -67,7 +69,28 @@ fn event_queue_events_per_sec() -> f64 {
     (reps as f64 * times.len() as f64) / secs
 }
 
+/// Parses `--out <path>` from the example's arguments; defaults to
+/// `target/perf_report.json` so the report never lands in the checkout.
+fn out_path() -> std::path::PathBuf {
+    let mut args = std::env::args().skip(1);
+    match args.next() {
+        None => std::path::PathBuf::from("target").join("perf_report.json"),
+        Some(flag) if flag == "--out" => match (args.next(), args.next()) {
+            (Some(p), None) => p.into(),
+            _ => {
+                eprintln!("perf_report: --out requires exactly one path");
+                std::process::exit(2);
+            }
+        },
+        Some(arg) => {
+            eprintln!("perf_report: unknown argument `{arg}` (only --out <path>)");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
+    let out = out_path();
     let cfg = SystemConfig::a10_7850k();
     let host_workers = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
@@ -107,8 +130,8 @@ fn main() {
         BaselineCache::global().miss_count()
     );
 
-    println!(
-        "PERF_REPORT_JSON {{\"grid\":\"fig3\",\"cells\":{cells},\
+    let json = format!(
+        "{{\"grid\":\"fig3\",\"cells\":{cells},\
          \"host_workers\":{host_workers},\"workers\":{workers},\
          \"serial_cold_s\":{serial_cold_s:.4},\
          \"parallel_cold_s\":{parallel_cold_s:.4},\
@@ -119,4 +142,19 @@ fn main() {
          \"event_queue_events_per_sec\":{events_per_sec:.0}}}",
         cells as f64 / parallel_cold_s
     );
+    println!("PERF_REPORT_JSON {json}");
+
+    if let Some(dir) = out.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("perf_report: cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+    match std::fs::write(&out, format!("{json}\n")) {
+        Ok(()) => println!("perf_report: wrote {}", out.display()),
+        Err(e) => {
+            eprintln!("perf_report: cannot write {}: {e}", out.display());
+            std::process::exit(1);
+        }
+    }
 }

@@ -1,0 +1,245 @@
+//! Bench-subsystem regression harness (see `docs/BENCH.md`), in the
+//! style of `tests/lint.rs`: the committed `BENCH_BASELINE.json` must
+//! stay parseable, schema-clean, and in agreement with a fresh run; a
+//! doctored baseline must make `hiss-cli bench check` fail with a
+//! `file:line:`-style diff; and the deterministic-counter report must
+//! be byte-identical whatever `HISS_THREADS` is.
+//!
+//! The CLI end-to-end tests run `bench run` once into a snapshot file
+//! and replay it through `bench check --fresh`, so each test re-uses
+//! the same simulation work instead of re-running the grids.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use hiss_bench::baseline::{self, SuiteSnapshot};
+
+/// Measure allocation in-process the same way `hiss-cli` does, so
+/// library-level suite runs in this harness see real counters too.
+#[global_allocator]
+static ALLOC: hiss_bench::CountingAlloc = hiss_bench::CountingAlloc::new();
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn cli() -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_hiss-cli"));
+    cmd.current_dir(repo_root());
+    cmd
+}
+
+fn committed_baseline() -> baseline::BaselineFile {
+    let text = std::fs::read_to_string(repo_root().join(baseline::DEFAULT_PATH)).unwrap();
+    baseline::parse(&text).expect("committed baseline parses")
+}
+
+#[test]
+fn committed_baseline_parses_and_covers_every_suite() {
+    let file = committed_baseline();
+    assert!(file.reason().is_some_and(|r| !r.is_empty()));
+    for suite in hiss_scenario::bench_suite::SUITES {
+        assert!(
+            file.suite(suite).is_some(),
+            "baseline is missing suite {suite}"
+        );
+    }
+    assert_eq!(file.suites.len(), hiss_scenario::bench_suite::SUITES.len());
+}
+
+#[test]
+fn committed_baseline_lints_clean_against_the_schema() {
+    let text = std::fs::read_to_string(repo_root().join(baseline::DEFAULT_PATH)).unwrap();
+    let diags = hiss_lint::baseline::check_baseline(baseline::DEFAULT_PATH, &text);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+/// Runs the suites in-process and compares against the committed
+/// baseline through the library comparator — the same check the CLI
+/// gate performs, without process overhead.
+#[test]
+fn fresh_library_run_matches_the_committed_baseline() {
+    let snaps = hiss_scenario::bench_suite::run_all(&repo_root()).unwrap();
+    let cmp = hiss_bench::compare::compare(&committed_baseline(), &snaps);
+    let shown: Vec<String> = cmp
+        .findings
+        .iter()
+        .map(|f| f.render(baseline::DEFAULT_PATH))
+        .collect();
+    assert!(cmp.passed(), "{shown:#?}");
+}
+
+#[test]
+fn cli_bench_check_passes_on_the_committed_tree_and_fails_when_doctored() {
+    // One real run, captured to a snapshot file both checks replay.
+    let fresh = tmp("fresh.jsonl");
+    let out = cli()
+        .args(["bench", "run", "--out", fresh.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "bench run failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = cli()
+        .args(["bench", "check", "--fresh", fresh.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        out.status.success(),
+        "check failed on committed tree:\n{stdout}"
+    );
+    assert!(stdout.contains("bench check: ok"), "{stdout}");
+
+    // Doctor one deterministic counter by one: the check must fail and
+    // say where, file:line-style, naming the counter.
+    let file = committed_baseline();
+    let target = file.suite("fig3_quick").expect("fig3_quick in baseline");
+    let old = target
+        .metrics
+        .counter_value("bench.total.events_pushed")
+        .expect("total events counter in baseline");
+    let mut doctored = file.suites.clone();
+    for s in &mut doctored {
+        if s.suite == "fig3_quick" {
+            s.metrics.counter("bench.total.events_pushed", old + 1);
+        }
+    }
+    let doctored_path = tmp("doctored_baseline.json");
+    std::fs::write(
+        &doctored_path,
+        baseline::render(file.reason().unwrap(), &doctored),
+    )
+    .unwrap();
+
+    let out = cli()
+        .args([
+            "bench",
+            "check",
+            "--baseline",
+            doctored_path.to_str().unwrap(),
+            "--fresh",
+            fresh.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(!out.status.success(), "doctored baseline passed:\n{stdout}");
+    // Readable diff: a file:line: anchor, the counter, both values.
+    let diff_line = stdout
+        .lines()
+        .find(|l| l.contains("bench.total.events_pushed"))
+        .unwrap_or_else(|| panic!("no diff line names the counter:\n{stdout}"));
+    let prefix = format!("{}:", doctored_path.display());
+    assert!(diff_line.starts_with(&prefix), "{diff_line}");
+    assert!(
+        diff_line.contains("violation") && diff_line.contains(&(old + 1).to_string()),
+        "{diff_line}"
+    );
+    assert!(stdout.contains("violation(s)"), "{stdout}");
+}
+
+/// The acceptance-criteria pin: the deterministic-counter report on
+/// stdout is byte-identical under `HISS_THREADS=1` and `HISS_THREADS=8`
+/// (wall-clock goes to stderr and the snapshot file only).
+#[test]
+#[ignore = "runs every suite twice; CI runs it in the bench-gate job"]
+fn bench_run_stdout_is_byte_identical_across_thread_counts() {
+    let run = |threads: &str| {
+        let out = cli()
+            .args(["bench", "run"])
+            .env("HISS_THREADS", threads)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "bench run failed under HISS_THREADS={threads}"
+        );
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let t1 = run("1");
+    let t8 = run("8");
+    assert_eq!(
+        t1, t8,
+        "deterministic-counter report depends on worker count"
+    );
+    assert!(t1.contains("bench.total.events_pushed"));
+    assert!(!t1.contains("bench.wall."), "wall-clock leaked into stdout");
+}
+
+#[test]
+fn cli_bench_update_requires_a_reason_and_records_it() {
+    // Refuses without --reason.
+    let out = cli().args(["bench", "update"]).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("--reason"), "{stderr}");
+
+    // With --reason and a synthetic fresh snapshot, writes a parseable
+    // baseline carrying the reason, and preserves wall entries for
+    // thread counts the fresh run did not measure.
+    let mut metrics = hiss::MetricsRegistry::new();
+    metrics.label("bench.suite", "engine");
+    metrics.counter("bench.cells", 1);
+    metrics.gauge("bench.wall.t1.s", 0.5);
+    let snap = SuiteSnapshot {
+        line: 0,
+        suite: "engine".into(),
+        metrics,
+    };
+    let fresh_path = tmp("update_fresh.jsonl");
+    std::fs::write(
+        &fresh_path,
+        baseline::render("(fresh)", std::slice::from_ref(&snap)),
+    )
+    .unwrap();
+
+    let mut old_metrics = snap.metrics.clone();
+    old_metrics.gauge("bench.wall.t8.s", 0.125);
+    let old_path = tmp("update_baseline.json");
+    std::fs::write(
+        &old_path,
+        baseline::render(
+            "older reason",
+            &[SuiteSnapshot {
+                line: 0,
+                suite: "engine".into(),
+                metrics: old_metrics,
+            }],
+        ),
+    )
+    .unwrap();
+
+    let out = cli()
+        .args([
+            "bench",
+            "update",
+            "--reason",
+            "test reason",
+            "--baseline",
+            old_path.to_str().unwrap(),
+            "--fresh",
+            fresh_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let written = baseline::parse(&std::fs::read_to_string(&old_path).unwrap()).unwrap();
+    assert_eq!(written.reason(), Some("test reason"));
+    let engine = written.suite("engine").unwrap();
+    assert_eq!(engine.metrics.gauge_value("bench.wall.t1.s"), Some(0.5));
+    assert_eq!(engine.metrics.gauge_value("bench.wall.t8.s"), Some(0.125));
+}

@@ -83,6 +83,21 @@ fn every_scenario_code_has_a_fixture() {
 }
 
 #[test]
+fn docs_lints_md_catalogues_every_code() {
+    let text = std::fs::read_to_string(repo_root().join("docs/LINTS.md")).unwrap();
+    let documented: Vec<&str> = text
+        .lines()
+        .filter_map(|l| l.strip_prefix("### "))
+        .filter_map(|h| h.split_whitespace().next())
+        .collect();
+    let expected: Vec<&str> = hiss_lint::Code::ALL.iter().map(|c| c.as_str()).collect();
+    assert_eq!(
+        documented, expected,
+        "docs/LINTS.md section headings disagree with hiss_lint::Code::ALL"
+    );
+}
+
+#[test]
 fn committed_scenarios_lint_clean() {
     let dir = repo_root().join("scenarios");
     let files = hiss_scenario::list_files(&dir).unwrap();
