@@ -27,13 +27,13 @@
 //! after the governor threshold of uninterrupted idleness), and C-state
 //! transitions.
 
-use hiss_cpu::{Core, CoreId, TimeCategory};
+use hiss_cpu::{Core, CoreId, TickTimer, TimeCategory};
 use hiss_gpu::{Gpu, GpuStats, SsrId, SsrRequest};
 use hiss_iommu::{Iommu, IommuDecision, PageWalker, WalkerConfig};
 use hiss_kernel::{CoreHost, Kernel, KernelConfig, KernelOutput};
 use hiss_mem::WarmthModel;
 use hiss_qos::QosParams;
-use hiss_sim::{EventQueue, Ns, Rng};
+use hiss_sim::{EventQueue, NextTick, Ns, Rng};
 use hiss_workloads::{CpuAppSpec, GpuAppSpec};
 
 use crate::config::{Mitigation, MitigationConfig, SystemConfig};
@@ -175,6 +175,18 @@ pub struct Soc {
     /// rewarms it (which is why the refill constant is pre-halved in
     /// `CpuParams::l2_pollution`).
     module_warmth: Vec<WarmthModel>,
+    /// The `(time, generation)` of each GPU's live self-event, if any.
+    /// An SSR completion that does not change the GPU's trajectory must
+    /// not arm a second event: with up to 64 outstanding SSRs per GPU,
+    /// unconditional re-arming multiplies the self-event chain ~64× (the
+    /// duplicates are semantically inert but dominate the calendar).
+    armed_gpu: Vec<Option<(Ns, u64)>>,
+    /// Scratch for drained PPR batches, reused across interrupts.
+    batch_buf: Vec<SsrRequest>,
+    /// Scratch for kernel-output cascades, reused across interrupts.
+    kout_buf: Vec<KernelOutput>,
+    /// The per-core OS scheduler tick schedule.
+    tick: TickTimer,
 }
 
 impl Soc {
@@ -247,12 +259,18 @@ impl Soc {
             },
             cfg.num_cores,
         );
+        let num_gpus = gpus.len();
         Soc {
             now: Ns::ZERO,
-            // A run's steady-state calendar holds ticks, user projections,
-            // GPU self-events, and a kernel cascade or two per core;
-            // pre-size generously so the heap never regrows mid-run.
-            queue: EventQueue::with_capacity(64 * cfg.num_cores.max(1)),
+            // Pre-sizes the far-future overflow ring only — the wheel's
+            // slot buffers grow to their working set on demand and are
+            // then reused. Measured `run.events_peak` reaches ~2.6k on
+            // saturated bench cells, but nearly all of that backlog is
+            // due within the wheel horizon; the ring sees only the
+            // long-range projections (user-completion estimates, deep
+            // completion-backlog tails), so a couple of entries per core
+            // avoid early regrowth without over-reserving.
+            queue: EventQueue::with_capacity(2 * cfg.num_cores.max(1)),
             activity,
             user_gen: vec![0; cfg.num_cores],
             users,
@@ -273,6 +291,10 @@ impl Soc {
             module_warmth: (0..cfg.num_cores.div_ceil(2))
                 .map(|_| WarmthModel::with_params(cfg.cpu.l2_pollution, cfg.cpu.l2_pollution))
                 .collect(),
+            armed_gpu: vec![None; num_gpus],
+            batch_buf: Vec::new(),
+            kout_buf: Vec::new(),
+            tick: TickTimer::new(cfg.timer_tick, cfg.tick_cost),
             cfg,
         }
     }
@@ -380,14 +402,18 @@ impl Soc {
 
     fn arm_gpu(&mut self, g: usize) {
         let run = &self.gpus[g];
-        if let Some((t, _kind)) = run.gpu.next_event(self.now) {
-            self.queue.push(
-                t,
-                Event::Gpu {
-                    gpu: g,
-                    gen: run.gpu.generation(),
-                },
-            );
+        if let Some(t) = run.gpu.next_tick(self.now) {
+            let gen = run.gpu.generation();
+            if let Some((armed_t, armed_gen)) = self.armed_gpu[g] {
+                // A live event with the same generation at an earlier (or
+                // equal) time fires first and re-arms from there; pushing
+                // another would spawn a duplicate self-event chain.
+                if armed_gen == gen && armed_t <= t {
+                    return;
+                }
+            }
+            self.armed_gpu[g] = Some((t, gen));
+            self.queue.push(t, Event::Gpu { gpu: g, gen });
         }
     }
 
@@ -417,14 +443,20 @@ impl Soc {
     }
 
     fn deliver_interrupt(&mut self, core: CoreId) {
-        let batch = self.iommu.drain();
-        if batch.is_empty() {
+        self.iommu.drain_into(&mut self.batch_buf);
+        if self.batch_buf.is_empty() {
             return;
         }
         self.refresh_host_view();
-        let outputs = self.kernel.on_interrupt(&self.view, core, batch, self.now);
-        for out in outputs {
-            match out {
+        self.kernel.on_interrupt_into(
+            &self.view,
+            core,
+            &self.batch_buf,
+            self.now,
+            &mut self.kout_buf,
+        );
+        for i in 0..self.kout_buf.len() {
+            match self.kout_buf[i] {
                 KernelOutput::Occupy {
                     core,
                     start,
@@ -481,6 +513,8 @@ impl Soc {
                 if gen != self.gpus[gpu].gpu.generation() {
                     return; // stale
                 }
+                // This event is consumed; the re-arm below records the next.
+                self.armed_gpu[gpu] = None;
                 self.gpus[gpu].gpu.advance_to(self.now);
                 if self.gpus[gpu].gpu.is_finished() {
                     self.handle_gpu_finish(gpu);
@@ -588,9 +622,10 @@ impl Soc {
                 self.log_request(request);
             }
             Event::Tick { core } => {
-                let cost = self.cfg.tick_cost;
+                // Zero-cost ticks are never scheduled (see `TickTimer`).
+                let cost = self.tick.cost();
                 // A core already in kernel context absorbs the tick.
-                if self.activity[core] != Activity::Kernel && cost > Ns::ZERO {
+                if self.activity[core] != Activity::Kernel {
                     match self.activity[core] {
                         Activity::User { .. } => self.integrate_user(core),
                         Activity::Idle { since } => self.bill_idle(core, since),
@@ -604,9 +639,8 @@ impl Soc {
                     self.user_gen[core] += 1;
                     self.queue.push(self.now + cost, Event::OccupyEnd { core });
                 }
-                if self.cfg.timer_tick > Ns::ZERO {
-                    self.queue
-                        .push(self.now + self.cfg.timer_tick, Event::Tick { core });
+                if let Some(next) = self.tick.next_tick(self.now) {
+                    self.queue.push(next, Event::Tick { core });
                 }
             }
         }
@@ -634,10 +668,9 @@ impl Soc {
         }
         for core in 0..self.cfg.num_cores {
             self.schedule_user_done(core);
-            if self.cfg.timer_tick > Ns::ZERO {
-                // Phase-shift per core, as Linux staggers its ticks.
-                let offset = self.cfg.timer_tick * (core as u64 + 1) / self.cfg.num_cores as u64;
-                self.queue.push(offset, Event::Tick { core });
+            // Phase-shifted per core, as Linux staggers its ticks.
+            if let Some(first) = self.tick.first_fire(core, self.cfg.num_cores) {
+                self.queue.push(first, Event::Tick { core });
             }
         }
         let has_cpu = self.cpu_spec.is_some();
@@ -784,6 +817,7 @@ impl Soc {
         metrics.counter("run.truncated", self.truncated as u64);
         metrics.counter("run.events_pushed", self.queue.pushed());
         metrics.counter("run.events_popped", self.queue.popped());
+        metrics.counter("run.events_peak", self.queue.peak());
         metrics.gauge("energy.cpu_joules", energy.cpu_joules);
         metrics.gauge("energy.cpu_avg_watts", energy.cpu_avg_watts);
 

@@ -21,7 +21,9 @@
 pub mod breakdown;
 pub mod core;
 pub mod cstate;
+pub mod tick;
 
 pub use crate::core::{Core, CoreId, CpuParams};
 pub use breakdown::{TimeBreakdown, TimeCategory};
 pub use cstate::{CStateMachine, CStateParams, IdleAccounting};
+pub use tick::TickTimer;

@@ -1,0 +1,98 @@
+//! The periodic OS scheduler tick as a self-scheduling event source.
+//!
+//! Linux fires a timer interrupt on every core at `CONFIG_HZ`; each fire
+//! costs a short burst of kernel time. [`TickTimer`] owns that schedule
+//! so the SoC event loop can ask "when is the next tick?" instead of
+//! hand-rolling the stagger and re-arm logic inline — and so a run whose
+//! ticks are free (`cost == 0`) schedules none at all: the tick handler
+//! is side-effect-free at zero cost, and skipping it removes one event
+//! per core per period from the calendar.
+
+use hiss_sim::{NextTick, Ns};
+
+/// Per-core periodic tick schedule (period + per-fire kernel cost).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TickTimer {
+    period: Ns,
+    cost: Ns,
+}
+
+impl TickTimer {
+    /// Creates the tick schedule. A zero `period` *or* zero `cost`
+    /// disables it (see [`TickTimer::enabled`]).
+    pub fn new(period: Ns, cost: Ns) -> Self {
+        TickTimer { period, cost }
+    }
+
+    /// The tick period (zero when ticking is disabled).
+    pub fn period(&self) -> Ns {
+        self.period
+    }
+
+    /// Kernel time billed per fire.
+    pub fn cost(&self) -> Ns {
+        self.cost
+    }
+
+    /// Whether ticks need scheduling at all. Zero-cost ticks are pure
+    /// calendar noise — they occupy no core time — so they are skipped
+    /// analytically rather than simulated.
+    pub fn enabled(&self) -> bool {
+        self.period > Ns::ZERO && self.cost > Ns::ZERO
+    }
+
+    /// First fire time for `core`, phase-staggered across cores the way
+    /// Linux spreads its per-CPU ticks, or `None` when disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_cores` is zero.
+    pub fn first_fire(&self, core: usize, num_cores: usize) -> Option<Ns> {
+        assert!(num_cores > 0, "system must have at least one core");
+        self.enabled()
+            .then(|| self.period * (core as u64 + 1) / num_cores as u64)
+    }
+}
+
+impl NextTick for TickTimer {
+    /// The re-arm after a fire at `now`: one period later.
+    fn next_tick(&self, now: Ns) -> Option<Ns> {
+        self.enabled().then(|| now + self.period)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staggers_first_fires_across_cores() {
+        let t = TickTimer::new(Ns::from_millis(1), Ns::from_micros(2));
+        assert!(t.enabled());
+        let fires: Vec<Ns> = (0..4).map(|c| t.first_fire(c, 4).unwrap()).collect();
+        assert_eq!(fires[3], Ns::from_millis(1));
+        for w in fires.windows(2) {
+            assert!(w[0] < w[1], "stagger must be strictly increasing");
+        }
+        assert_eq!(t.next_tick(fires[0]), Some(fires[0] + Ns::from_millis(1)));
+    }
+
+    #[test]
+    fn zero_cost_or_zero_period_disables_ticks() {
+        let free = TickTimer::new(Ns::from_millis(1), Ns::ZERO);
+        assert!(!free.enabled());
+        assert_eq!(free.first_fire(0, 4), None);
+        assert_eq!(free.next_tick(Ns::from_millis(5)), None);
+
+        let off = TickTimer::new(Ns::ZERO, Ns::from_micros(2));
+        assert!(!off.enabled());
+        assert_eq!(off.first_fire(0, 4), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_panics() {
+        let t = TickTimer::new(Ns::from_millis(1), Ns::from_micros(2));
+        let _ = t.first_fire(0, 0);
+    }
+}

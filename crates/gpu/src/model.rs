@@ -393,6 +393,15 @@ impl Gpu {
     }
 }
 
+impl hiss_sim::NextTick for Gpu {
+    /// Self-scheduling view of [`Gpu::next_event`]: the time of the next
+    /// SSR raise or kernel finish, or `None` while the GPU is stalled or
+    /// finished (it wakes only via [`Gpu::on_ssr_complete`]).
+    fn next_tick(&self, now: Ns) -> Option<Ns> {
+        self.next_event(now).map(|(t, _kind)| t)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -196,9 +196,29 @@ impl Iommu {
     /// The top-half handler drains every logged request (acknowledging
     /// the interrupt, step 3b of Fig. 1).
     pub fn drain(&mut self) -> Vec<SsrRequest> {
+        let mut out = Vec::new();
+        self.drain_into(&mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`Iommu::drain`]: moves the logged
+    /// requests into `out` (clearing its previous contents) while the PPR
+    /// log keeps its capacity. The SoC event loop calls this on every
+    /// interrupt with an owned scratch buffer, so steady-state interrupt
+    /// delivery does not allocate.
+    pub fn drain_into(&mut self, out: &mut Vec<SsrRequest>) {
         self.interrupt_in_flight = false;
         self.stats.drained += self.log.len() as u64;
-        std::mem::take(&mut self.log)
+        out.clear();
+        out.append(&mut self.log);
+    }
+}
+
+impl hiss_sim::NextTick for Iommu {
+    /// The coalescing-timer deadline is the IOMMU's only self-scheduled
+    /// event; with no timer armed it never needs the event loop.
+    fn next_tick(&self, _now: Ns) -> Option<Ns> {
+        self.timer_deadline
     }
 }
 

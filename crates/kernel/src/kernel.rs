@@ -191,12 +191,35 @@ impl Kernel {
         batch: Vec<SsrRequest>,
         now: Ns,
     ) -> Vec<KernelOutput> {
+        let mut out = Vec::new();
+        self.on_interrupt_into(host, irq_core, &batch, now, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`Kernel::on_interrupt`]: clears `out`
+    /// and fills it with the handling chain, reusing its capacity. The
+    /// SoC event loop calls this on every interrupt with owned scratch
+    /// buffers, so steady-state interrupt delivery does not allocate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is empty — an interrupt with no logged request
+    /// indicates an IOMMU-model bug.
+    pub fn on_interrupt_into(
+        &mut self,
+        host: &dyn CoreHost,
+        irq_core: CoreId,
+        batch: &[SsrRequest],
+        now: Ns,
+        out: &mut Vec<KernelOutput>,
+    ) {
         assert!(!batch.is_empty(), "interrupt with empty PPR batch");
         let n = batch.len();
         let costs = self.config.costs;
         self.stats.interrupts_per_core[irq_core.0] += 1;
         self.stats.batch_size.push(n as f64);
-        let mut out = Vec::with_capacity(2 * n + 4);
+        out.clear();
+        out.reserve(2 * n + 4);
 
         // --- ③ top half: hard-IRQ context on the interrupted core ------
         let th_start = (now + host.wake_delay(irq_core)).max(self.busy_until[irq_core.0]);
@@ -205,7 +228,7 @@ impl Kernel {
             // ④ folded into the hard-IRQ context (§V-C).
             th_dur += costs.bottom_half(n);
         }
-        let th_end = self.occupy(&mut out, irq_core, th_start, th_dur, TimeCategory::TopHalf);
+        let th_end = self.occupy(out, irq_core, th_start, th_dur, TimeCategory::TopHalf);
 
         // --- ④ bottom half kthread (unless monolithic) ------------------
         let (queue_core, queue_ready) = if self.config.monolithic_bottom_half {
@@ -230,7 +253,7 @@ impl Kernel {
                     });
                     let ipi_start = th_end + host.wake_delay(bh_core);
                     ready = self.occupy(
-                        &mut out,
+                        out,
                         bh_core,
                         ipi_start,
                         costs.ipi_receive,
@@ -252,7 +275,7 @@ impl Kernel {
                 costs.bottom_half(n)
             };
             let end = self.occupy_opt(
-                &mut out,
+                out,
                 bh_core,
                 start,
                 bh_wall,
@@ -279,13 +302,8 @@ impl Kernel {
                     at: queue_ready,
                 });
                 let ipi_start = queue_ready + host.wake_delay(w_core);
-                let ipi_end = self.occupy(
-                    &mut out,
-                    w_core,
-                    ipi_start,
-                    costs.ipi_receive,
-                    TimeCategory::Ipi,
-                );
+                let ipi_end =
+                    self.occupy(out, w_core, ipi_start, costs.ipi_receive, TimeCategory::Ipi);
                 ready = ready.max(ipi_end);
             }
             if host.user_active(w_core) {
@@ -298,14 +316,14 @@ impl Kernel {
         if self.governor.is_some() {
             let start = t.max(self.busy_until[w_core.0]);
             t = self.occupy(
-                &mut out,
+                out,
                 w_core,
                 start,
                 costs.qos_accounting,
                 TimeCategory::QosAccounting,
             );
         }
-        for request in batch {
+        for &request in batch {
             // §VI: the modified worker thread consults the governor
             // before processing each SSR (Fig. 10/11).
             if let Some(gov) = &mut self.governor {
@@ -326,7 +344,7 @@ impl Kernel {
                 costs.worker(request.kind)
             };
             let start = t.max(self.busy_until[w_core.0]);
-            let end = self.occupy_opt(&mut out, w_core, start, dur, TimeCategory::Worker, w_shared);
+            let end = self.occupy_opt(out, w_core, start, dur, TimeCategory::Worker, w_shared);
             // --- ⑥ completion --------------------------------------------
             out.push(KernelOutput::SsrComplete { request, at: end });
             self.stats.ssrs_serviced += 1;
@@ -334,7 +352,6 @@ impl Kernel {
             t = end;
         }
         self.worker_tail = t;
-        out
     }
 }
 

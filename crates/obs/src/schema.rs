@@ -232,6 +232,10 @@ pub const SCHEMA: &[SchemaEntry] = &[
         "run.events_popped",
         "events popped from the simulation calendar",
     ),
+    run_c(
+        "run.events_peak",
+        "high watermark of events pending on the calendar",
+    ),
     run_g("energy.cpu_joules", "modeled CPU package energy"),
     run_g("energy.cpu_avg_watts", "modeled average CPU package power"),
     // Scenario compiler cell identity (compile.rs::cell_metrics)
@@ -398,6 +402,7 @@ pub const SCHEMA: &[SchemaEntry] = &[
     ),
     bench_c("bench.cell.*.events_pushed", "per-cell run.events_pushed"),
     bench_c("bench.cell.*.events_popped", "per-cell run.events_popped"),
+    bench_c("bench.cell.*.events_peak", "per-cell run.events_peak"),
     bench_c("bench.cell.*.elapsed_ns", "per-cell run.elapsed_ns"),
     bench_c("bench.cell.*.gpu_iterations", "per-cell run.gpu_iterations"),
     bench_c("bench.cell.*.pending_at_end", "per-cell run.pending_at_end"),
@@ -427,6 +432,10 @@ pub const SCHEMA: &[SchemaEntry] = &[
     bench_c(
         "bench.total.events_popped",
         "suite-summed run.events_popped",
+    ),
+    bench_c(
+        "bench.total.events_peak",
+        "suite-summed run.events_peak (a capacity bound, not a gauge of any single instant)",
     ),
     bench_c("bench.total.elapsed_ns", "suite-summed run.elapsed_ns"),
     bench_c(

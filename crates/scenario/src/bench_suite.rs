@@ -44,6 +44,7 @@ pub const CELL_COUNTERS: &[(&str, &str)] = &[
     ("walker_memory_fetches", "iommu.walker.memory_fetches"),
     ("events_pushed", "run.events_pushed"),
     ("events_popped", "run.events_popped"),
+    ("events_peak", "run.events_peak"),
     ("elapsed_ns", "run.elapsed_ns"),
     ("gpu_iterations", "run.gpu_iterations"),
     ("pending_at_end", "run.pending_at_end"),

@@ -1,46 +1,45 @@
-//! Deterministic event calendar.
+//! Deterministic event calendar: a hierarchical timing wheel.
 //!
-//! [`EventQueue`] is a min-heap keyed on `(time, sequence)`. The sequence
-//! number is assigned at insertion, so two events scheduled for the same
-//! instant are delivered in insertion order. This tie-break rule is what
-//! makes whole-simulation runs bit-for-bit reproducible, which in turn is
-//! what the calibration test suite relies on.
+//! [`EventQueue`] delivers events in `(time, sequence)` order. The
+//! sequence number is assigned at insertion, so two events scheduled for
+//! the same instant are delivered in insertion order. This tie-break rule
+//! is what makes whole-simulation runs bit-for-bit reproducible, which in
+//! turn is what the calibration test suite relies on.
+//!
+//! # Architecture
+//!
+//! Near-future events — within [`EventQueue::HORIZON`] of the causality
+//! watermark — go into a timing wheel: [`WHEEL_SLOTS`] buckets of
+//! [`SLOT_NS`] nanoseconds each, with a one-bit-per-slot occupancy bitmap
+//! for O(words) next-event scans. Push and pop are O(1) amortized; the
+//! per-slot buffers act as a free-list, keeping their capacity when they
+//! empty, so steady-state scheduling allocates nothing. Events beyond the
+//! horizon park in the [`crate::overflow`] ring (the workspace's one
+//! sanctioned `BinaryHeap`); every pop compares the wheel's earliest
+//! entry with the ring's `(due, seq)` key, so the merged stream is
+//! exactly the order a single global heap would produce.
+//!
+//! Two invariants make the wheel sound:
+//!
+//! 1. every wheel-resident event lies in `[watermark, watermark +
+//!    HORIZON)` — enforced at push time, and preserved as the watermark
+//!    only advances toward pending events;
+//! 2. within that window each slot index maps to exactly one absolute
+//!    `due >> SLOT_SHIFT` value, so scanning slots upward from the
+//!    watermark's slot visits events in non-decreasing time order.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
+use crate::overflow::OverflowRing;
 use crate::time::Ns;
 
-/// An entry in the calendar: an event of type `E` due at a given instant.
-#[derive(Debug)]
-struct Entry<E> {
-    due: Ns,
-    seq: u64,
-    event: E,
-}
-
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.due == other.due && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (and, within a
-        // tie, the first-inserted) entry surfaces first.
-        other
-            .due
-            .cmp(&self.due)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
+/// Log2 of the wheel granularity: each slot covers 2^12 = 4096 ns.
+const SLOT_SHIFT: u32 = 12;
+/// Nanoseconds covered by one wheel slot.
+const SLOT_NS: u64 = 1 << SLOT_SHIFT;
+/// Number of wheel slots (power of two for mask arithmetic).
+const WHEEL_SLOTS: usize = 1024;
+const WHEEL_MASK: u64 = WHEEL_SLOTS as u64 - 1;
+/// Occupancy bitmap: one bit per slot.
+const BITMAP_WORDS: usize = WHEEL_SLOTS / 64;
 
 /// A deterministic discrete-event calendar.
 ///
@@ -62,26 +61,49 @@ impl<E> PartialOrd for Entry<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// Wheel buckets, indexed by `(due >> SLOT_SHIFT) % WHEEL_SLOTS`.
+    /// Buffers keep their capacity when drained (the free-list), so a
+    /// steady-state simulation stops allocating once every hot slot has
+    /// grown to its working size.
+    slots: Vec<Vec<(Ns, u64, E)>>,
+    /// One occupancy bit per slot.
+    occupied: [u64; BITMAP_WORDS],
+    /// Events due at or beyond `watermark + HORIZON`.
+    overflow: OverflowRing<E>,
+    /// Pending events resident in the wheel (excludes the overflow ring).
+    wheel_len: usize,
     next_seq: u64,
     /// Time of the most recently popped event; pushes earlier than this
     /// indicate a causality bug in the caller.
     watermark: Ns,
+    /// High-watermark of [`EventQueue::len`], for capacity planning
+    /// (published as `run.events_peak`).
+    peak: usize,
 }
 
 impl<E> EventQueue<E> {
+    /// Span of simulated time the wheel covers ahead of the watermark
+    /// (~4.19 ms). Events beyond it go to the overflow ring until popped.
+    pub const HORIZON: Ns = Ns::from_nanos(SLOT_NS * WHEEL_SLOTS as u64);
+
     /// Creates an empty calendar.
     pub fn new() -> Self {
         Self::with_capacity(0)
     }
 
-    /// Creates an empty calendar pre-sized for `capacity` pending events,
-    /// avoiding heap regrowth on the simulation hot path.
+    /// Creates an empty calendar pre-sized for `capacity` pending
+    /// far-future events. Wheel slots size themselves on first use and
+    /// recycle their buffers, so only the overflow ring benefits from
+    /// pre-sizing.
     pub fn with_capacity(capacity: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::with_capacity(capacity),
+            slots: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [0; BITMAP_WORDS],
+            overflow: OverflowRing::with_capacity(capacity),
+            wheel_len: 0,
             next_seq: 0,
             watermark: Ns::ZERO,
+            peak: 0,
         }
     }
 
@@ -100,7 +122,20 @@ impl<E> EventQueue<E> {
         }
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { due, seq, event });
+        let due_slot = due.as_nanos() >> SLOT_SHIFT;
+        let base_slot = self.watermark.as_nanos() >> SLOT_SHIFT;
+        if due_slot - base_slot < WHEEL_SLOTS as u64 {
+            let idx = (due_slot & WHEEL_MASK) as usize;
+            self.slots[idx].push((due, seq, event));
+            self.occupied[idx / 64] |= 1 << (idx % 64);
+            self.wheel_len += 1;
+        } else {
+            self.overflow.push(due, seq, event);
+        }
+        let len = self.len();
+        if len > self.peak {
+            self.peak = len;
+        }
     }
 
     #[cold]
@@ -109,28 +144,97 @@ impl<E> EventQueue<E> {
         panic!("event scheduled at {due} is before current time {watermark}");
     }
 
+    /// Index of the first occupied slot at or after the watermark's slot
+    /// (wrapping), which — by wheel invariant 2 — holds the earliest
+    /// wheel-resident events.
+    fn first_occupied_slot(&self) -> Option<usize> {
+        if self.wheel_len == 0 {
+            return None;
+        }
+        let cur = ((self.watermark.as_nanos() >> SLOT_SHIFT) & WHEEL_MASK) as usize;
+        let (cur_word, cur_bit) = (cur / 64, cur % 64);
+        let head = self.occupied[cur_word] & (!0u64 << cur_bit);
+        if head != 0 {
+            return Some(cur_word * 64 + head.trailing_zeros() as usize);
+        }
+        for step in 1..=BITMAP_WORDS {
+            let w = (cur_word + step) % BITMAP_WORDS;
+            let mut word = self.occupied[w];
+            if w == cur_word {
+                // Wrapped all the way around: only bits below the start.
+                word &= (1u64 << cur_bit) - 1;
+            }
+            if word != 0 {
+                return Some(w * 64 + word.trailing_zeros() as usize);
+            }
+        }
+        unreachable!("wheel_len > 0 but no slot occupied")
+    }
+
+    /// Position and `(due, seq)` key of the earliest entry in `slot`.
+    /// Entries within a slot are unordered (pops use `swap_remove`), so
+    /// this is a linear min-scan — slots are small by construction.
+    fn slot_min(&self, slot: usize) -> (usize, Ns, u64) {
+        let entries = &self.slots[slot];
+        debug_assert!(!entries.is_empty());
+        let mut best = 0;
+        let (mut best_due, mut best_seq, _) = entries[0];
+        for (i, &(due, seq, _)) in entries.iter().enumerate().skip(1) {
+            if (due, seq) < (best_due, best_seq) {
+                best = i;
+                best_due = due;
+                best_seq = seq;
+            }
+        }
+        (best, best_due, best_seq)
+    }
+
     /// Removes and returns the earliest event, advancing the causality
     /// watermark to its due time.
     pub fn pop(&mut self) -> Option<(Ns, E)> {
-        let entry = self.heap.pop()?;
-        debug_assert!(entry.due >= self.watermark);
-        self.watermark = entry.due;
-        Some((entry.due, entry.event))
+        let wheel_min = self
+            .first_occupied_slot()
+            .map(|slot| (slot, self.slot_min(slot)));
+        let take_wheel = match (&wheel_min, self.overflow.peek_key()) {
+            (Some((_, (_, due, seq))), Some(okey)) => (*due, *seq) < okey,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => return None,
+        };
+        let (due, event) = if take_wheel {
+            let (slot, (pos, due, _)) = wheel_min.expect("wheel side chosen");
+            let (_, _, event) = self.slots[slot].swap_remove(pos);
+            if self.slots[slot].is_empty() {
+                self.occupied[slot / 64] &= !(1 << (slot % 64));
+            }
+            self.wheel_len -= 1;
+            (due, event)
+        } else {
+            self.overflow.pop().expect("overflow side chosen")
+        };
+        debug_assert!(due >= self.watermark);
+        self.watermark = due;
+        Some((due, event))
     }
 
     /// The due time of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<Ns> {
-        self.heap.peek().map(|e| e.due)
+        let wheel = self.first_occupied_slot().map(|slot| self.slot_min(slot).1);
+        let over = self.overflow.peek_key().map(|(due, _)| due);
+        match (wheel, over) {
+            (Some(w), Some(o)) => Some(w.min(o)),
+            (w, o) => w.or(o),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.wheel_len + self.overflow.len()
     }
 
     /// `true` when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// The current causality watermark (time of the last popped event).
@@ -149,7 +253,14 @@ impl<E> EventQueue<E> {
     /// Lifetime number of events popped from this calendar
     /// (`pushed() - len()`, both already tracked).
     pub fn popped(&self) -> u64 {
-        self.next_seq - self.heap.len() as u64
+        self.next_seq - self.len() as u64
+    }
+
+    /// High-watermark of simultaneously pending events over the
+    /// calendar's lifetime (deterministic; published as
+    /// `run.events_peak` and the input to capacity planning).
+    pub fn peak(&self) -> u64 {
+        self.peak as u64
     }
 }
 
@@ -157,6 +268,20 @@ impl<E> Default for EventQueue<E> {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// A component that can report the absolute time of its next
+/// self-scheduled event, given the current simulated time.
+///
+/// This is the scheduling discipline the SoC event loop is built on:
+/// instead of stepping every component every tick, each component
+/// *analytically* computes when it next needs the loop's attention
+/// (`None` = it will only wake via an external stimulus), and the loop
+/// schedules exactly one event there. Idle spans cost nothing.
+pub trait NextTick {
+    /// Absolute time of the component's next self-event at-or-after
+    /// `now`, or `None` if it is quiescent until externally stimulated.
+    fn next_tick(&self, now: Ns) -> Option<Ns>;
 }
 
 #[cfg(test)]
@@ -251,6 +376,85 @@ mod tests {
         let got: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
         assert_eq!(got, vec!["b", "c", "d"]);
     }
+
+    #[test]
+    fn peak_tracks_the_pending_high_watermark() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peak(), 0);
+        q.push(Ns::from_nanos(1), 1);
+        q.push(Ns::from_nanos(2), 2);
+        q.push(EventQueue::<i32>::HORIZON * 3, 3); // overflow counts too
+        assert_eq!(q.peak(), 3);
+        while q.pop().is_some() {}
+        assert_eq!(q.peak(), 3, "peak is a lifetime high-watermark");
+        q.push(q.now() + Ns::from_nanos(1), 4);
+        assert_eq!(q.peak(), 3);
+    }
+
+    #[test]
+    fn events_at_the_horizon_boundary_stay_ordered() {
+        let g = Ns::from_nanos(SLOT_NS);
+        let h = EventQueue::<u32>::HORIZON;
+        let mut q = EventQueue::new();
+        q.push(h - g, 0); // last wheel slot
+        q.push(h, 1); // first overflow event
+        q.push(h + g, 2);
+        q.push(Ns::from_nanos(1), 3); // near event, pushed last
+        let got: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(got, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn overflow_event_keeps_fifo_priority_over_later_wheel_push() {
+        // An event parked in the overflow ring must still beat a
+        // same-instant event pushed later (lower seq wins), even though
+        // the later push lands in the wheel once the window has moved.
+        let h = EventQueue::<&str>::HORIZON;
+        let mut q = EventQueue::new();
+        let t = h + Ns::from_nanos(100);
+        q.push(t, "first"); // beyond horizon: overflow
+        q.push(h - Ns::from_nanos(1), "opener");
+        assert_eq!(q.pop().unwrap().1, "opener"); // watermark ≈ horizon
+        q.push(t, "second"); // now within the window: wheel
+        assert_eq!(q.pop(), Some((t, "first")));
+        assert_eq!(q.pop(), Some((t, "second")));
+    }
+
+    #[test]
+    fn far_jumps_rebase_the_wheel_correctly() {
+        // Pop an overflow event that jumps the watermark many horizons
+        // ahead, then keep scheduling: the wheel must stay consistent.
+        let h = EventQueue::<u32>::HORIZON;
+        let mut q = EventQueue::new();
+        q.push(h * 10, 0);
+        assert_eq!(q.pop(), Some((h * 10, 0)));
+        q.push(h * 10 + Ns::from_nanos(5), 1);
+        q.push(h * 11, 2); // beyond the rebased window: overflow
+        q.push(h * 10 + Ns::from_nanos(3), 3);
+        let got: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(got, vec![3, 1, 2]);
+        assert_eq!(q.now(), h * 11);
+    }
+
+    #[test]
+    fn slots_recycle_their_buffers() {
+        // Drain-and-refill of the same slot must not lose or reorder
+        // anything (the buffer is reused via swap_remove + clear-bit).
+        let mut q = EventQueue::new();
+        for round in 0u64..4 {
+            for i in 0..8 {
+                q.push(q.now() + Ns::from_nanos(i + 1), round * 100 + i);
+            }
+            let mut last = (q.now(), 0u64);
+            while let Some((t, v)) = q.pop() {
+                assert!((t, v) >= last || t > last.0);
+                last = (t, v);
+            }
+            assert!(q.is_empty());
+        }
+        assert_eq!(q.pushed(), 32);
+        assert_eq!(q.popped(), 32);
+    }
 }
 
 #[cfg(test)]
@@ -307,6 +511,56 @@ mod proptests {
                 q.pop();
             }
             prop_assert_eq!(q.len(), n - pops);
+        }
+
+        /// Differential check against a reference model (a sorted scan of
+        /// a plain vector — the semantics the old global heap had): any
+        /// interleaving of pushes and pops, with due times spanning
+        /// several wheel horizons so events cross the wheel/overflow
+        /// boundary in both directions, produces the identical
+        /// `(time, payload)` pop stream.
+        #[test]
+        fn wheel_matches_reference_model(
+            ops in proptest::collection::vec(
+                // (gap ahead of the watermark in slots-ish units, pops to
+                // attempt after the push). Gaps reach ~2.5 horizons.
+                (0u64..10_485_760, 0usize..3),
+                1..300,
+            )
+        ) {
+            let mut q = EventQueue::new();
+            // Reference: (due, seq, id); min by (due, seq) is the next pop.
+            let mut reference: Vec<(Ns, u64, usize)> = Vec::new();
+            let mut seq = 0u64;
+            let mut watermark = Ns::ZERO;
+            for (i, &(gap, pops)) in ops.iter().enumerate() {
+                let due = watermark + Ns::from_nanos(gap);
+                q.push(due, i);
+                reference.push((due, seq, i));
+                seq += 1;
+                for _ in 0..pops {
+                    let Some(min_at) = reference
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, &(d, s, _))| (d, s))
+                        .map(|(at, _)| at)
+                    else {
+                        prop_assert_eq!(q.pop(), None);
+                        continue;
+                    };
+                    let (due, _, id) = reference.remove(min_at);
+                    prop_assert_eq!(q.pop(), Some((due, id)));
+                    watermark = due;
+                }
+            }
+            // Drain: the tails must agree too.
+            reference.sort_by_key(|&(d, s, _)| (d, s));
+            for &(due, _, id) in &reference {
+                prop_assert_eq!(q.pop(), Some((due, id)));
+            }
+            prop_assert_eq!(q.pop(), None);
+            prop_assert_eq!(q.pushed(), seq);
+            prop_assert_eq!(q.popped(), seq);
         }
     }
 }

@@ -5,7 +5,10 @@
 //! in the workspace is written against:
 //!
 //! - [`Ns`], a nanosecond-resolution simulated-time newtype ([`time`]),
-//! - [`EventQueue`], a deterministic binary-heap event calendar ([`event`]),
+//! - [`EventQueue`], a deterministic timing-wheel event calendar
+//!   ([`event`], far-future overflow ring in a private module),
+//! - [`NextTick`], the self-scheduling discipline components expose to
+//!   the event loop,
 //! - [`Rng`], a seedable, forkable pseudo-random number generator ([`rng`]),
 //! - summary statistics used by the experiment harness ([`stats`]).
 //!
@@ -28,11 +31,12 @@
 //! ```
 
 pub mod event;
+mod overflow;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use event::EventQueue;
+pub use event::{EventQueue, NextTick};
 pub use rng::Rng;
 pub use stats::{geomean, mean, percentile, Histogram, OnlineStats};
 pub use time::Ns;

@@ -12,7 +12,10 @@
 //!
 //! Plus a raw [`hiss_sim::EventQueue`] throughput measurement
 //! (events/second through push+pop), the substrate the hot-path tuning
-//! targets.
+//! targets, and one instrumented engine run (`x264`+`ubench`, the bench
+//! engine-suite cell) reporting simulated events/second and allocator
+//! traffic per run — the wall-clock trend the warn-only `bench.wall.*`
+//! gauges record but cannot gate on.
 //!
 //! Emits one human-readable block and one machine-readable JSON line
 //! (prefix `PERF_REPORT_JSON` on stdout, and written verbatim to
@@ -30,7 +33,43 @@
 use std::time::Instant;
 
 use hiss::experiments::{fig3, BaselineCache};
-use hiss::SystemConfig;
+use hiss::{ExperimentBuilder, SystemConfig};
+
+/// Counts allocation traffic (per thread) so the engine-run row can
+/// report allocs/bytes per run; pure delegation to the system allocator
+/// otherwise.
+#[global_allocator]
+static ALLOC: hiss_bench::CountingAlloc = hiss_bench::CountingAlloc::new();
+
+/// One engine run (the bench engine-suite cell), instrumented for
+/// simulated events/second and allocator traffic.
+struct EngineRun {
+    events: u64,
+    events_per_sec: f64,
+    allocs: u64,
+    alloc_bytes: u64,
+}
+
+fn engine_run(cfg: &SystemConfig) -> EngineRun {
+    let probe = hiss_bench::AllocProbe::start();
+    let start = Instant::now();
+    let report = ExperimentBuilder::new(*cfg)
+        .cpu_app("x264")
+        .gpu_app("ubench")
+        .run();
+    let secs = start.elapsed().as_secs_f64();
+    let (alloc_bytes, allocs) = probe.finish();
+    let events = report
+        .metrics
+        .counter_value("run.events_popped")
+        .unwrap_or(0);
+    EngineRun {
+        events,
+        events_per_sec: events as f64 / secs,
+        allocs,
+        alloc_bytes,
+    }
+}
 
 fn time_fig3(cfg: &SystemConfig, threads: usize, clear_cache: bool) -> (f64, usize) {
     std::env::set_var("HISS_THREADS", threads.to_string());
@@ -108,6 +147,7 @@ fn main() {
     let speedup_parallel = serial_cold_s / parallel_cold_s;
     let speedup_warm = serial_cold_s / parallel_warm_s;
     let events_per_sec = event_queue_events_per_sec();
+    let engine = engine_run(&cfg);
 
     println!("perf_report: fig3 grid, {cells} cells, host parallelism {host_workers}");
     println!(
@@ -124,6 +164,10 @@ fn main() {
     );
     println!("  event queue    {events_per_sec:.3e} events/s");
     println!(
+        "  engine run     {:.3e} events/s   ({} events, {} allocs, {} bytes per run)",
+        engine.events_per_sec, engine.events, engine.allocs, engine.alloc_bytes
+    );
+    println!(
         "  baseline cache {} entries, {} hits / {} misses",
         BaselineCache::global().len(),
         BaselineCache::global().hit_count(),
@@ -139,8 +183,16 @@ fn main() {
          \"speedup_parallel\":{speedup_parallel:.3},\
          \"speedup_warm\":{speedup_warm:.3},\
          \"cells_per_sec_cold\":{:.3},\
-         \"event_queue_events_per_sec\":{events_per_sec:.0}}}",
-        cells as f64 / parallel_cold_s
+         \"event_queue_events_per_sec\":{events_per_sec:.0},\
+         \"engine_events_per_sec\":{:.0},\
+         \"engine_events_per_run\":{},\
+         \"engine_allocs_per_run\":{},\
+         \"engine_alloc_bytes_per_run\":{}}}",
+        cells as f64 / parallel_cold_s,
+        engine.events_per_sec,
+        engine.events,
+        engine.allocs,
+        engine.alloc_bytes
     );
     println!("PERF_REPORT_JSON {json}");
 

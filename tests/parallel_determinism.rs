@@ -57,13 +57,35 @@ fn hiss_threads_1_and_8_produce_identical_grids() {
     let fig3_serial = fig3::fig3_with(&cfg, &cpu, &gpu);
     let pareto_serial = pareto::pareto_with(&cfg, &cpu, &["ubench"], &combos);
 
+    // The calendar's own accounting must be as thread-invariant as the
+    // simulation results: per-run events pushed/popped/peak are part of
+    // the bench gate, so the runner must not perturb them either.
+    let counters = |threads: &str| -> Vec<(u64, u64, u64)> {
+        std::env::set_var("HISS_THREADS", threads);
+        let n: usize = threads.parse().expect("numeric HISS_THREADS");
+        run_jobs_on(n, gpu.len(), |i| {
+            let r = ExperimentBuilder::new(cfg)
+                .cpu_app("x264")
+                .gpu_app(gpu[i])
+                .run();
+            (
+                r.metrics.counter_value("run.events_pushed").unwrap(),
+                r.metrics.counter_value("run.events_popped").unwrap(),
+                r.metrics.counter_value("run.events_peak").unwrap(),
+            )
+        })
+    };
+    let counters_serial = counters("1");
+
     std::env::set_var("HISS_THREADS", "8");
     BaselineCache::global().clear();
     let fig3_parallel = fig3::fig3_with(&cfg, &cpu, &gpu);
     let pareto_parallel = pareto::pareto_with(&cfg, &cpu, &["ubench"], &combos);
+    let counters_parallel = counters("8");
 
     // And once more against a *warm* cache: memoized baselines must not
     // change any value either.
+    std::env::set_var("HISS_THREADS", "8");
     let fig3_warm = fig3::fig3_with(&cfg, &cpu, &gpu);
     std::env::remove_var("HISS_THREADS");
 
@@ -71,6 +93,13 @@ fn hiss_threads_1_and_8_produce_identical_grids() {
     assert_eq!(fig3_bits(&fig3_serial), fig3_bits(&fig3_parallel));
     assert_eq!(fig3_bits(&fig3_serial), fig3_bits(&fig3_warm));
     assert_eq!(pareto_bits(&pareto_serial), pareto_bits(&pareto_parallel));
+    assert_eq!(counters_serial, counters_parallel);
+    for (pushed, popped, peak) in counters_serial {
+        // Conservation: peak is a real high watermark, and the loop's
+        // early exit is the only reason pops may trail pushes.
+        assert!(peak >= 1 && peak <= pushed);
+        assert!(popped <= pushed);
+    }
 }
 
 /// The runner itself, driven with explicit worker counts over real
