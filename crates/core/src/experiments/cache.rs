@@ -32,6 +32,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use crate::config::SystemConfig;
 use crate::metrics::RunReport;
 use crate::soc::ExperimentBuilder;
+use crate::store::{DiskStore, StoreKey};
 
 /// Which baseline flavour an entry holds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -53,6 +54,17 @@ struct Key {
     gpu_app: String,
 }
 
+impl Kind {
+    /// Stable spelling used in disk-store fingerprints.
+    fn as_str(self) -> &'static str {
+        match self {
+            Kind::CpuBaseline => "cpu_baseline",
+            Kind::GpuIdle => "gpu_idle",
+            Kind::CorunDefault => "corun_default",
+        }
+    }
+}
+
 impl Key {
     fn new(cfg: &SystemConfig, kind: Kind, cpu_app: &str, gpu_app: &str) -> Self {
         Key {
@@ -64,6 +76,11 @@ impl Key {
             cpu_app: cpu_app.to_string(),
             gpu_app: gpu_app.to_string(),
         }
+    }
+
+    /// The key's content-addressed disk-store identity.
+    fn store_key(&self) -> StoreKey {
+        StoreKey::from_parts(&[&self.cfg, self.kind.as_str(), &self.cpu_app, &self.gpu_app])
     }
 }
 
@@ -80,6 +97,9 @@ impl Key {
 #[derive(Debug, Default)]
 pub struct BaselineCache {
     map: Mutex<HashMap<Key, Arc<OnceLock<Arc<RunReport>>>>>,
+    /// Optional second tier: a content-addressed disk store shared
+    /// across processes and restarts (see [`Self::attach_disk`]).
+    disk: Mutex<Option<Arc<DiskStore>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -126,7 +146,29 @@ impl BaselineCache {
         })
     }
 
+    /// Attaches a content-addressed [`DiskStore`] as a second cache
+    /// tier. Misses in the in-memory map consult the store before
+    /// simulating, and freshly computed reports are published to it
+    /// (atomically — see [`DiskStore::save`]). Only long-running serve
+    /// processes attach a store; batch CLI runs keep the pure in-memory
+    /// behaviour, so the existing `bench.cache.*` counters are
+    /// unaffected.
+    pub fn attach_disk(&self, store: Arc<DiskStore>) {
+        *self.disk.lock().expect("cache poisoned") = Some(store);
+    }
+
+    /// Detaches any attached disk tier (in-memory entries survive).
+    pub fn detach_disk(&self) {
+        *self.disk.lock().expect("cache poisoned") = None;
+    }
+
+    /// The currently attached disk tier, if any.
+    pub fn disk(&self) -> Option<Arc<DiskStore>> {
+        self.disk.lock().expect("cache poisoned").clone()
+    }
+
     fn get_or_run(&self, key: Key, run: impl FnOnce() -> RunReport) -> Arc<RunReport> {
+        let skey = key.store_key();
         let cell = {
             let mut map = self.map.lock().expect("cache poisoned");
             match map.entry(key) {
@@ -140,9 +182,23 @@ impl BaselineCache {
                 }
             }
         };
-        // Simulate outside the map lock; get_or_init serialises only the
-        // workers that need this same key.
-        Arc::clone(cell.get_or_init(|| Arc::new(run())))
+        // Simulate (or load) outside the map lock; get_or_init
+        // serialises only the workers that need this same key.
+        Arc::clone(cell.get_or_init(|| {
+            let disk = self.disk();
+            if let Some(store) = &disk {
+                if let Some(metrics) = store.load(&skey) {
+                    return Arc::new(RunReport::from_metrics(metrics));
+                }
+            }
+            let report = run();
+            if let Some(store) = &disk {
+                // Best-effort: a failed publish (disk full, permissions)
+                // degrades to recompute-next-time, never to a wrong result.
+                let _ = store.save(&skey, &report.metrics);
+            }
+            Arc::new(report)
+        }))
     }
 
     /// Drops every entry (used by benches to measure cold-path cost and
@@ -236,6 +292,40 @@ mod tests {
         assert_eq!(cache.len(), 2);
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn disk_tier_round_trips_metrics_byte_identically() {
+        let dir = std::env::temp_dir().join(format!("hiss-cache-disk-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = SystemConfig::a10_7850k();
+
+        // First process: miss everywhere, simulate, publish to disk.
+        let store = Arc::new(DiskStore::open(&dir).expect("open store"));
+        let writer = BaselineCache::default();
+        writer.attach_disk(Arc::clone(&store));
+        let fresh = writer.corun_default(&cfg, "x264", "ubench");
+        assert_eq!(store.write_count(), 1);
+        assert_eq!(store.hit_count(), 0);
+
+        // Second process (fresh in-memory cache, same store): the run
+        // must come back from disk with byte-identical metrics and
+        // bit-exact scalar fields — no simulation.
+        let reader = BaselineCache::default();
+        reader.attach_disk(Arc::new(DiskStore::open(&dir).expect("reopen store")));
+        let loaded = reader.corun_default(&cfg, "x264", "ubench");
+        let disk = reader.disk().expect("attached");
+        assert_eq!(disk.hit_count(), 1);
+        assert_eq!(disk.write_count(), 0);
+        assert_eq!(loaded.metrics.to_json(), fresh.metrics.to_json());
+        assert_eq!(loaded.elapsed, fresh.elapsed);
+        assert_eq!(loaded.kernel.ssrs_serviced, fresh.kernel.ssrs_serviced);
+        assert_eq!(
+            loaded.gpu_throughput.to_bits(),
+            fresh.gpu_throughput.to_bits()
+        );
+
+        std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod metrics;
 pub mod replicate;
 pub mod runner;
 pub mod soc;
+pub mod store;
 pub mod trace;
 
 pub use config::{Mitigation, MitigationConfig, SystemConfig};
@@ -57,6 +58,7 @@ pub use runner::{
     thread_count_from, PoolProfile,
 };
 pub use soc::{ExperimentBuilder, Soc};
+pub use store::{DiskStore, StoreKey};
 pub use trace::{Trace, TraceSpan, Tracer};
 
 // Re-export the substrate vocabulary a downstream user needs.

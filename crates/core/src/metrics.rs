@@ -78,7 +78,89 @@ pub struct RunReport {
     pub metrics: MetricsRegistry,
 }
 
+/// Pulls one field out of the `kernel.latency` histogram snapshot
+/// (`Ns::ZERO` when the run recorded no SSR latencies).
+fn latency_field(
+    metrics: &MetricsRegistry,
+    field: impl Fn(&hiss_obs::HistogramSnapshot) -> u64,
+) -> Ns {
+    match metrics.get("kernel.latency") {
+        Some(hiss_obs::MetricValue::Histogram(h)) => Ns::from_nanos(field(h)),
+        _ => Ns::ZERO,
+    }
+}
+
 impl RunReport {
+    /// Reconstructs a report from a stored metrics snapshot (the disk
+    /// store's payload — see [`crate::store`]).
+    ///
+    /// Every scalar measurement field round-trips exactly: counters are
+    /// integral and gauges serialize with shortest-round-trip `f64`
+    /// formatting, so a reconstructed report is bit-identical to the
+    /// fresh one in every field below *and* carries the stored registry
+    /// byte-for-byte. Two fields are deliberately not round-tripped:
+    /// `per_core` ledgers (interior diagnostic state, never consulted by
+    /// normalisation or scenario rows) stay empty, and `trace` is `None`
+    /// (traces are never cached).
+    pub fn from_metrics(metrics: MetricsRegistry) -> RunReport {
+        let c = |name: &str| metrics.counter_value(name).unwrap_or(0);
+        let g = |name: &str| metrics.gauge_value(name).unwrap_or(0.0);
+
+        // Per-core interrupt counters: indices must be ordered
+        // numerically (lexicographic registry order puts core10 before
+        // core2).
+        let mut interrupts: Vec<(usize, u64)> = metrics
+            .iter()
+            .filter_map(|(name, _)| {
+                let idx: usize = name.strip_prefix("kernel.interrupts.core")?.parse().ok()?;
+                Some((idx, metrics.counter_value(name)?))
+            })
+            .collect();
+        interrupts.sort_unstable();
+
+        let kernel = KernelSnapshot {
+            interrupts_per_core: interrupts.into_iter().map(|(_, n)| n).collect(),
+            ipis: c("kernel.ipis"),
+            ssrs_serviced: c("kernel.ssrs_serviced"),
+            mean_ssr_latency: latency_field(&metrics, |h| h.mean_ns),
+            p99_ssr_latency: latency_field(&metrics, |h| h.p99_ns),
+            mean_batch: g("kernel.batch.mean"),
+            qos_deferrals: c("kernel.qos_deferrals"),
+        };
+        let iommu = IommuStats {
+            requests: c("iommu.requests"),
+            interrupts: c("iommu.interrupts"),
+            timer_fires: c("iommu.timer_fires"),
+            log_full_flushes: c("iommu.log_full_flushes"),
+            drained: c("iommu.drained"),
+        };
+        let energy = EnergyReport {
+            cpu_joules: g("energy.cpu_joules"),
+            cpu_avg_watts: g("energy.cpu_avg_watts"),
+        };
+        RunReport {
+            elapsed: Ns::from_nanos(c("run.elapsed_ns")),
+            cpu_app_runtime: metrics
+                .counter_value("run.cpu_app_runtime_ns")
+                .map(Ns::from_nanos),
+            gpu_progress: Ns::from_nanos(c("run.gpu_progress_ns")),
+            gpu_throughput: g("run.gpu_throughput"),
+            gpu_iterations: c("run.gpu_iterations"),
+            ssr_rate: g("run.ssr_rate"),
+            cc6_residency: g("run.cc6_residency"),
+            cpu_ssr_overhead: g("run.cpu_ssr_overhead"),
+            avg_cache_coldness: g("run.avg_cache_coldness"),
+            avg_branch_coldness: g("run.avg_branch_coldness"),
+            per_core: Vec::new(),
+            kernel,
+            iommu,
+            pending_at_end: c("run.pending_at_end") as usize,
+            energy,
+            trace: None,
+            metrics,
+        }
+    }
+
     /// CPU-application performance of this run normalised to a baseline
     /// run (1.0 = no slowdown; the paper's Fig. 3a/6/12a y-axis).
     ///
@@ -111,6 +193,64 @@ impl RunReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The disk-store contract: a report reconstructed from a stored
+    /// snapshot matches the fresh run bit-for-bit in every scalar field
+    /// and carries the registry byte-identically.
+    #[test]
+    fn from_metrics_round_trips_every_scalar_field() {
+        let fresh = crate::ExperimentBuilder::new(crate::SystemConfig::a10_7850k())
+            .cpu_app("x264")
+            .gpu_app("ubench")
+            .run();
+        let back = RunReport::from_metrics(fresh.metrics.clone());
+        assert_eq!(back.metrics.to_json(), fresh.metrics.to_json());
+        assert_eq!(back.elapsed, fresh.elapsed);
+        assert_eq!(back.cpu_app_runtime, fresh.cpu_app_runtime);
+        assert_eq!(back.gpu_progress, fresh.gpu_progress);
+        assert_eq!(
+            back.gpu_throughput.to_bits(),
+            fresh.gpu_throughput.to_bits()
+        );
+        assert_eq!(back.gpu_iterations, fresh.gpu_iterations);
+        assert_eq!(back.ssr_rate.to_bits(), fresh.ssr_rate.to_bits());
+        assert_eq!(back.cc6_residency.to_bits(), fresh.cc6_residency.to_bits());
+        assert_eq!(
+            back.cpu_ssr_overhead.to_bits(),
+            fresh.cpu_ssr_overhead.to_bits()
+        );
+        assert_eq!(
+            back.avg_cache_coldness.to_bits(),
+            fresh.avg_cache_coldness.to_bits()
+        );
+        assert_eq!(
+            back.kernel.interrupts_per_core,
+            fresh.kernel.interrupts_per_core
+        );
+        assert_eq!(back.kernel.ipis, fresh.kernel.ipis);
+        assert_eq!(back.kernel.ssrs_serviced, fresh.kernel.ssrs_serviced);
+        assert_eq!(back.kernel.mean_ssr_latency, fresh.kernel.mean_ssr_latency);
+        assert_eq!(back.kernel.p99_ssr_latency, fresh.kernel.p99_ssr_latency);
+        assert_eq!(
+            back.kernel.mean_batch.to_bits(),
+            fresh.kernel.mean_batch.to_bits()
+        );
+        assert_eq!(back.kernel.qos_deferrals, fresh.kernel.qos_deferrals);
+        assert_eq!(back.iommu.requests, fresh.iommu.requests);
+        assert_eq!(back.iommu.interrupts, fresh.iommu.interrupts);
+        assert_eq!(back.iommu.timer_fires, fresh.iommu.timer_fires);
+        assert_eq!(back.iommu.log_full_flushes, fresh.iommu.log_full_flushes);
+        assert_eq!(back.iommu.drained, fresh.iommu.drained);
+        assert_eq!(back.pending_at_end, fresh.pending_at_end);
+        assert_eq!(
+            back.energy.cpu_joules.to_bits(),
+            fresh.energy.cpu_joules.to_bits()
+        );
+        assert_eq!(
+            back.energy.cpu_avg_watts.to_bits(),
+            fresh.energy.cpu_avg_watts.to_bits()
+        );
+    }
 
     #[test]
     fn normalisation_math() {

@@ -29,6 +29,10 @@ pub enum Construct {
     WallClock,
     /// `std::thread` (threading outside the runner).
     Threads,
+    /// Raw filesystem writes (`fs::write` / `File::create` /
+    /// `OpenOptions`) in `[scan] store_paths` files, which must publish
+    /// through the atomic write-then-rename helper instead.
+    StoreWrites,
 }
 
 impl Construct {
@@ -37,6 +41,7 @@ impl Construct {
         Construct::HashCollections,
         Construct::WallClock,
         Construct::Threads,
+        Construct::StoreWrites,
     ];
 
     /// The spelling used in `lint.toml`.
@@ -45,6 +50,7 @@ impl Construct {
             Construct::HashCollections => "hash-collections",
             Construct::WallClock => "wall-clock",
             Construct::Threads => "threads",
+            Construct::StoreWrites => "store-writes",
         }
     }
 
@@ -80,6 +86,11 @@ pub struct LintConfig {
     /// Directories (relative to the scan root) whose `*/src` trees are
     /// scanned. Defaults to `["crates"]` when `[scan]` is absent.
     pub roots: Vec<String>,
+    /// Files (or directory prefixes) holding disk-store code, in which
+    /// raw filesystem writes are flagged (`HL305`) unless they go
+    /// through the sanctioned atomic write-then-rename helper. Empty by
+    /// default: the check only runs where the config opts in.
+    pub store_paths: Vec<String>,
     /// Sanctioned banned-construct sites.
     pub allows: Vec<AllowEntry>,
 }
@@ -189,6 +200,7 @@ impl PartialAllow {
 pub fn parse(text: &str) -> Result<LintConfig, ConfigError> {
     let mut config = LintConfig {
         roots: vec!["crates".to_string()],
+        store_paths: Vec::new(),
         allows: Vec::new(),
     };
     let mut saw_scan_roots = false;
@@ -234,6 +246,9 @@ pub fn parse(text: &str) -> Result<LintConfig, ConfigError> {
                 "roots" => {
                     config.roots = parse_string_list(value, lineno)?;
                     saw_scan_roots = true;
+                }
+                "store_paths" => {
+                    config.store_paths = parse_string_list(value, lineno)?;
                 }
                 other => {
                     return Err(err(lineno, format!("unknown [scan] key `{other}`")));
@@ -300,6 +315,21 @@ reason = "membership-only sets; iteration order never observed"
         assert_eq!(cfg.allows[0].construct, Construct::Threads);
         assert_eq!(cfg.allows[0].line, 6);
         assert_eq!(cfg.allows[1].construct, Construct::HashCollections);
+    }
+
+    #[test]
+    fn parses_store_paths_and_store_writes_construct() {
+        let cfg = parse(
+            "[scan]\nstore_paths = [\"crates/core/src/store.rs\", \"crates/serve/src\"]\n\
+             [[allow]]\npath = \"crates/core/src/store.rs\"\nconstruct = \"store-writes\"\n\
+             reason = \"implements the sanctioned primitive\"\n",
+        )
+        .unwrap();
+        assert_eq!(
+            cfg.store_paths,
+            vec!["crates/core/src/store.rs", "crates/serve/src"]
+        );
+        assert_eq!(cfg.allows[0].construct, Construct::StoreWrites);
     }
 
     #[test]

@@ -82,6 +82,9 @@ pub enum Code {
     BannedThreads,
     /// A `lint.toml` allowlist entry matched nothing.
     UnusedAllowEntry,
+    /// A disk-store write in a `[scan] store_paths` file bypasses the
+    /// atomic write-then-rename helper.
+    StoreWriteBypass,
 }
 
 impl Code {
@@ -107,6 +110,7 @@ impl Code {
         Code::BannedWallClock,
         Code::BannedThreads,
         Code::UnusedAllowEntry,
+        Code::StoreWriteBypass,
     ];
 
     /// The stable `HLxxx` identifier.
@@ -131,6 +135,7 @@ impl Code {
             Code::BannedWallClock => "HL302",
             Code::BannedThreads => "HL303",
             Code::UnusedAllowEntry => "HL304",
+            Code::StoreWriteBypass => "HL305",
         }
     }
 

@@ -250,6 +250,41 @@ fn scan_tokens(tokens: &[Token]) -> Vec<Finding> {
     findings
 }
 
+/// Scans store-path tokens for raw filesystem writes that bypass the
+/// atomic write-then-rename helper: `fs::write`, `File::create`, and
+/// any use of `OpenOptions`. Reads (`fs::read*`) and `rename` are fine
+/// — the helper itself is built from `File::create` + `rename`, which
+/// is why the implementing file carries a `store-writes` allow entry.
+fn scan_store_tokens(tokens: &[Token]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        let prev = |n: usize| i.checked_sub(n).map(|j| tokens[j].text.as_str());
+        let next = |n: usize| tokens.get(i + n).map(|t| t.text.as_str());
+        let hit = match tok.text.as_str() {
+            "OpenOptions" => Some("OpenOptions"),
+            "write" if prev(1) == Some("::") && prev(2) == Some("fs") => Some("fs::write"),
+            "File" if next(1) == Some("::") && next(2) == Some("create") => Some("File::create"),
+            _ => None,
+        };
+        if let Some(what) = hit {
+            findings.push(Finding {
+                construct: Construct::StoreWrites,
+                line: tok.line,
+                what: what.to_string(),
+            });
+        }
+    }
+    findings
+}
+
+/// `rel` is inside one of the configured `store_paths` (exact file or
+/// directory prefix)?
+fn in_store_paths(rel: &str, store_paths: &[String]) -> bool {
+    store_paths
+        .iter()
+        .any(|p| rel == p || rel.starts_with(&format!("{p}/")))
+}
+
 /// Collects every `.rs` file under `<root>/<scan_root>/*/src`, sorted,
 /// as `(root-relative path, absolute path)`.
 fn source_files(root: &Path, scan_root: &str) -> std::io::Result<Vec<(String, PathBuf)>> {
@@ -310,7 +345,12 @@ pub fn scan(root: &Path, config: &LintConfig) -> std::io::Result<Vec<Diagnostic>
     for scan_root in &config.roots {
         for (rel, path) in source_files(root, scan_root)? {
             let src = fs::read_to_string(&path)?;
-            for finding in scan_tokens(&tokenize(&src)) {
+            let tokens = tokenize(&src);
+            let mut findings = scan_tokens(&tokens);
+            if in_store_paths(&rel, &config.store_paths) {
+                findings.extend(scan_store_tokens(&tokens));
+            }
+            for finding in findings {
                 let allowed = config
                     .allows
                     .iter()
@@ -324,17 +364,23 @@ pub fn scan(root: &Path, config: &LintConfig) -> std::io::Result<Vec<Diagnostic>
                     Construct::HashCollections => Code::BannedHashCollection,
                     Construct::WallClock => Code::BannedWallClock,
                     Construct::Threads => Code::BannedThreads,
+                    Construct::StoreWrites => Code::StoreWriteBypass,
                 };
-                diags.push(Diagnostic::new(
-                    code,
-                    Some(&rel),
-                    finding.line,
+                let msg = if finding.construct == Construct::StoreWrites {
+                    format!(
+                        "raw disk-store write `{}` bypasses the atomic write-then-rename \
+                         helper (DiskStore::atomic_write); publish through it or allowlist \
+                         in lint.toml with a reason",
+                        finding.what
+                    )
+                } else {
                     format!(
                         "banned construct `{}` ({}); allowlist in lint.toml with a reason \
                          or remove it",
                         finding.what, finding.construct
-                    ),
-                ));
+                    )
+                };
+                diags.push(Diagnostic::new(code, Some(&rel), finding.line, msg));
             }
         }
     }
@@ -415,6 +461,35 @@ mod tests {
         assert!(scan_tokens(&tokenize(src)).is_empty());
         let src2 = "thread::scope(|s| {});";
         assert_eq!(scan_tokens(&tokenize(src2)).len(), 1);
+    }
+
+    #[test]
+    fn store_write_scan_flags_raw_writes_but_not_reads_or_rename() {
+        let src = "fs::write(&p, b)?; let f = fs::File::create(&t)?; \
+                   OpenOptions::new();\n";
+        let findings = scan_store_tokens(&tokenize(src));
+        let whats: Vec<&str> = findings.iter().map(|f| f.what.as_str()).collect();
+        assert_eq!(whats, ["fs::write", "File::create", "OpenOptions"]);
+        assert!(findings
+            .iter()
+            .all(|f| f.construct == Construct::StoreWrites));
+
+        let clean = "let s = fs::read_to_string(&p)?; fs::rename(&tmp, &p)?; \
+                     writeln!(out, \"x\")?; self.write_count();\n";
+        assert!(scan_store_tokens(&tokenize(clean)).is_empty());
+    }
+
+    #[test]
+    fn store_paths_match_exact_files_and_directory_prefixes() {
+        let paths = vec![
+            "crates/core/src/store.rs".to_string(),
+            "crates/serve/src".to_string(),
+        ];
+        assert!(in_store_paths("crates/core/src/store.rs", &paths));
+        assert!(in_store_paths("crates/serve/src/server.rs", &paths));
+        assert!(in_store_paths("crates/serve/src/bin/hiss-cli.rs", &paths));
+        assert!(!in_store_paths("crates/core/src/store_other.rs", &paths));
+        assert!(!in_store_paths("crates/core/src/runner.rs", &paths));
     }
 
     #[test]

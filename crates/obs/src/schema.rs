@@ -378,6 +378,39 @@ pub const SCHEMA: &[SchemaEntry] = &[
         "bench.alloc.allocs",
         "heap allocations by the probe run (banded ±25%)",
     ),
+    // hiss-serve serving suite (crates/serve suite.rs): Service and
+    // DiskStore lifetime counters after a double submission against a
+    // wiped store — all deterministic work counts.
+    bench_c("bench.serve.requests", "scenario submissions accepted"),
+    bench_c(
+        "bench.serve.rejected",
+        "submissions rejected by the scenario lint",
+    ),
+    bench_c(
+        "bench.serve.queue_peak",
+        "high watermark of cells queued by one submission",
+    ),
+    bench_c(
+        "bench.serve.cells_simulated",
+        "cells executed by the engine on a store miss",
+    ),
+    bench_c(
+        "bench.serve.cells_from_store",
+        "cells served from the disk store without simulating",
+    ),
+    bench_c("bench.serve.store_hits", "valid disk-store entry hits"),
+    bench_c(
+        "bench.serve.store_misses",
+        "disk-store lookups that found no valid entry",
+    ),
+    bench_c(
+        "bench.serve.store_invalid",
+        "corrupt/truncated/wrong-version entries detected (recomputed)",
+    ),
+    bench_c(
+        "bench.serve.store_writes",
+        "entries published to the disk store (write-then-rename)",
+    ),
     SchemaEntry {
         pattern: "bench.wall.tN.s",
         kind: MetricKind::Gauge,

@@ -70,7 +70,9 @@ fn cell_key(cpu: &str, gpu: &str, axes: &[(String, String)], replica: u32) -> St
 
 /// Shared scaffolding: clears the cache, runs `body`, and folds the
 /// pool/cache work deltas plus the wall time into a suite snapshot.
-fn measure(suite: &str, body: impl FnOnce(&mut MetricsRegistry)) -> SuiteSnapshot {
+/// Public so `hiss-serve` builds its serving suite on the same
+/// scaffolding (keeping the wall-clock exemption localised here).
+pub fn measure(suite: &str, body: impl FnOnce(&mut MetricsRegistry)) -> SuiteSnapshot {
     let cache = BaselineCache::global();
     cache.clear();
     let (inv0, jobs0) = hiss::pool_totals();

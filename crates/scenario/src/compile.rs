@@ -135,8 +135,10 @@ pub fn expand(sc: &Scenario, quick: bool) -> Vec<Cell> {
     }
 }
 
-/// Runs one cell: the noisy run plus its two cached baselines.
-fn run_cell_report(cell: &Cell) -> (Row, std::sync::Arc<RunReport>) {
+/// Runs one cell: the noisy run plus its two cached baselines. Public
+/// so the serving layer (`hiss-serve`) can execute store-miss cells
+/// through exactly the batch compiler's path.
+pub fn run_cell_report(cell: &Cell) -> (Row, std::sync::Arc<RunReport>) {
     let cache = BaselineCache::global();
     let cfg = &cell.knobs.cfg;
     let base = cache.cpu_baseline(cfg, &cell.cpu_app, &cell.gpu_app);
@@ -168,8 +170,9 @@ fn run_cell(cell: &Cell) -> Row {
 
 /// The cell's metrics snapshot: the run's registry plus `cell.*` labels
 /// (application names, replica, sweep coordinates) so a snapshot file is
-/// self-describing without the surrounding row.
-fn cell_metrics(cell: &Cell, run: &RunReport) -> MetricsRegistry {
+/// self-describing without the surrounding row. Public so `hiss-serve`
+/// labels store-served registries identically to freshly run ones.
+pub fn cell_metrics(cell: &Cell, run: &RunReport) -> MetricsRegistry {
     let mut m = run.metrics.clone();
     m.label("cell.cpu_app", &cell.cpu_app);
     m.label("cell.gpu_app", &cell.gpu_app);

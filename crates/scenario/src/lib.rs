@@ -48,7 +48,9 @@ pub mod output;
 pub mod parse;
 pub mod spec;
 
-pub use compile::{expand, run, run_profiled, run_with_metrics, Cell, Row};
+pub use compile::{
+    cell_metrics, expand, run, run_cell_report, run_profiled, run_with_metrics, Cell, Row,
+};
 pub use expect::{check, Violation};
 pub use parse::{Document, ScenarioError, Value};
 pub use spec::{Agg, Expect, Field, Knobs, Metric, Scenario, SweepAxis, Workload};

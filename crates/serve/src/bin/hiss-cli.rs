@@ -19,6 +19,9 @@
 //!                      [--root <dir>]
 //! hiss-cli bench update --reason <text> [--baseline <path>]
 //!                       [--fresh <path>] [--root <dir>]
+//! hiss-cli serve [--addr <host:port>] [--store <dir>] [--threads <n>]
+//! hiss-cli submit <file.hiss> [--addr <host:port>] [--quick]
+//!                 [--metrics <path>] [--shutdown]
 //! ```
 //!
 //! `report` renders a metrics snapshot file — one JSON object per line,
@@ -32,6 +35,14 @@
 //! (`--docs`), and the `BENCH_BASELINE.json` schema check (`--bench`).
 //! Exit status is nonzero on any finding; the code catalogue is
 //! `docs/LINTS.md`.
+//!
+//! `serve` runs the long-running simulation service (`docs/SERVE.md`):
+//! a TCP server accepting scenario submissions over a line-delimited
+//! JSON protocol and streaming `cell.*` snapshots back, with every
+//! completed cell published to a sharded content-addressed disk store
+//! so a re-submission (from any process, across restarts) simulates
+//! nothing. `submit` is the matching client; `--shutdown` asks the
+//! server to drain gracefully and flush the store.
 //!
 //! `bench` is the performance-regression subsystem (`docs/BENCH.md`):
 //! `run` executes the suites and prints their deterministic work
@@ -79,7 +90,11 @@ fn usage() -> ExitCode {
          hiss-cli bench check [--baseline <path>] [--fresh <path>] \
          [--json] [--root <dir>]\n  \
          hiss-cli bench update --reason <text> [--baseline <path>] \
-         [--fresh <path>] [--root <dir>]"
+         [--fresh <path>] [--root <dir>]\n  \
+         hiss-cli serve [--addr <host:port>] [--store <dir>] \
+         [--threads <n>]\n  \
+         hiss-cli submit <file.hiss> [--addr <host:port>] [--quick] \
+         [--metrics <path>] [--shutdown]"
     );
     ExitCode::FAILURE
 }
@@ -425,7 +440,7 @@ fn fresh_snapshots(args: &Args, root: &Path) -> Result<Vec<SuiteSnapshot>, Strin
             let file = baseline::parse(&text).map_err(|e| format!("{path}: {e}"))?;
             Ok(file.suites)
         }
-        None => scenario::bench_suite::run_all(root),
+        None => hiss_serve::suite::run_all(root),
     }
 }
 
@@ -471,7 +486,7 @@ fn bench_command(mut argv: Vec<String>) -> ExitCode {
 
     match verb.as_str() {
         "run" => {
-            let snaps = match scenario::bench_suite::run_all(&root) {
+            let snaps = match hiss_serve::suite::run_all(&root) {
                 Ok(s) => s,
                 Err(e) => {
                     eprintln!("{e}");
@@ -760,6 +775,151 @@ fn scenario_command(mut argv: Vec<String>) -> ExitCode {
     }
 }
 
+fn serve_command(argv: Vec<String>) -> ExitCode {
+    let args = match Args::parse(argv, &[], &["--addr", "--store", "--threads"]) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(stray) = args.positional.first() {
+        eprintln!("unexpected argument {stray:?}");
+        return ExitCode::FAILURE;
+    }
+    if let Some(threads) = args.value("--threads") {
+        if threads.parse::<usize>().map(|n| n == 0).unwrap_or(true) {
+            eprintln!("--threads expects a positive integer, got {threads:?}");
+            return ExitCode::FAILURE;
+        }
+        // The runner pool sizes itself from HISS_THREADS at first use;
+        // setting it here (before any simulation) is the worker-count
+        // knob. Results are bit-identical at any setting.
+        env::set_var("HISS_THREADS", threads);
+    }
+    let addr = args.value("--addr").unwrap_or("127.0.0.1:7477");
+    let store_dir = PathBuf::from(args.value("--store").unwrap_or("target/serve-store"));
+    let store = match hiss::DiskStore::open(&store_dir) {
+        Ok(s) => std::sync::Arc::new(s),
+        Err(e) => {
+            eprintln!("cannot open store {}: {e}", store_dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    // Baseline runs triggered by submissions persist too: a restarted
+    // server warm-starts its per-app baselines from the same store.
+    hiss::BaselineCache::global().attach_disk(std::sync::Arc::clone(&store));
+    let service = std::sync::Arc::new(hiss_serve::Service::new(Some(store)));
+    let server = match hiss_serve::Server::bind(addr, service) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(bound) => {
+            // Machine-readable first line: with --addr host:0 callers
+            // parse the actual port from here.
+            println!(
+                "hiss-serve: listening on {bound}, store {}",
+                store_dir.display()
+            );
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+        }
+        Err(e) => {
+            eprintln!("cannot read bound address: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match server.run() {
+        Ok(()) => {
+            println!("hiss-serve: drained and flushed, bye");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serve failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn submit_command(argv: Vec<String>) -> ExitCode {
+    let args = match Args::parse(argv, &["--quick", "--shutdown"], &["--addr", "--metrics"]) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = args.value("--addr").unwrap_or("127.0.0.1:7477");
+    let file = match args.positional.as_slice() {
+        [] if args.flag("--shutdown") => None,
+        [file] => Some(file.clone()),
+        _ => {
+            eprintln!("submit requires exactly one file (or just --shutdown)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut code = ExitCode::SUCCESS;
+    if let Some(file) = file {
+        let text = match std::fs::read_to_string(&file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match hiss_serve::client::submit(addr, &text, args.flag("--quick")) {
+            Ok(hiss_serve::Submission::Rejected { diagnostics }) => {
+                for d in &diagnostics {
+                    eprintln!("{d}");
+                }
+                eprintln!(
+                    "{file}: rejected by server ({} diagnostics)",
+                    diagnostics.len()
+                );
+                code = ExitCode::FAILURE;
+            }
+            Ok(hiss_serve::Submission::Completed {
+                snapshots,
+                cells,
+                simulated,
+                from_store,
+            }) => {
+                let mut out = String::new();
+                for line in &snapshots {
+                    out.push_str(line);
+                    out.push('\n');
+                }
+                match args.value("--metrics") {
+                    Some(path) => {
+                        if let Err(e) = std::fs::write(path, out) {
+                            eprintln!("cannot write {path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                    None => print!("{out}"),
+                }
+                // Summary on stderr so piped stdout stays pure data.
+                eprintln!("submit: cells={cells} simulated={simulated} from_store={from_store}");
+            }
+            Err(e) => {
+                eprintln!("submit failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if args.flag("--shutdown") {
+        if let Err(e) = hiss_serve::client::shutdown(addr) {
+            eprintln!("shutdown failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    code
+}
+
 fn main() -> ExitCode {
     let mut argv: Vec<String> = env::args().skip(1).collect();
     if argv.is_empty() {
@@ -794,6 +954,8 @@ fn main() -> ExitCode {
         "scenario" => return scenario_command(argv),
         "bench" => return bench_command(argv),
         "lint" => return lint_command(argv),
+        "serve" => return serve_command(argv),
+        "submit" => return submit_command(argv),
         _ => return usage(),
     };
     let args = match parsed {

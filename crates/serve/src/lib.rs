@@ -1,0 +1,32 @@
+//! # hiss-serve — the long-running simulation service
+//!
+//! Every other entry point in this workspace is a one-shot batch: run a
+//! figure or a scenario, print, exit. This crate turns the same
+//! deterministic engine into a *service*: a TCP server accepting
+//! `.hiss` scenario submissions over a line-delimited JSON protocol
+//! ([`protocol`]), validating them with the scenario lint (rejections
+//! carry `HLxxx` diagnostics inline), executing cells on the
+//! [`hiss::runner`] pool, and streaming `cell.*` metric snapshots back
+//! in deterministic grid order ([`server`], [`service`]).
+//!
+//! What makes serving worthwhile is the store: every completed cell is
+//! published to a sharded, content-addressed [`hiss::DiskStore`] keyed
+//! by the cell's full resolved identity. Because a cell's result is a
+//! pure function of that identity and bit-for-bit deterministic, a
+//! popular scenario costs one simulation, ever — a re-submission (from
+//! any client, to any worker process sharing the store, across
+//! restarts) streams byte-identical snapshots without simulating
+//! anything. `docs/SERVE.md` covers the protocol, the store layout, and
+//! operational notes; the `serve` bench suite ([`suite`]) gates the
+//! serving counters in `BENCH_BASELINE.json`.
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod service;
+pub mod suite;
+
+pub use client::{shutdown, submit, Submission};
+pub use protocol::{Request, Response};
+pub use server::Server;
+pub use service::{cell_store_key, Service, Summary};

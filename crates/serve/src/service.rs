@@ -1,0 +1,321 @@
+//! The transport-free service core: validate, execute, count.
+//!
+//! [`Service`] is everything the server does minus the sockets, so the
+//! full submission path — lint gate, grid expansion, store lookups,
+//! pool execution, snapshot labelling — is exercisable deterministically
+//! from unit tests and the bench suite without binding a port.
+//!
+//! # Store identity
+//!
+//! A cell's store key ([`cell_store_key`]) hashes the `Debug` rendering
+//! of its fully resolved [`Knobs`](hiss_scenario::Knobs) (system config
+//! including the replica-bumped seed, mitigation switches, QoS
+//! threshold, GPU count) plus the application names. Sweep coordinates
+//! and replica indices are already folded into the knobs, so the key is
+//! exactly the simulation's input — two scenarios sharing a cell share
+//! its entry. The stored payload is the *bare run registry*
+//! (`RunReport::metrics`, no `cell.*` labels); identity labels are
+//! re-applied at stream time with the same
+//! [`hiss_scenario::cell_metrics`] the batch compiler uses, which keeps
+//! a served snapshot byte-identical to a freshly simulated one.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use hiss::{DiskStore, RunReport, StoreKey};
+use hiss_lint::{Diagnostic, Severity};
+use hiss_obs::MetricsRegistry;
+use hiss_scenario::{cell_metrics, expand, run_cell_report, Cell, Scenario};
+
+/// Cells per pool invocation when streaming a submission: small enough
+/// that results reach the client incrementally, large enough to keep
+/// the workers busy. A constant (not the thread count) so the pool
+/// invocation count — a gated bench counter — is identical under any
+/// `HISS_THREADS`.
+pub const STREAM_CHUNK: usize = 8;
+
+/// What one completed submission did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Summary {
+    /// Cells in the submission's grid.
+    pub cells: u64,
+    /// Cells executed by the simulation engine.
+    pub simulated: u64,
+    /// Cells served from the disk store without simulating.
+    pub from_store: u64,
+}
+
+/// The content-addressed identity of one scenario cell.
+pub fn cell_store_key(cell: &Cell) -> StoreKey {
+    StoreKey::from_parts(&[&format!("{:?}", cell.knobs), &cell.cpu_app, &cell.gpu_app])
+}
+
+/// The deterministic submission handler shared by the TCP server, the
+/// bench suite, and the tests. Thread-safe; counters are lifetime
+/// totals across all submissions.
+#[derive(Debug)]
+pub struct Service {
+    store: Option<Arc<DiskStore>>,
+    requests: AtomicU64,
+    rejected: AtomicU64,
+    queue_peak: AtomicU64,
+    cells_simulated: AtomicU64,
+    cells_from_store: AtomicU64,
+}
+
+impl Service {
+    /// A service backed by `store` (or purely in-memory when `None`).
+    pub fn new(store: Option<Arc<DiskStore>>) -> Service {
+        Service {
+            store,
+            requests: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            queue_peak: AtomicU64::new(0),
+            cells_simulated: AtomicU64::new(0),
+            cells_from_store: AtomicU64::new(0),
+        }
+    }
+
+    /// The backing disk store, if any.
+    pub fn store(&self) -> Option<&Arc<DiskStore>> {
+        self.store.as_ref()
+    }
+
+    /// Validates and executes one submission, calling `emit` with each
+    /// cell snapshot in deterministic grid order (chunked, so snapshots
+    /// stream out as chunks of cells complete).
+    ///
+    /// Returns the lint diagnostics when the scenario is rejected: any
+    /// `Error`-severity finding rejects; warnings alone do not block
+    /// execution but are still reported back in that case.
+    pub fn submit(
+        &self,
+        file: &str,
+        text: &str,
+        quick: bool,
+        mut emit: impl FnMut(MetricsRegistry),
+    ) -> Result<Summary, Vec<Diagnostic>> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let diags = hiss_scenario::lint::lint_text(file, text);
+        if diags.iter().any(|d| d.severity() == Severity::Error) {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(diags);
+        }
+        // Lint accepted, so parsing cannot fail; keep the error path
+        // anyway rather than panicking a long-running server.
+        let sc = Scenario::from_str(text).map_err(|e| {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            vec![Diagnostic::new(
+                hiss_lint::Code::ScenarioInvalid,
+                Some(file),
+                e.line,
+                e.msg.clone(),
+            )]
+        })?;
+        let cells = expand(&sc, quick);
+        self.queue_peak
+            .fetch_max(cells.len() as u64, Ordering::Relaxed);
+        let mut summary = Summary {
+            cells: cells.len() as u64,
+            simulated: 0,
+            from_store: 0,
+        };
+        for chunk in cells.chunks(STREAM_CHUNK) {
+            let results = hiss::run_jobs(chunk.len(), |i| self.run_cell(&chunk[i]));
+            for (snapshot, from_store) in results {
+                if from_store {
+                    summary.from_store += 1;
+                } else {
+                    summary.simulated += 1;
+                }
+                emit(snapshot);
+            }
+        }
+        Ok(summary)
+    }
+
+    /// Serves one cell: disk-store hit if possible, engine otherwise
+    /// (publishing the fresh result back to the store). The `bool` is
+    /// `true` when the cell came from the store.
+    fn run_cell(&self, cell: &Cell) -> (MetricsRegistry, bool) {
+        if let Some(store) = &self.store {
+            let key = cell_store_key(cell);
+            if let Some(metrics) = store.load(&key) {
+                self.cells_from_store.fetch_add(1, Ordering::Relaxed);
+                let report = RunReport::from_metrics(metrics);
+                return (cell_metrics(cell, &report), true);
+            }
+            let (_, report) = run_cell_report(cell);
+            // Best-effort publish: a failed write degrades to
+            // recompute-next-time, never to a wrong result.
+            let _ = store.save(&key, &report.metrics);
+            self.cells_simulated.fetch_add(1, Ordering::Relaxed);
+            return (cell_metrics(cell, &report), false);
+        }
+        let (_, report) = run_cell_report(cell);
+        self.cells_simulated.fetch_add(1, Ordering::Relaxed);
+        (cell_metrics(cell, &report), false)
+    }
+
+    /// Publishes the service's lifetime counters (and the store's, when
+    /// one is attached) under `prefix` — the `bench.serve.*` rows when
+    /// called with `"bench.serve"`.
+    pub fn publish(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        reg.counter(
+            format!("{prefix}.requests"),
+            self.requests.load(Ordering::Relaxed),
+        );
+        reg.counter(
+            format!("{prefix}.rejected"),
+            self.rejected.load(Ordering::Relaxed),
+        );
+        reg.counter(
+            format!("{prefix}.queue_peak"),
+            self.queue_peak.load(Ordering::Relaxed),
+        );
+        reg.counter(
+            format!("{prefix}.cells_simulated"),
+            self.cells_simulated.load(Ordering::Relaxed),
+        );
+        reg.counter(
+            format!("{prefix}.cells_from_store"),
+            self.cells_from_store.load(Ordering::Relaxed),
+        );
+        if let Some(store) = &self.store {
+            reg.counter(format!("{prefix}.store_hits"), store.hit_count());
+            reg.counter(format!("{prefix}.store_misses"), store.miss_count());
+            reg.counter(format!("{prefix}.store_invalid"), store.invalid_count());
+            reg.counter(format!("{prefix}.store_writes"), store.write_count());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TINY: &str = r#"
+[scenario]
+name = "tiny"
+[workload]
+cpu = ["x264"]
+gpu = ["ubench"]
+"#;
+
+    fn tmp_store(name: &str) -> Arc<DiskStore> {
+        let dir =
+            std::env::temp_dir().join(format!("hiss_serve_service_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Arc::new(DiskStore::open(dir).unwrap())
+    }
+
+    #[test]
+    fn invalid_scenarios_are_rejected_with_diagnostics() {
+        let service = Service::new(None);
+        let err = service
+            .submit("t.hiss", "[scenario]\nname = \"t\"\n", false, |_| {
+                panic!("nothing should stream")
+            })
+            .unwrap_err();
+        assert!(!err.is_empty());
+        assert_eq!(err[0].code, hiss_lint::Code::ScenarioInvalid);
+        let mut reg = MetricsRegistry::new();
+        service.publish(&mut reg, "bench.serve");
+        assert_eq!(reg.counter_value("bench.serve.requests"), Some(1));
+        assert_eq!(reg.counter_value("bench.serve.rejected"), Some(1));
+        assert_eq!(reg.counter_value("bench.serve.cells_simulated"), Some(0));
+    }
+
+    #[test]
+    fn warnings_alone_do_not_reject() {
+        let service = Service::new(None);
+        // HL006 (degenerate axis) is Warn severity.
+        let text = format!("{TINY}[sweep]\ngpus = [1]\n");
+        let mut streamed = 0;
+        let summary = service.submit("t.hiss", &text, false, |_| streamed += 1);
+        assert_eq!(summary.unwrap().cells, 1);
+        assert_eq!(streamed, 1);
+    }
+
+    #[test]
+    fn second_submission_serves_every_cell_from_the_store() {
+        let store = tmp_store("resubmit");
+        let service = Service::new(Some(Arc::clone(&store)));
+
+        let mut first = Vec::new();
+        let s1 = service
+            .submit("tiny.hiss", TINY, false, |m| first.push(m.to_json()))
+            .unwrap();
+        assert_eq!((s1.cells, s1.simulated, s1.from_store), (1, 1, 0));
+
+        let mut second = Vec::new();
+        let s2 = service
+            .submit("tiny.hiss", TINY, false, |m| second.push(m.to_json()))
+            .unwrap();
+        assert_eq!((s2.cells, s2.simulated, s2.from_store), (1, 0, 1));
+        // Byte-identical snapshots, zero simulations the second time.
+        assert_eq!(first, second);
+        assert_eq!(store.hit_count(), 1);
+        assert_eq!(store.write_count(), 1);
+
+        let mut reg = MetricsRegistry::new();
+        service.publish(&mut reg, "bench.serve");
+        assert_eq!(reg.counter_value("bench.serve.cells_from_store"), Some(1));
+        assert_eq!(reg.counter_value("bench.serve.store_writes"), Some(1));
+        assert_eq!(reg.counter_value("bench.serve.queue_peak"), Some(1));
+
+        std::fs::remove_dir_all(store.root()).unwrap();
+    }
+
+    #[test]
+    fn served_snapshots_match_the_batch_compiler() {
+        let store = tmp_store("batch_match");
+        let service = Service::new(Some(Arc::clone(&store)));
+        // Warm the store, then serve from it.
+        service.submit("tiny.hiss", TINY, false, |_| {}).unwrap();
+        let mut served = Vec::new();
+        service
+            .submit("tiny.hiss", TINY, false, |m| served.push(m.to_json()))
+            .unwrap();
+
+        let sc = Scenario::from_str(TINY).unwrap();
+        let direct: Vec<String> = hiss_scenario::run_with_metrics(&sc, false)
+            .into_iter()
+            .map(|(_, m)| m.to_json())
+            .collect();
+        assert_eq!(served, direct);
+
+        std::fs::remove_dir_all(store.root()).unwrap();
+    }
+
+    #[test]
+    fn corrupt_store_entries_fall_back_to_recompute() {
+        let store = tmp_store("corrupt_fallback");
+        let service = Service::new(Some(Arc::clone(&store)));
+        let mut first = Vec::new();
+        service
+            .submit("tiny.hiss", TINY, false, |m| first.push(m.to_json()))
+            .unwrap();
+
+        // Truncate the single entry on disk.
+        let sc = Scenario::from_str(TINY).unwrap();
+        let key = cell_store_key(&expand(&sc, false)[0]);
+        let path = store.entry_path(&key);
+        let bytes = std::fs::read(&path).unwrap();
+        store
+            .atomic_write(&path, &bytes[..bytes.len() / 2])
+            .unwrap();
+
+        let mut again = Vec::new();
+        let summary = service
+            .submit("tiny.hiss", TINY, false, |m| again.push(m.to_json()))
+            .unwrap();
+        // Detected, recomputed, republished — and still byte-identical.
+        assert_eq!((summary.simulated, summary.from_store), (1, 0));
+        assert_eq!(store.invalid_count(), 1);
+        assert_eq!(first, again);
+        assert!(!store.load(&key).unwrap().is_empty(), "entry was healed");
+
+        std::fs::remove_dir_all(store.root()).unwrap();
+    }
+}

@@ -9,12 +9,12 @@
 //! # Architecture
 //!
 //! Near-future events — within [`EventQueue::HORIZON`] of the causality
-//! watermark — go into a timing wheel: [`WHEEL_SLOTS`] buckets of
-//! [`SLOT_NS`] nanoseconds each, with a one-bit-per-slot occupancy bitmap
+//! watermark — go into a timing wheel: `WHEEL_SLOTS` buckets of
+//! `SLOT_NS` nanoseconds each, with a one-bit-per-slot occupancy bitmap
 //! for O(words) next-event scans. Push and pop are O(1) amortized; the
 //! per-slot buffers act as a free-list, keeping their capacity when they
 //! empty, so steady-state scheduling allocates nothing. Events beyond the
-//! horizon park in the [`crate::overflow`] ring (the workspace's one
+//! horizon park in the `overflow` module's ring (the workspace's one
 //! sanctioned `BinaryHeap`); every pop compares the wheel's earliest
 //! entry with the ring's `(due, seq)` key, so the merged stream is
 //! exactly the order a single global heap would produce.

@@ -44,13 +44,13 @@ fn committed_baseline() -> baseline::BaselineFile {
 fn committed_baseline_parses_and_covers_every_suite() {
     let file = committed_baseline();
     assert!(file.reason().is_some_and(|r| !r.is_empty()));
-    for suite in hiss_scenario::bench_suite::SUITES {
+    for suite in hiss_serve::suite::SUITES {
         assert!(
             file.suite(suite).is_some(),
             "baseline is missing suite {suite}"
         );
     }
-    assert_eq!(file.suites.len(), hiss_scenario::bench_suite::SUITES.len());
+    assert_eq!(file.suites.len(), hiss_serve::suite::SUITES.len());
 }
 
 #[test]
@@ -65,7 +65,7 @@ fn committed_baseline_lints_clean_against_the_schema() {
 /// gate performs, without process overhead.
 #[test]
 fn fresh_library_run_matches_the_committed_baseline() {
-    let snaps = hiss_scenario::bench_suite::run_all(&repo_root()).unwrap();
+    let snaps = hiss_serve::suite::run_all(&repo_root()).unwrap();
     let cmp = hiss_bench::compare::compare(&committed_baseline(), &snaps);
     let shown: Vec<String> = cmp
         .findings
@@ -174,6 +174,53 @@ fn bench_run_stdout_is_byte_identical_across_thread_counts() {
     );
     assert!(t1.contains("bench.total.events_pushed"));
     assert!(!t1.contains("bench.wall."), "wall-clock leaked into stdout");
+}
+
+/// The `perf_report` example's machine-readable line must keep every
+/// `engine_*` key (CI dashboards key on them), and the counters those
+/// keys are computed from must still exist after the `BaselineCache`
+/// disk-tier refactor. Running the example here would re-time the fig3
+/// grid three times, so this pins the emitted key set at the source
+/// level and exercises the exact inputs in-process instead.
+#[test]
+fn perf_report_example_still_emits_every_engine_key() {
+    let source = std::fs::read_to_string(repo_root().join("examples/perf_report.rs")).unwrap();
+    for key in [
+        "engine_events_per_sec",
+        "engine_events_per_run",
+        "engine_allocs_per_run",
+        "engine_alloc_bytes_per_run",
+    ] {
+        assert!(
+            source.contains(&format!("\\\"{key}\\\"")),
+            "perf_report.rs no longer emits {key}"
+        );
+    }
+
+    // The keys are derived from one instrumented engine run: the event
+    // counter and the allocation probe must both still report.
+    let probe = hiss_bench::AllocProbe::start();
+    let report = hiss::ExperimentBuilder::new(hiss::SystemConfig::a10_7850k())
+        .cpu_app("x264")
+        .gpu_app("ubench")
+        .run();
+    let (alloc_bytes, allocs) = probe.finish();
+    assert!(
+        report
+            .metrics
+            .counter_value("run.events_popped")
+            .unwrap_or(0)
+            > 0,
+        "engine_events_per_run input vanished"
+    );
+    assert!(allocs > 0 && alloc_bytes > 0, "alloc probe reports nothing");
+
+    // And the cache API surface the example leans on survives the
+    // refactor: clear/len/hit_count/miss_count on the global cache.
+    let cache = hiss::BaselineCache::global();
+    cache.clear();
+    assert_eq!(cache.len(), 0);
+    let _ = (cache.hit_count(), cache.miss_count());
 }
 
 #[test]

@@ -166,7 +166,7 @@ fn cli_flags_every_code_in_the_broken_source_tree() {
         .unwrap();
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(!out.status.success(), "expected findings:\n{stdout}");
-    for code in ["HL301", "HL302", "HL303", "HL304", "HL202"] {
+    for code in ["HL301", "HL302", "HL303", "HL304", "HL305", "HL202"] {
         assert!(
             stdout.contains(&format!("[{code}]")),
             "{code} not in output:\n{stdout}"

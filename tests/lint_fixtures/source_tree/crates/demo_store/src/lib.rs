@@ -1,0 +1,14 @@
+//! Fixture crate for the store-write lint (`HL305`): this file is
+//! listed under `[scan] store_paths`, so each raw filesystem write
+//! below — publishing a cache entry without the atomic
+//! write-then-rename helper — must be flagged. Never compiled; the
+//! scanner works on tokens.
+
+use std::fs;
+
+pub fn torn_publish(path: &std::path::Path, bytes: &[u8]) {
+    // A reader can observe this entry half-written.
+    fs::write(path, bytes).unwrap();
+    let _f = fs::File::create(path.with_extension("idx")).unwrap();
+    let _o = fs::OpenOptions::new().append(true).open(path);
+}

@@ -1,0 +1,302 @@
+//! End-to-end tests for the serving subsystem (`docs/SERVE.md`), in the
+//! style of `tests/bench.rs`: real `hiss-cli serve` processes, real TCP
+//! submissions, and the committed `scenarios/fig3.hiss`.
+//!
+//! The acceptance pin: a second identical submission performs **zero**
+//! simulations (every cell comes from the disk store) and streams
+//! `cell.*` snapshot lines byte-identical both to the first submission
+//! and to a direct `hiss-cli scenario run --metrics` file — under
+//! `HISS_THREADS=1` and `HISS_THREADS=8` alike.
+//!
+//! Corruption handling is fixture-driven (`tests/store_fixtures/`),
+//! mirroring `tests/lint_fixtures/`: each corrupt entry shape must be
+//! detected, counted under `bench.serve.store_invalid`, recomputed, and
+//! healed in place.
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+
+use hiss::DiskStore;
+use hiss_serve::{cell_store_key, Service};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn cli() -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_hiss-cli"));
+    cmd.current_dir(repo_root());
+    cmd
+}
+
+/// A `hiss-cli serve` child bound to an OS-assigned port, parsed from
+/// its first stdout line.
+struct ServerProc {
+    child: Child,
+    addr: String,
+}
+
+impl ServerProc {
+    fn start(store: &Path, threads: &str) -> ServerProc {
+        let mut child = cli()
+            .args([
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--store",
+                store.to_str().unwrap(),
+                "--threads",
+                threads,
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .unwrap();
+        let mut line = String::new();
+        BufReader::new(child.stdout.as_mut().unwrap())
+            .read_line(&mut line)
+            .unwrap();
+        let addr = line
+            .split("listening on ")
+            .nth(1)
+            .unwrap_or_else(|| panic!("unexpected banner: {line:?}"))
+            .split(',')
+            .next()
+            .unwrap()
+            .trim()
+            .to_string();
+        ServerProc { child, addr }
+    }
+
+    /// Asks the server to shut down and waits for a clean exit.
+    fn shutdown(mut self) {
+        let out = cli()
+            .args(["submit", "--shutdown", "--addr", &self.addr])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "shutdown failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let status = self.child.wait().unwrap();
+        assert!(status.success(), "server exited with {status}");
+    }
+}
+
+impl Drop for ServerProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Parses the client's stderr summary: `submit: cells=N simulated=N
+/// from_store=N`.
+fn summary(stderr: &str) -> (u64, u64, u64) {
+    let line = stderr
+        .lines()
+        .find(|l| l.starts_with("submit: "))
+        .unwrap_or_else(|| panic!("no submit summary in:\n{stderr}"));
+    let field = |key: &str| -> u64 {
+        line.split(&format!("{key}="))
+            .nth(1)
+            .and_then(|r| r.split_whitespace().next())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("no {key}= in {line:?}"))
+    };
+    (field("cells"), field("simulated"), field("from_store"))
+}
+
+fn submit_fig3(addr: &str, out: &Path) -> (u64, u64, u64) {
+    let run = cli()
+        .args([
+            "submit",
+            "scenarios/fig3.hiss",
+            "--quick",
+            "--addr",
+            addr,
+            "--metrics",
+            out.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8(run.stderr).unwrap();
+    assert!(run.status.success(), "submit failed:\n{stderr}");
+    summary(&stderr)
+}
+
+fn walk(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for e in entries.flatten() {
+            let p = e.path();
+            if p.is_dir() {
+                out.extend(walk(&p));
+            } else {
+                out.push(p);
+            }
+        }
+    }
+    out
+}
+
+/// The full acceptance loop for one server worker count.
+fn resubmission_is_pure_store_hits(threads: &str) {
+    let store = tmp(&format!("serve_store_t{threads}"));
+    let _ = std::fs::remove_dir_all(&store);
+    let server = ServerProc::start(&store, threads);
+
+    // Ground truth: the same grid run directly, metrics to a file.
+    let direct = tmp(&format!("serve_direct_t{threads}.jsonl"));
+    let out = cli()
+        .args([
+            "scenario",
+            "run",
+            "scenarios/fig3.hiss",
+            "--quick",
+            "--no-check",
+            "--metrics",
+            direct.to_str().unwrap(),
+        ])
+        .env("HISS_THREADS", threads)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "scenario run failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // First submission: a wiped store simulates everything.
+    let served1 = tmp(&format!("serve_first_t{threads}.jsonl"));
+    let (cells, simulated, from_store) = submit_fig3(&server.addr, &served1);
+    assert!(cells > 0);
+    assert_eq!((simulated, from_store), (cells, 0), "first pass");
+
+    // Streamed snapshots are byte-identical to the direct run's file.
+    let direct_text = std::fs::read_to_string(&direct).unwrap();
+    let served_text = std::fs::read_to_string(&served1).unwrap();
+    assert_eq!(
+        served_text, direct_text,
+        "served stream diverges from `scenario run --metrics` (HISS_THREADS={threads})"
+    );
+
+    // Second identical submission: zero simulations, byte-identical.
+    let served2 = tmp(&format!("serve_second_t{threads}.jsonl"));
+    let (cells2, simulated2, from_store2) = submit_fig3(&server.addr, &served2);
+    assert_eq!(
+        (cells2, simulated2, from_store2),
+        (cells, 0, cells),
+        "re-submission must be 100% store hits"
+    );
+    assert_eq!(
+        std::fs::read_to_string(&served2).unwrap(),
+        served_text,
+        "re-served stream diverges (HISS_THREADS={threads})"
+    );
+
+    // Graceful shutdown drains and leaves no write temporaries.
+    server.shutdown();
+    let torn: Vec<_> = walk(&store)
+        .into_iter()
+        .filter(|p| p.to_string_lossy().contains(".tmp."))
+        .collect();
+    assert!(
+        torn.is_empty(),
+        "torn temporaries survive shutdown: {torn:?}"
+    );
+
+    std::fs::remove_dir_all(&store).unwrap();
+}
+
+#[test]
+fn resubmission_is_pure_store_hits_serial() {
+    resubmission_is_pure_store_hits("1");
+}
+
+#[test]
+fn resubmission_is_pure_store_hits_parallel() {
+    resubmission_is_pure_store_hits("8");
+}
+
+const TINY: &str = r#"
+[scenario]
+name = "tiny"
+[workload]
+cpu = ["x264"]
+gpu = ["ubench"]
+"#;
+
+/// Every committed corruption fixture must be detected (not crash, not
+/// serve garbage), counted under `bench.serve.store_invalid`, fall back
+/// to a fresh simulation, and leave a healed entry behind.
+#[test]
+fn corrupt_store_entries_are_detected_recomputed_and_healed() {
+    let fixtures_dir = repo_root().join("tests/store_fixtures");
+    let mut fixtures: Vec<PathBuf> = std::fs::read_dir(&fixtures_dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "entry"))
+        .collect();
+    fixtures.sort();
+    assert!(
+        fixtures.len() >= 4,
+        "expected the corruption fixture set, found {fixtures:?}"
+    );
+
+    let sc = hiss_scenario::Scenario::from_str(TINY).unwrap();
+    let cell = hiss_scenario::expand(&sc, false).remove(0);
+    let key = cell_store_key(&cell);
+
+    for fixture in &fixtures {
+        let name = fixture.file_stem().unwrap().to_string_lossy();
+        let dir = tmp(&format!("corrupt_{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(DiskStore::open(&dir).unwrap());
+
+        // Plant the corrupt fixture where the cell's entry belongs.
+        let entry = store.entry_path(&key);
+        std::fs::create_dir_all(entry.parent().unwrap()).unwrap();
+        std::fs::copy(fixture, &entry).unwrap();
+
+        let service = Service::new(Some(Arc::clone(&store)));
+        let mut streamed = Vec::new();
+        let s = service
+            .submit("tiny", TINY, false, |m| streamed.push(m.to_json()))
+            .unwrap();
+        assert_eq!(
+            (s.cells, s.simulated, s.from_store),
+            (1, 1, 0),
+            "{name}: corrupt entry must fall back to recompute"
+        );
+        assert_eq!(store.invalid_count(), 1, "{name}: not counted invalid");
+
+        let mut reg = hiss::MetricsRegistry::new();
+        service.publish(&mut reg, "bench.serve");
+        assert_eq!(
+            reg.counter_value("bench.serve.store_invalid"),
+            Some(1),
+            "{name}"
+        );
+
+        // The recompute healed the entry: a fresh store loads it clean.
+        let reread = DiskStore::open(&dir).unwrap();
+        assert!(
+            reread.load(&key).is_some(),
+            "{name}: entry not healed after recompute"
+        );
+        assert_eq!(reread.invalid_count(), 0, "{name}: healed entry invalid");
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
