@@ -69,4 +69,6 @@ pub use hiss_kernel::HandlerCosts;
 pub use hiss_obs::{HistogramSnapshot, MetricValue, MetricsRegistry};
 pub use hiss_qos::QosParams;
 pub use hiss_sim::Ns;
-pub use hiss_workloads::{gpu_suite, parsec_suite, CpuAppSpec, GpuAppSpec};
+pub use hiss_workloads::{
+    gpu_suite, parsec_suite, CpuAppSpec, DeviceKind, DeviceSpec, DmaParams, GpuAppSpec, NicParams,
+};

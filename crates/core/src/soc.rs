@@ -1,14 +1,16 @@
-//! The simulated SoC: event loop composing CPU cores, GPU(s), IOMMU, and
-//! the kernel substrate.
+//! The simulated SoC: event loop composing CPU cores, SSR-raising devices
+//! (GPUs, NICs, DMA engines), IOMMU, and the kernel substrate.
 //!
 //! # Architecture
 //!
 //! The SoC owns every component and drives them through a single
 //! deterministic event calendar:
 //!
-//! - **GPU self-events**: the GPU reports when it will next raise an SSR
-//!   or finish its kernel; a generation counter discards events that a
-//!   stall/unstall made stale.
+//! - **Device self-events**: each attached [`Device`] (GPU, NIC, DMA
+//!   engine) reports when it will next raise an SSR or finish its work
+//!   item; a generation counter discards events that a stall/unstall made
+//!   stale. The arming table dedups per `(time, generation)` so one live
+//!   self-event chain exists per device.
 //! - **IOMMU**: SSRs are logged; depending on the coalescing
 //!   configuration the IOMMU raises an MSI immediately or arms a timer.
 //! - **Kernel occupancy**: `hiss_kernel::Kernel` expands each interrupt
@@ -28,13 +30,13 @@
 //! transitions.
 
 use hiss_cpu::{Core, CoreId, TickTimer, TimeCategory};
-use hiss_gpu::{Gpu, GpuStats, SsrId, SsrRequest};
+use hiss_gpu::{Gpu, SsrId, SsrRequest};
 use hiss_iommu::{Iommu, IommuDecision, PageWalker, WalkerConfig};
 use hiss_kernel::{CoreHost, Kernel, KernelConfig, KernelOutput};
 use hiss_mem::WarmthModel;
 use hiss_qos::QosParams;
-use hiss_sim::{EventQueue, NextTick, Ns, Rng};
-use hiss_workloads::{CpuAppSpec, GpuAppSpec};
+use hiss_sim::{Device, DeviceStats, EventQueue, NextTick, Ns, Rng};
+use hiss_workloads::{CpuAppSpec, DeviceSpec, DmaDevice, GpuAppSpec, NicDevice};
 
 use crate::config::{Mitigation, MitigationConfig, SystemConfig};
 use crate::energy::{EnergyParams, EnergyReport};
@@ -56,10 +58,51 @@ enum Activity {
     Kernel,
 }
 
-/// A GPU plus its workload bookkeeping (kernels may loop).
+/// A concrete device model attached to the SoC. The enum gives the SoC
+/// owned, `Debug`-friendly storage; the event loop drives every variant
+/// through the [`Device`] trait object views below.
 #[derive(Debug)]
-struct GpuRun {
-    gpu: Gpu,
+enum DeviceModel {
+    Gpu(Gpu),
+    Nic(NicDevice),
+    Dma(DmaDevice),
+}
+
+/// The trait-object view the SoC event loop works against.
+type DynDevice = dyn Device<Request = SsrRequest, Completion = SsrId>;
+
+impl DeviceModel {
+    fn from_spec(index: usize, spec: &DeviceSpec, cfg: &SystemConfig, rng: Rng) -> DeviceModel {
+        match spec {
+            DeviceSpec::Gpu(app) => {
+                DeviceModel::Gpu(Gpu::new(index, cfg.gpu, app.profile, app.total_work, rng))
+            }
+            DeviceSpec::Nic(p) => DeviceModel::Nic(NicDevice::new(index, *p, rng, Ns::ZERO)),
+            DeviceSpec::Dma(p) => DeviceModel::Dma(DmaDevice::new(index, *p, rng, Ns::ZERO)),
+        }
+    }
+
+    fn as_dyn(&self) -> &DynDevice {
+        match self {
+            DeviceModel::Gpu(g) => g,
+            DeviceModel::Nic(n) => n,
+            DeviceModel::Dma(d) => d,
+        }
+    }
+
+    fn as_dyn_mut(&mut self) -> &mut DynDevice {
+        match self {
+            DeviceModel::Gpu(g) => g,
+            DeviceModel::Nic(n) => n,
+            DeviceModel::Dma(d) => d,
+        }
+    }
+}
+
+/// A device plus its workload bookkeeping (work items may loop).
+#[derive(Debug)]
+struct DeviceRun {
+    dev: DeviceModel,
     looping: bool,
     iterations: u64,
     /// Busy/stall/SSR totals from *completed* iterations.
@@ -69,23 +112,27 @@ struct GpuRun {
     done_completed: u64,
     rng: Rng,
     /// Scratch for the per-iteration RNG fork label, reused across
-    /// relaunches so looping kernels don't allocate a fresh `String`
+    /// relaunches so looping work items don't allocate a fresh `String`
     /// every iteration.
     iter_label: String,
 }
 
-impl GpuRun {
+impl DeviceRun {
+    fn is_gpu(&self) -> bool {
+        matches!(self.dev, DeviceModel::Gpu(_))
+    }
+
     fn total_progress(&self) -> Ns {
-        self.done_busy + self.gpu.stats().busy
+        self.done_busy + self.dev.as_dyn().stats().busy
     }
     fn total_completed(&self) -> u64 {
-        self.done_completed + self.gpu.stats().ssrs_completed
+        self.done_completed + self.dev.as_dyn().stats().ssrs_completed
     }
 
     /// Lifetime stats across completed iterations plus the current one.
-    fn total_stats(&self) -> GpuStats {
-        let cur = self.gpu.stats();
-        GpuStats {
+    fn total_stats(&self) -> DeviceStats {
+        let cur = self.dev.as_dyn().stats();
+        DeviceStats {
             busy: self.done_busy + cur.busy,
             stalled: self.done_stalled + cur.stalled,
             ssrs_raised: self.done_raised + cur.ssrs_raised,
@@ -95,10 +142,23 @@ impl GpuRun {
     }
 }
 
+/// Publishes a device counter set into a metrics registry under `prefix`
+/// (same layout as the historical `gpuN.*` namespace; an unfinished work
+/// item publishes no `{prefix}.finished_at_ns`).
+fn publish_device_stats(stats: &DeviceStats, reg: &mut hiss_obs::MetricsRegistry, prefix: &str) {
+    reg.counter(format!("{prefix}.busy_ns"), stats.busy.as_nanos());
+    reg.counter(format!("{prefix}.stalled_ns"), stats.stalled.as_nanos());
+    reg.counter(format!("{prefix}.ssrs_raised"), stats.ssrs_raised);
+    reg.counter(format!("{prefix}.ssrs_completed"), stats.ssrs_completed);
+    if let Some(t) = stats.finished_at {
+        reg.counter(format!("{prefix}.finished_at_ns"), t.as_nanos());
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 enum Event {
-    /// The GPU's next self-event (SSR raise or kernel finish).
-    Gpu { gpu: usize, gen: u64 },
+    /// A device's next self-event (SSR raise or work-item finish).
+    Device { dev: usize, gen: u64 },
     /// IOMMU coalescing timer expiry.
     CoalesceTimer { deadline: Ns },
     /// A kernel occupancy interval begins on `core`.
@@ -112,8 +172,8 @@ enum Event {
     OccupyEnd { core: usize },
     /// Projected completion of the user thread on `core`.
     UserDone { core: usize, gen: u64 },
-    /// An SSR finished service; notify the GPU.
-    SsrDone { gpu: usize, id: SsrId },
+    /// An SSR finished service; notify the raising device.
+    SsrDone { dev: usize, id: SsrId },
     /// Periodic OS scheduler tick on `core`.
     Tick { core: usize },
     /// The IOMMU finished walking the page table for a faulting access;
@@ -160,7 +220,7 @@ pub struct Soc {
     user_gen: Vec<u64>,
     users: Vec<Option<UserThread>>,
     cpu_spec: Option<CpuAppSpec>,
-    gpus: Vec<GpuRun>,
+    devices: Vec<DeviceRun>,
     iommu: Iommu,
     kernel: Kernel,
     occupied_until: Vec<Ns>,
@@ -175,12 +235,12 @@ pub struct Soc {
     /// rewarms it (which is why the refill constant is pre-halved in
     /// `CpuParams::l2_pollution`).
     module_warmth: Vec<WarmthModel>,
-    /// The `(time, generation)` of each GPU's live self-event, if any.
-    /// An SSR completion that does not change the GPU's trajectory must
+    /// The `(time, generation)` of each device's live self-event, if any.
+    /// An SSR completion that does not change the device's trajectory must
     /// not arm a second event: with up to 64 outstanding SSRs per GPU,
     /// unconditional re-arming multiplies the self-event chain ~64× (the
     /// duplicates are semantically inert but dominate the calendar).
-    armed_gpu: Vec<Option<(Ns, u64)>>,
+    armed_dev: Vec<Option<(Ns, u64)>>,
     /// Scratch for drained PPR batches, reused across interrupts.
     batch_buf: Vec<SsrRequest>,
     /// Scratch for kernel-output cascades, reused across interrupts.
@@ -194,7 +254,7 @@ impl Soc {
         cfg: SystemConfig,
         mit: MitigationConfig,
         cpu_spec: Option<CpuAppSpec>,
-        gpu_specs: Vec<GpuAppSpec>,
+        device_specs: Vec<(DeviceSpec, Option<CoreId>)>,
         looping: bool,
         seed: u64,
     ) -> Self {
@@ -220,36 +280,38 @@ impl Soc {
                 }
             })
             .collect();
-        let gpus: Vec<GpuRun> = gpu_specs
-            .into_iter()
+        let devices: Vec<DeviceRun> = device_specs
+            .iter()
             .enumerate()
-            .map(|(i, spec)| {
-                let mut grng = rng.fork(spec.name);
-                let gpu = Gpu::new(
-                    i,
-                    cfg.gpu,
-                    spec.profile,
-                    spec.total_work,
-                    grng.fork("iter0"),
-                );
-                GpuRun {
-                    gpu,
+            .map(|(i, (spec, _steer))| {
+                // Fork order and labels are part of bit-identity: GPU
+                // devices fork under their application name, exactly as
+                // the pre-topology GPU-vector path did.
+                let mut drng = rng.fork(spec.fork_label());
+                let dev = DeviceModel::from_spec(i, spec, &cfg, drng.fork("iter0"));
+                DeviceRun {
+                    dev,
                     looping,
                     iterations: 0,
                     done_busy: Ns::ZERO,
                     done_stalled: Ns::ZERO,
                     done_raised: 0,
                     done_completed: 0,
-                    rng: grng,
+                    rng: drng,
                     iter_label: String::with_capacity(16),
                 }
             })
             .collect();
-        let iommu = Iommu::with_coalescing(
+        let mut iommu = Iommu::with_coalescing(
             cfg.steering(mit.mitigation),
             cfg.num_cores,
             cfg.window(mit.mitigation),
         );
+        for (i, (_spec, steer)) in device_specs.iter().enumerate() {
+            if let Some(core) = steer {
+                iommu.set_device_steering(i, *core);
+            }
+        }
         let kernel = Kernel::new(
             KernelConfig {
                 costs: cfg.costs,
@@ -259,7 +321,7 @@ impl Soc {
             },
             cfg.num_cores,
         );
-        let num_gpus = gpus.len();
+        let num_devices = devices.len();
         Soc {
             now: Ns::ZERO,
             // Pre-sizes the far-future overflow ring only — the wheel's
@@ -275,7 +337,7 @@ impl Soc {
             user_gen: vec![0; cfg.num_cores],
             users,
             cpu_spec,
-            gpus,
+            devices,
             iommu,
             kernel,
             occupied_until: vec![Ns::ZERO; cfg.num_cores],
@@ -291,7 +353,7 @@ impl Soc {
             module_warmth: (0..cfg.num_cores.div_ceil(2))
                 .map(|_| WarmthModel::with_params(cfg.cpu.l2_pollution, cfg.cpu.l2_pollution))
                 .collect(),
-            armed_gpu: vec![None; num_gpus],
+            armed_dev: vec![None; num_devices],
             batch_buf: Vec::new(),
             kout_buf: Vec::new(),
             tick: TickTimer::new(cfg.timer_tick, cfg.tick_cost),
@@ -400,11 +462,11 @@ impl Soc {
         );
     }
 
-    fn arm_gpu(&mut self, g: usize) {
-        let run = &self.gpus[g];
-        if let Some(t) = run.gpu.next_tick(self.now) {
-            let gen = run.gpu.generation();
-            if let Some((armed_t, armed_gen)) = self.armed_gpu[g] {
+    fn arm_device(&mut self, d: usize) {
+        let dev = self.devices[d].dev.as_dyn();
+        if let Some(t) = dev.next_tick(self.now) {
+            let gen = dev.generation();
+            if let Some((armed_t, armed_gen)) = self.armed_dev[d] {
                 // A live event with the same generation at an earlier (or
                 // equal) time fires first and re-arms from there; pushing
                 // another would spawn a duplicate self-event chain.
@@ -412,8 +474,8 @@ impl Soc {
                     return;
                 }
             }
-            self.armed_gpu[g] = Some((t, gen));
-            self.queue.push(t, Event::Gpu { gpu: g, gen });
+            self.armed_dev[d] = Some((t, gen));
+            self.queue.push(t, Event::Device { dev: d, gen });
         }
     }
 
@@ -478,7 +540,7 @@ impl Soc {
                     self.queue.push(
                         at,
                         Event::SsrDone {
-                            gpu: request.gpu,
+                            dev: request.gpu,
                             id: request.id,
                         },
                     );
@@ -488,13 +550,15 @@ impl Soc {
         }
     }
 
-    fn handle_gpu_finish(&mut self, g: usize) {
-        let run = &mut self.gpus[g];
+    fn handle_device_finish(&mut self, d: usize) {
+        let now = self.now;
+        let run = &mut self.devices[d];
         run.iterations += 1;
         if run.looping {
-            // Bank the finished iteration's stats before replacing the GPU
-            // (non-looping runs keep reading them from the GPU itself).
-            let stats = run.gpu.stats();
+            // Bank the finished iteration's stats before restarting the
+            // device (non-looping runs keep reading them from the device
+            // itself).
+            let stats = run.dev.as_dyn().stats();
             run.done_busy += stats.busy;
             run.done_stalled += stats.stalled;
             run.done_raised += stats.ssrs_raised;
@@ -502,28 +566,29 @@ impl Soc {
             use std::fmt::Write as _;
             run.iter_label.clear();
             let _ = write!(run.iter_label, "iter{}", run.iterations);
-            run.gpu = run.gpu.relaunch(run.rng.fork(&run.iter_label), self.now);
-            self.arm_gpu(g);
+            let iter_rng = run.rng.fork(&run.iter_label);
+            run.dev.as_dyn_mut().restart(iter_rng, now);
+            self.arm_device(d);
         }
     }
 
     fn handle(&mut self, event: Event) {
         match event {
-            Event::Gpu { gpu, gen } => {
-                if gen != self.gpus[gpu].gpu.generation() {
+            Event::Device { dev, gen } => {
+                if gen != self.devices[dev].dev.as_dyn().generation() {
                     return; // stale
                 }
                 // This event is consumed; the re-arm below records the next.
-                self.armed_gpu[gpu] = None;
-                self.gpus[gpu].gpu.advance_to(self.now);
-                if self.gpus[gpu].gpu.is_finished() {
-                    self.handle_gpu_finish(gpu);
+                self.armed_dev[dev] = None;
+                self.devices[dev].dev.as_dyn_mut().advance_to(self.now);
+                if self.devices[dev].dev.as_dyn().is_finished() {
+                    self.handle_device_finish(dev);
                     return;
                 }
-                if let Some(req) = self.gpus[gpu].gpu.raise_ssr(self.now) {
+                if let Some(req) = self.devices[dev].dev.as_dyn_mut().raise(self.now) {
                     self.route_request(req);
                 }
-                self.arm_gpu(gpu);
+                self.arm_device(dev);
             }
             Event::CoalesceTimer { deadline } => {
                 if let Some(core) = self.iommu.on_timer(deadline) {
@@ -614,9 +679,9 @@ impl Soc {
                     self.schedule_user_done(core);
                 }
             }
-            Event::SsrDone { gpu, id } => {
-                self.gpus[gpu].gpu.on_ssr_complete(id, self.now);
-                self.arm_gpu(gpu);
+            Event::SsrDone { dev, id } => {
+                self.devices[dev].dev.as_dyn_mut().complete(id, self.now);
+                self.arm_device(dev);
             }
             Event::WalkDone { request } => {
                 self.log_request(request);
@@ -650,21 +715,21 @@ impl Soc {
         self.cpu_spec.is_some() && self.users.iter().flatten().all(|u| u.finished_at.is_some())
     }
 
-    fn gpus_done(&self) -> bool {
-        self.gpus
+    fn devices_done(&self) -> bool {
+        self.devices
             .iter()
-            .all(|r| r.iterations >= 1 || r.gpu.is_finished())
+            .all(|r| r.iterations >= 1 || r.dev.as_dyn().is_finished())
     }
 
     /// Runs the simulation to its natural end and returns the report.
     ///
     /// With a CPU application configured, the run ends when its last
-    /// thread finishes (GPU kernels loop to keep interference stationary,
-    /// matching the paper's concurrent-run methodology). Without one, the
-    /// run ends when every GPU finishes one kernel.
+    /// thread finishes (device work items loop to keep interference
+    /// stationary, matching the paper's concurrent-run methodology).
+    /// Without one, the run ends when every device finishes one work item.
     pub fn run(mut self) -> RunReport {
-        for g in 0..self.gpus.len() {
-            self.arm_gpu(g);
+        for d in 0..self.devices.len() {
+            self.arm_device(d);
         }
         for core in 0..self.cfg.num_cores {
             self.schedule_user_done(core);
@@ -674,7 +739,7 @@ impl Soc {
             }
         }
         let has_cpu = self.cpu_spec.is_some();
-        let has_gpu = !self.gpus.is_empty();
+        let has_dev = !self.devices.is_empty();
         while let Some((t, event)) = self.queue.pop() {
             if t > self.cfg.max_sim_time {
                 self.truncated = true;
@@ -686,7 +751,7 @@ impl Soc {
             if has_cpu && self.cpu_app_done() {
                 break;
             }
-            if !has_cpu && has_gpu && self.gpus_done() {
+            if !has_cpu && has_dev && self.devices_done() {
                 break;
             }
         }
@@ -702,8 +767,8 @@ impl Soc {
                 Activity::Kernel => {}
             }
         }
-        for run in &mut self.gpus {
-            run.gpu.advance_to(end);
+        for run in &mut self.devices {
+            run.dev.as_dyn_mut().advance_to(end);
         }
 
         let per_core: Vec<_> = self.cores.iter().map(|c| c.breakdown().clone()).collect();
@@ -730,14 +795,24 @@ impl Soc {
         } else {
             None
         };
-        let gpu_progress: Ns = self.gpus.iter().map(|r| r.total_progress()).sum();
+        // The `gpu_*` aggregates cover GPU-kind devices only (they feed
+        // the paper's GPU-performance metrics); NIC/DMA sources show up in
+        // the per-device `devN.*` namespace and the `aux_ssrs_raised`
+        // interference total. SSR completions count across all devices —
+        // the service chain is shared.
+        let gpu_progress: Ns = self
+            .devices
+            .iter()
+            .filter(|r| r.is_gpu())
+            .map(|r| r.total_progress())
+            .sum();
         let elapsed_s = end.as_secs_f64();
         let gpu_throughput = if elapsed_s > 0.0 {
             gpu_progress.as_secs_f64() / elapsed_s
         } else {
             0.0
         };
-        let total_completed: u64 = self.gpus.iter().map(|r| r.total_completed()).sum();
+        let total_completed: u64 = self.devices.iter().map(|r| r.total_completed()).sum();
         let ssr_rate = if elapsed_s > 0.0 {
             total_completed as f64 / elapsed_s
         } else {
@@ -781,7 +856,18 @@ impl Soc {
             qos_deferrals: ks.qos_deferrals,
         };
         let energy = EnergyReport::from_breakdowns(EnergyParams::default(), &per_core, end);
-        let gpu_iterations: u64 = self.gpus.iter().map(|r| r.iterations).sum();
+        let gpu_iterations: u64 = self
+            .devices
+            .iter()
+            .filter(|r| r.is_gpu())
+            .map(|r| r.iterations)
+            .sum();
+        let aux_ssrs_raised: u64 = self
+            .devices
+            .iter()
+            .filter(|r| !r.is_gpu())
+            .map(|r| r.total_stats().ssrs_raised)
+            .sum();
         let iommu_stats = self.iommu.stats();
 
         // Structured snapshot: every component publishes into one
@@ -794,10 +880,23 @@ impl Soc {
             b.publish(&mut metrics, &format!("cpu.core{i}"));
         }
         whole.publish(&mut metrics, "cpu.total");
-        for (i, run) in self.gpus.iter().enumerate() {
-            run.total_stats().publish(&mut metrics, &format!("gpu{i}"));
-            metrics.counter(format!("gpu{i}.iterations"), run.iterations);
+        // `gpuN.*` keys number GPU-kind devices by GPU ordinal so that
+        // all-GPU topologies keep the exact key layout (and values) the
+        // hardwired multi-GPU path produced.  The device-indexed `devN.*`
+        // namespace below covers every SSR source, GPU or not.
+        for (gpu_ordinal, run) in self.devices.iter().filter(|r| r.is_gpu()).enumerate() {
+            let stats = run.total_stats();
+            publish_device_stats(&stats, &mut metrics, &format!("gpu{gpu_ordinal}"));
+            metrics.counter(format!("gpu{gpu_ordinal}.iterations"), run.iterations);
         }
+        for (i, run) in self.devices.iter().enumerate() {
+            let stats = run.total_stats();
+            metrics.label(format!("dev{i}.kind"), run.dev.as_dyn().kind());
+            publish_device_stats(&stats, &mut metrics, &format!("dev{i}"));
+            metrics.counter(format!("dev{i}.iterations"), run.iterations);
+        }
+        metrics.counter("run.devices", self.devices.len() as u64);
+        metrics.counter("run.aux_ssrs_raised", aux_ssrs_raised);
         if let Some(gov) = self.kernel.governor() {
             gov.publish(&mut metrics, "qos");
         }
@@ -862,7 +961,7 @@ pub struct ExperimentBuilder {
     config: SystemConfig,
     mitigation: MitigationConfig,
     cpu: Option<CpuAppSpec>,
-    gpus: Vec<GpuAppSpec>,
+    devices: Vec<(DeviceSpec, Option<CoreId>)>,
     seed: Option<u64>,
     trace: Option<(Ns, Ns)>,
 }
@@ -874,7 +973,7 @@ impl ExperimentBuilder {
             config,
             mitigation: MitigationConfig::default(),
             cpu: None,
-            gpus: Vec::new(),
+            devices: Vec::new(),
             seed: None,
             trace: None,
         }
@@ -918,7 +1017,7 @@ impl ExperimentBuilder {
     pub fn gpu_app(mut self, name: &str) -> Self {
         let spec =
             GpuAppSpec::by_name(name).unwrap_or_else(|| panic!("unknown GPU benchmark {name:?}"));
-        self.gpus.push(spec);
+        self.devices.push((DeviceSpec::Gpu(spec), None));
         self
     }
 
@@ -931,13 +1030,27 @@ impl ExperimentBuilder {
     pub fn gpu_app_pinned(mut self, name: &str) -> Self {
         let spec =
             GpuAppSpec::by_name(name).unwrap_or_else(|| panic!("unknown GPU benchmark {name:?}"));
-        self.gpus.push(spec.pinned());
+        self.devices.push((DeviceSpec::Gpu(spec.pinned()), None));
         self
     }
 
     /// Adds an explicit GPU application spec.
     pub fn gpu_spec(mut self, spec: GpuAppSpec) -> Self {
-        self.gpus.push(spec);
+        self.devices.push((DeviceSpec::Gpu(spec), None));
+        self
+    }
+
+    /// Adds an arbitrary SSR-raising device (GPU, NIC, DMA engine, ...).
+    pub fn device(mut self, spec: DeviceSpec) -> Self {
+        self.devices.push((spec, None));
+        self
+    }
+
+    /// Adds a device whose MSI interrupts are optionally pinned to one
+    /// core, overriding the system-wide steering policy for this device
+    /// only (`None` keeps the shared default).
+    pub fn device_steered(mut self, spec: DeviceSpec, core: Option<CoreId>) -> Self {
+        self.devices.push((spec, core));
         self
     }
 
@@ -968,7 +1081,7 @@ impl ExperimentBuilder {
             self.config,
             self.mitigation,
             self.cpu,
-            self.gpus,
+            self.devices,
             looping,
             seed,
         );
@@ -982,6 +1095,7 @@ impl ExperimentBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hiss_workloads::{DmaParams, NicParams};
 
     fn cfg() -> SystemConfig {
         SystemConfig::a10_7850k()
@@ -1282,6 +1396,72 @@ mod tests {
         let json = m.to_json();
         let back = hiss_obs::MetricsRegistry::from_json(&json).expect("parse");
         assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn mixed_topology_runs_and_publishes_device_metrics() {
+        let report = ExperimentBuilder::new(cfg())
+            .cpu_app("x264")
+            .gpu_app("ubench")
+            .device(DeviceSpec::Nic(NicParams::default()))
+            .device_steered(DeviceSpec::Dma(DmaParams::default()), Some(CoreId(1)))
+            .run();
+        let m = &report.metrics;
+        assert_eq!(m.counter_value("run.devices"), Some(3));
+        assert_eq!(m.label_value("dev0.kind"), Some("gpu"));
+        assert_eq!(m.label_value("dev1.kind"), Some("nic"));
+        assert_eq!(m.label_value("dev2.kind"), Some("dma"));
+        // GPU ordinals skip non-GPU devices; the GPU's devN mirror matches.
+        assert_eq!(
+            m.counter_value("gpu0.ssrs_raised"),
+            m.counter_value("dev0.ssrs_raised")
+        );
+        let nic_raised = m.counter_value("dev1.ssrs_raised").unwrap();
+        let dma_raised = m.counter_value("dev2.ssrs_raised").unwrap();
+        assert!(nic_raised > 0 && dma_raised > 0);
+        assert_eq!(
+            m.counter_value("run.aux_ssrs_raised"),
+            Some(nic_raised + dma_raised)
+        );
+        // ssr_rate now aggregates every device's completions.
+        let completed: u64 = (0..3)
+            .map(|i| m.counter_value(&format!("dev{i}.ssrs_completed")).unwrap())
+            .sum();
+        assert!(completed > 0);
+        assert!(report.ssr_rate > 0.0);
+    }
+
+    #[test]
+    fn aux_devices_add_interference_like_extra_gpus() {
+        let base = ExperimentBuilder::new(cfg()).cpu_app("fluidanimate").run();
+        let noisy = ExperimentBuilder::new(cfg())
+            .cpu_app("fluidanimate")
+            .device(DeviceSpec::Nic(NicParams::default()))
+            .device(DeviceSpec::Dma(DmaParams::default()))
+            .run();
+        assert!(
+            noisy.cpu_app_runtime.unwrap() > base.cpu_app_runtime.unwrap(),
+            "NIC+DMA SSR streams must slow the CPU app ({:?} vs {:?})",
+            noisy.cpu_app_runtime,
+            base.cpu_app_runtime
+        );
+    }
+
+    #[test]
+    fn device_steering_isolates_other_cores() {
+        // Pin the NIC's interrupts to core 3: cores 0-2 should field
+        // strictly fewer interrupts than under the shared spread policy.
+        let spread = ExperimentBuilder::new(cfg())
+            .cpu_app("x264")
+            .device(DeviceSpec::Nic(NicParams::default()))
+            .run();
+        let pinned = ExperimentBuilder::new(cfg())
+            .cpu_app("x264")
+            .device_steered(DeviceSpec::Nic(NicParams::default()), Some(CoreId(3)))
+            .run();
+        let others = |r: &RunReport| -> u64 { r.kernel.interrupts_per_core[..3].iter().sum() };
+        assert!(others(&pinned) < others(&spread));
+        assert!(pinned.kernel.interrupts_per_core[3] > 0);
     }
 
     #[test]

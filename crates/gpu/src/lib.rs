@@ -31,3 +31,7 @@ pub mod request;
 
 pub use model::{Gpu, GpuEventKind, GpuParams, GpuStats};
 pub use request::{SsrId, SsrKind, SsrProfile, SsrRequest};
+
+// Re-exported so downstream device models can mint fault pages without a
+// direct hiss-mem dependency.
+pub use hiss_mem::PageId;

@@ -402,6 +402,63 @@ impl hiss_sim::NextTick for Gpu {
     }
 }
 
+impl From<GpuStats> for hiss_sim::DeviceStats {
+    fn from(s: GpuStats) -> Self {
+        hiss_sim::DeviceStats {
+            busy: s.busy,
+            stalled: s.stalled,
+            ssrs_raised: s.ssrs_raised,
+            ssrs_completed: s.ssrs_completed,
+            finished_at: s.finished_at,
+        }
+    }
+}
+
+impl hiss_sim::Device for Gpu {
+    type Request = SsrRequest;
+    type Completion = SsrId;
+
+    fn id(&self) -> usize {
+        self.index
+    }
+
+    fn kind(&self) -> &'static str {
+        "gpu"
+    }
+
+    fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    fn advance_to(&mut self, t: Ns) {
+        Gpu::advance_to(self, t);
+    }
+
+    fn raise(&mut self, now: Ns) -> Option<SsrRequest> {
+        self.raise_ssr(now)
+    }
+
+    fn complete(&mut self, token: SsrId, now: Ns) {
+        self.on_ssr_complete(token, now);
+    }
+
+    fn is_finished(&self) -> bool {
+        Gpu::is_finished(self)
+    }
+
+    fn is_stalled(&self) -> bool {
+        Gpu::is_stalled(self)
+    }
+
+    fn stats(&self) -> hiss_sim::DeviceStats {
+        Gpu::stats(self).into()
+    }
+
+    fn restart(&mut self, rng: Rng, now: Ns) {
+        *self = self.relaunch(rng, now);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -32,9 +32,14 @@ impl MsiSteering {
 
     /// Chooses the target core for the next interrupt.
     ///
+    /// A pinned target must be in range: configurations are validated at
+    /// scenario-compile time (lint `HL012`), so an out-of-range target
+    /// reaching this point is a construction bug, checked only in debug
+    /// builds rather than panicking mid-run.
+    ///
     /// # Panics
     ///
-    /// Panics if `num_cores` is zero or a pinned target is out of range.
+    /// Panics if `num_cores` is zero.
     pub fn target(&mut self, num_cores: usize) -> CoreId {
         assert!(num_cores > 0, "system must have at least one core");
         match self {
@@ -44,7 +49,7 @@ impl MsiSteering {
                 core
             }
             MsiSteering::Single(core) => {
-                assert!(
+                debug_assert!(
                     core.0 < num_cores,
                     "steering target {core} out of range ({num_cores} cores)"
                 );
@@ -79,9 +84,12 @@ mod tests {
         }
     }
 
+    /// Out-of-range pinned targets are rejected at scenario-compile time
+    /// (HL012); the runtime check survives only as a debug assertion.
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "out of range")]
-    fn single_out_of_range_panics() {
+    fn single_out_of_range_panics_in_debug_builds() {
         MsiSteering::single(CoreId(7)).target(4);
     }
 

@@ -70,6 +70,11 @@ impl IommuStats {
 #[derive(Debug, Clone)]
 pub struct Iommu {
     steering: MsiSteering,
+    /// Per-device MSI steering overrides, indexed by device id. A device
+    /// with an override bypasses the shared policy entirely (the spread
+    /// rotation state is not advanced), so configurations without
+    /// overrides behave bit-identically to a shared-policy IOMMU.
+    overrides: Vec<Option<CoreId>>,
     num_cores: usize,
     /// Coalescing window; zero disables coalescing.
     coalesce_window: Ns,
@@ -111,6 +116,7 @@ impl Iommu {
         );
         Iommu {
             steering,
+            overrides: Vec::new(),
             num_cores,
             coalesce_window: window,
             log_capacity: Self::DEFAULT_LOG_CAPACITY,
@@ -142,11 +148,43 @@ impl Iommu {
         self.timer_deadline
     }
 
+    /// Pins MSIs raised on behalf of `device` to `core`, overriding the
+    /// shared steering policy for that device (real IOMMUs configure MSI
+    /// vectors per requesting function).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range (topology construction bug; the
+    /// scenario compiler validates this as `HL012` first).
+    pub fn set_device_steering(&mut self, device: usize, core: CoreId) {
+        assert!(
+            core.0 < self.num_cores,
+            "steering override {core} out of range ({} cores)",
+            self.num_cores
+        );
+        if self.overrides.len() <= device {
+            self.overrides.resize(device + 1, None);
+        }
+        self.overrides[device] = Some(core);
+    }
+
+    /// The steering override configured for `device`, if any.
+    pub fn device_steering(&self, device: usize) -> Option<CoreId> {
+        self.overrides.get(device).copied().flatten()
+    }
+
     fn raise(&mut self) -> IommuDecision {
         self.interrupt_in_flight = true;
         self.timer_deadline = None;
         self.stats.interrupts += 1;
-        IommuDecision::Interrupt(self.steering.target(self.num_cores))
+        // A coalesced batch is attributed to the device that opened it
+        // (the oldest logged request): its per-device override, if any,
+        // picks the target without touching the shared rotation state.
+        let device = self.log.first().map(|r| r.gpu);
+        let target = device
+            .and_then(|d| self.device_steering(d))
+            .unwrap_or_else(|| self.steering.target(self.num_cores));
+        IommuDecision::Interrupt(target)
     }
 
     /// Logs an SSR request arriving at `now` and decides what happens.
@@ -359,6 +397,57 @@ mod tests {
             }
         }
         assert!(interrupted, "full log must force an interrupt");
+    }
+
+    fn req_from(id: u64, device: usize, at: Ns) -> SsrRequest {
+        SsrRequest {
+            gpu: device,
+            ..req(id, at)
+        }
+    }
+
+    #[test]
+    fn device_override_pins_without_advancing_spread_rotation() {
+        let mut i = Iommu::new(MsiSteering::spread(), 4);
+        i.set_device_steering(1, CoreId(3));
+        let mut targets = Vec::new();
+        // Devices alternate; device 1 is pinned to core 3, device 0 keeps
+        // consuming the shared rotation (0, 1, 2, …) as if the pinned
+        // device did not exist.
+        for n in 0..6u64 {
+            let t = Ns::from_micros(n);
+            let device = (n % 2) as usize;
+            if let IommuDecision::Interrupt(c) = i.on_request(req_from(n, device, t), t) {
+                targets.push(c.0);
+            }
+            i.drain();
+        }
+        assert_eq!(targets, vec![0, 3, 1, 3, 2, 3]);
+    }
+
+    #[test]
+    fn coalesced_batch_is_attributed_to_its_oldest_request() {
+        let w = Ns::from_micros(13);
+        let mut i = Iommu::with_coalescing(MsiSteering::spread(), 4, w);
+        i.set_device_steering(2, CoreId(1));
+        // Device 2 opens the batch; device 0 rides along.
+        assert_eq!(
+            i.on_request(req_from(0, 2, Ns::ZERO), Ns::ZERO),
+            IommuDecision::ArmTimer(w)
+        );
+        assert_eq!(
+            i.on_request(req_from(1, 0, Ns::from_micros(1)), Ns::from_micros(1)),
+            IommuDecision::Absorbed
+        );
+        assert_eq!(i.on_timer(w), Some(CoreId(1)));
+        assert_eq!(i.drain().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_override_is_rejected_at_setup() {
+        let mut i = Iommu::new(MsiSteering::spread(), 4);
+        i.set_device_steering(0, CoreId(4));
     }
 
     #[test]

@@ -64,6 +64,10 @@ pub enum Code {
     /// `[run] rows` pins a row count that disagrees with the compiled
     /// grid.
     RowsMismatch,
+    /// An interrupt-steering target (`[system] steer_target` or a
+    /// `[topology] steer` entry) names a core outside every swept core
+    /// count — the run would misroute or abort mid-simulation.
+    SteerTargetOutOfRange,
     /// An `[expect]` metric's registry mapping is missing from the
     /// `hiss-obs` schema.
     ExpectMetricNotInSchema,
@@ -103,6 +107,7 @@ impl Code {
         Code::UnusedBaseKey,
         Code::BadReplicas,
         Code::RowsMismatch,
+        Code::SteerTargetOutOfRange,
         Code::ExpectMetricNotInSchema,
         Code::DocMetricNotInSchema,
         Code::BenchMetricNotInSchema,
@@ -128,6 +133,7 @@ impl Code {
             Code::UnusedBaseKey => "HL009",
             Code::BadReplicas => "HL010",
             Code::RowsMismatch => "HL011",
+            Code::SteerTargetOutOfRange => "HL012",
             Code::ExpectMetricNotInSchema => "HL201",
             Code::DocMetricNotInSchema => "HL202",
             Code::BenchMetricNotInSchema => "HL203",

@@ -197,6 +197,27 @@ pub const SCHEMA: &[SchemaEntry] = &[
         "GPU N kernel completion time (if any)",
     ),
     run_c("gpuN.iterations", "workload iterations finished on GPU N"),
+    // publish_device_stats ("devN") — device-indexed view over every SSR
+    // source (GPUs, NICs, DMA engines); `gpuN.*` keeps numbering
+    // GPU-kind devices only.
+    SchemaEntry {
+        pattern: "devN.kind",
+        kind: MetricKind::Label,
+        scope: Scope::Run,
+        doc: "device N model kind (gpu, nic, dma)",
+    },
+    run_c("devN.busy_ns", "device N busy time"),
+    run_c("devN.stalled_ns", "device N time stalled on SSRs"),
+    run_c("devN.ssrs_raised", "SSRs raised by device N"),
+    run_c("devN.ssrs_completed", "SSRs completed for device N"),
+    run_c(
+        "devN.finished_at_ns",
+        "device N work completion time (if any)",
+    ),
+    run_c(
+        "devN.iterations",
+        "workload iterations finished on device N",
+    ),
     // Governor::publish ("qos"), present only when QoS is enabled
     run_c("qos.deferrals", "interrupts deferred by the governor"),
     run_c("qos.passes", "interrupts passed through immediately"),
@@ -211,6 +232,11 @@ pub const SCHEMA: &[SchemaEntry] = &[
     run_c("run.gpu_progress_ns", "summed GPU busy progress"),
     run_g("run.gpu_throughput", "GPU busy fraction of elapsed time"),
     run_c("run.gpu_iterations", "workload iterations across all GPUs"),
+    run_c("run.devices", "SSR-raising devices instantiated in the run"),
+    run_c(
+        "run.aux_ssrs_raised",
+        "SSRs raised by non-GPU devices (NIC, DMA)",
+    ),
     run_g("run.ssr_rate", "SSRs raised per simulated second"),
     run_g("run.cc6_residency", "whole-run CC6 residency fraction"),
     run_g("run.cpu_ssr_overhead", "whole-run SSR-servicing fraction"),
@@ -256,6 +282,12 @@ pub const SCHEMA: &[SchemaEntry] = &[
         kind: MetricKind::Counter,
         scope: Scope::Cell,
         doc: "replica index within the cell",
+    },
+    SchemaEntry {
+        pattern: "cell.topology",
+        kind: MetricKind::Label,
+        scope: Scope::Cell,
+        doc: "declarative device topology of the cell (kind@steer list)",
     },
     SchemaEntry {
         pattern: "cell.axis.*",
@@ -438,6 +470,10 @@ pub const SCHEMA: &[SchemaEntry] = &[
     bench_c("bench.cell.*.events_peak", "per-cell run.events_peak"),
     bench_c("bench.cell.*.elapsed_ns", "per-cell run.elapsed_ns"),
     bench_c("bench.cell.*.gpu_iterations", "per-cell run.gpu_iterations"),
+    bench_c(
+        "bench.cell.*.aux_ssrs_raised",
+        "per-cell run.aux_ssrs_raised",
+    ),
     bench_c("bench.cell.*.pending_at_end", "per-cell run.pending_at_end"),
     bench_c("bench.total.kernel_ipis", "suite-summed kernel.ipis"),
     bench_c(
@@ -474,6 +510,10 @@ pub const SCHEMA: &[SchemaEntry] = &[
     bench_c(
         "bench.total.gpu_iterations",
         "suite-summed run.gpu_iterations",
+    ),
+    bench_c(
+        "bench.total.aux_ssrs_raised",
+        "suite-summed run.aux_ssrs_raised",
     ),
     bench_c(
         "bench.total.pending_at_end",
@@ -517,8 +557,8 @@ pub fn lookup(name: &str) -> Option<&'static SchemaEntry> {
 }
 
 /// The distinct first segments of every pattern (the namespace roots:
-/// `kernel`, `iommu`, `cpu`, `gpuN`, `qos`, `run`, `energy`, `cell`,
-/// `pool`, `baseline_cache`, `bench`), in first-appearance order.
+/// `kernel`, `iommu`, `cpu`, `gpuN`, `devN`, `qos`, `run`, `energy`,
+/// `cell`, `pool`, `baseline_cache`, `bench`), in first-appearance order.
 pub fn roots() -> Vec<&'static str> {
     let mut out: Vec<&'static str> = Vec::new();
     for e in SCHEMA {
@@ -591,6 +631,7 @@ mod tests {
             "iommu",
             "cpu",
             "gpuN",
+            "devN",
             "qos",
             "run",
             "energy",

@@ -15,6 +15,8 @@
 //!   headline CPU×GPU interference grid),
 //! - `qos_quick` — `scenarios/qos_sweep.hiss` in quick mode (QoS
 //!   governor sweep, exercising deferral paths fig3 never takes),
+//! - `devices` — `scenarios/topology.hiss` in quick mode (a GPU + NIC +
+//!   DMA `[topology]`, gating the auxiliary-device SSR path),
 //! - `engine` — a direct serial [`ExperimentBuilder`] co-run on the
 //!   calling thread, probing allocation traffic and calendar churn
 //!   without the pool or cache in the way.
@@ -47,11 +49,12 @@ pub const CELL_COUNTERS: &[(&str, &str)] = &[
     ("events_peak", "run.events_peak"),
     ("elapsed_ns", "run.elapsed_ns"),
     ("gpu_iterations", "run.gpu_iterations"),
+    ("aux_ssrs_raised", "run.aux_ssrs_raised"),
     ("pending_at_end", "run.pending_at_end"),
 ];
 
 /// Names of every suite, in execution order.
-pub const SUITES: &[&str] = &["engine", "fig3_quick", "qos_quick"];
+pub const SUITES: &[&str] = &["engine", "fig3_quick", "qos_quick", "devices"];
 
 /// One cell's identity as a single schema segment: dots in axis values
 /// would split into extra pattern segments, so they become underscores
@@ -155,6 +158,7 @@ pub fn run_all(root: &Path) -> Result<Vec<SuiteSnapshot>, String> {
         engine_suite(),
         scenario_suite("fig3_quick", root, "fig3.hiss")?,
         scenario_suite("qos_quick", root, "qos_sweep.hiss")?,
+        scenario_suite("devices", root, "topology.hiss")?,
     ])
 }
 

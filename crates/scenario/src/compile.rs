@@ -20,10 +20,13 @@
 //! configuration resolve the noisy run through the cache too (sharing it
 //! with the figure modules).
 
-use hiss::{BaselineCache, ExperimentBuilder, Mitigation, QosParams, RunReport};
+use hiss::{
+    BaselineCache, CoreId, DeviceKind, DeviceSpec, DmaParams, ExperimentBuilder, GpuAppSpec,
+    Mitigation, NicParams, QosParams, RunReport,
+};
 use hiss_obs::MetricsRegistry;
 
-use crate::spec::{Knobs, Scenario};
+use crate::spec::{Knobs, Scenario, Topology};
 
 /// One fully resolved simulation job of a scenario batch.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,6 +42,8 @@ pub struct Cell {
     pub replica: u32,
     /// The cell's resolved knobs.
     pub knobs: Knobs,
+    /// Declarative device topology, when the scenario has `[topology]`.
+    pub topology: Option<Topology>,
 }
 
 /// One result row: the cell's coordinates plus every metric an
@@ -81,6 +86,8 @@ pub struct Row {
     pub ipis: u64,
     /// QoS deferral episodes.
     pub qos_deferrals: u64,
+    /// SSRs raised by non-GPU devices (NIC, DMA); 0 for all-GPU cells.
+    pub aux_ssrs_raised: u64,
 }
 
 /// Expands a scenario into its cell grid for the given mode.
@@ -115,6 +122,7 @@ pub fn expand(sc: &Scenario, quick: bool) -> Vec<Cell> {
                         axes: axes.clone(),
                         replica,
                         knobs: k,
+                        topology: sc.topology.clone(),
                     });
                 }
             }
@@ -143,17 +151,34 @@ pub fn run_cell_report(cell: &Cell) -> (Row, std::sync::Arc<RunReport>) {
     let cfg = &cell.knobs.cfg;
     let base = cache.cpu_baseline(cfg, &cell.cpu_app, &cell.gpu_app);
     let gpu_base = cache.gpu_idle_baseline(cfg, &cell.gpu_app);
+    // Topology cells never use the co-run cache: its key is only
+    // (config, cpu_app, gpu_app), which cannot distinguish device lists.
     let is_default = cell.knobs.mitigation == Mitigation::DEFAULT
         && cell.knobs.qos_percent == 0.0
-        && cell.knobs.gpus == 1;
+        && cell.knobs.gpus == 1
+        && cell.topology.is_none();
     let run = if is_default {
         cache.corun_default(cfg, &cell.cpu_app, &cell.gpu_app)
     } else {
         let mut b = ExperimentBuilder::new(*cfg)
             .cpu_app(&cell.cpu_app)
             .mitigation(cell.knobs.mitigation);
-        for _ in 0..cell.knobs.gpus {
-            b = b.gpu_app(&cell.gpu_app);
+        if let Some(top) = &cell.topology {
+            for (kind, steer) in top.devices.iter().zip(&top.steer) {
+                let spec = match kind {
+                    DeviceKind::Gpu => DeviceSpec::Gpu(
+                        GpuAppSpec::by_name(&cell.gpu_app)
+                            .expect("workload names were validated at parse time"),
+                    ),
+                    DeviceKind::Nic => DeviceSpec::Nic(NicParams::default()),
+                    DeviceKind::Dma => DeviceSpec::Dma(DmaParams::default()),
+                };
+                b = b.device_steered(spec, steer.map(CoreId));
+            }
+        } else {
+            for _ in 0..cell.knobs.gpus {
+                b = b.gpu_app(&cell.gpu_app);
+            }
         }
         if cell.knobs.qos_percent > 0.0 {
             b = b.qos(QosParams::threshold_percent(cell.knobs.qos_percent));
@@ -177,6 +202,9 @@ pub fn cell_metrics(cell: &Cell, run: &RunReport) -> MetricsRegistry {
     m.label("cell.cpu_app", &cell.cpu_app);
     m.label("cell.gpu_app", &cell.gpu_app);
     m.counter("cell.replica", cell.replica as u64);
+    if let Some(top) = &cell.topology {
+        m.label("cell.topology", top.render());
+    }
     for (key, value) in &cell.axes {
         m.label(format!("cell.axis.{key}"), value);
     }
@@ -208,6 +236,10 @@ fn row_from_report(cell: &Cell, run: &RunReport, base: &RunReport, gpu_base: &Ru
         ssr_overhead: run.cpu_ssr_overhead,
         ipis: run.kernel.ipis,
         qos_deferrals: run.kernel.qos_deferrals,
+        aux_ssrs_raised: run
+            .metrics
+            .counter_value("run.aux_ssrs_raised")
+            .unwrap_or(0),
     }
 }
 
@@ -368,6 +400,63 @@ qos_percent = [0, 1]
         let rows = run(&sc, false);
         let row_only: Vec<&Row> = pairs.iter().map(|(r, _)| r).collect();
         assert_eq!(rows.iter().collect::<Vec<_>>(), row_only);
+    }
+
+    /// The acceptance gate for the device generalisation: a `[topology]`
+    /// of N `gpu` devices is the same simulation as the hardwired
+    /// `gpus = N` knob — every row bit-identical, through both the
+    /// builder path (N = 2) and the co-run-cache default path (N = 1).
+    #[test]
+    fn all_gpu_topology_is_bit_identical_to_the_hardwired_gpus_knob() {
+        let base = r#"
+[scenario]
+name = "t"
+[workload]
+cpu = ["x264"]
+gpu = ["ubench", "sssp"]
+"#;
+        for (knob, topo) in [
+            (
+                "[system]\ngpus = 2\n",
+                "[topology]\ndevices = [\"gpu\", \"gpu\"]\n",
+            ),
+            ("", "[topology]\ndevices = [\"gpu\"]\n"),
+        ] {
+            let hardwired = Scenario::from_str(&format!("{base}{knob}")).unwrap();
+            let declared = Scenario::from_str(&format!("{base}{topo}")).unwrap();
+            let a = run(&hardwired, false);
+            let b = run(&declared, false);
+            let a_json: Vec<String> = a.iter().map(crate::output::row_json).collect();
+            let b_json: Vec<String> = b.iter().map(crate::output::row_json).collect();
+            assert_eq!(a_json, b_json, "topology {topo:?} diverged from {knob:?}");
+        }
+    }
+
+    #[test]
+    fn topology_cells_carry_their_identity_and_aux_ssrs() {
+        let sc = Scenario::from_str(
+            r#"
+[scenario]
+name = "t"
+[workload]
+cpu = ["x264"]
+gpu = ["ubench"]
+[topology]
+devices = ["gpu", "nic", "dma"]
+steer = [-1, 3, -1]
+"#,
+        )
+        .unwrap();
+        let pairs = run_with_metrics(&sc, false);
+        assert_eq!(pairs.len(), 1);
+        let (row, m) = &pairs[0];
+        assert_eq!(m.label_value("cell.topology"), Some("gpu@-,nic@3,dma@-"));
+        assert_eq!(m.counter_value("run.devices"), Some(3));
+        assert!(row.aux_ssrs_raised > 0, "NIC+DMA must raise SSRs");
+        assert_eq!(
+            m.counter_value("run.aux_ssrs_raised"),
+            Some(row.aux_ssrs_raised)
+        );
     }
 
     #[test]

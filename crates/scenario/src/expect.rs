@@ -43,6 +43,7 @@ fn metric_value(metric: Metric, row: &Row) -> Option<f64> {
         Metric::GpuThroughput => row.gpu_throughput,
         Metric::QosDeferrals => row.qos_deferrals as f64,
         Metric::Ipis => row.ipis as f64,
+        Metric::AuxSsrsRaised => row.aux_ssrs_raised as f64,
     })
 }
 
@@ -142,6 +143,7 @@ mod tests {
             ssr_overhead: 0.05,
             ipis: 3,
             qos_deferrals: 0,
+            aux_ssrs_raised: 0,
         }
     }
 

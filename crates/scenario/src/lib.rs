@@ -53,7 +53,7 @@ pub use compile::{
 };
 pub use expect::{check, Violation};
 pub use parse::{Document, ScenarioError, Value};
-pub use spec::{Agg, Expect, Field, Knobs, Metric, Scenario, SweepAxis, Workload};
+pub use spec::{Agg, Expect, Field, Knobs, Metric, Scenario, SweepAxis, Topology, Workload};
 
 /// Loads and validates a scenario file from disk. The returned scenario
 /// remembers its path ([`Scenario::source`]), so expect violations are

@@ -273,6 +273,7 @@ fn field_by_key(key: &str) -> Option<Field> {
         Field::CoalesceWindowUs,
         Field::MaxSimTimeMs,
         Field::Cc6,
+        Field::SteerTarget,
         Field::Steer,
         Field::Coalesce,
         Field::Monolithic,
@@ -460,6 +461,23 @@ quick_cpu = []
         assert_eq!(codes(&d), vec![Code::RowsMismatch]);
         assert!(d[0].msg.contains("4 rows"), "{}", d[0].msg);
         assert!(lint("[run]\nreplicas = 2\nrows = 4\n[sweep]\ngpus = [1, 2]\n").is_empty());
+    }
+
+    #[test]
+    fn out_of_range_steer_targets_lint_as_hl012() {
+        let d = lint("[system]\nsteer_target = 9\n");
+        assert_eq!(codes(&d), vec![Code::SteerTargetOutOfRange]);
+        assert_eq!(d[0].code.as_str(), "HL012");
+        assert_eq!(d[0].file.as_deref(), Some("t.hiss"));
+        assert_eq!(d[0].line, 8);
+
+        let d = lint("[topology]\ndevices = [\"gpu\", \"dma\"]\nsteer = [2, 4]\n");
+        assert_eq!(codes(&d), vec![Code::SteerTargetOutOfRange]);
+        assert_eq!(d[0].line, 9);
+
+        // In-range targets lint clean, topology or not.
+        assert!(lint("[system]\nsteer_target = 3\n").is_empty());
+        assert!(lint("[topology]\ndevices = [\"gpu\", \"nic\"]\nsteer = [-1, 3]\n").is_empty());
     }
 
     #[test]

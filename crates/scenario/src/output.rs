@@ -75,6 +75,7 @@ pub fn row_json(row: &Row) -> String {
     let _ = write!(out, ",\"ssr_overhead\":{}", json_f64(row.ssr_overhead));
     let _ = write!(out, ",\"ipis\":{}", row.ipis);
     let _ = write!(out, ",\"qos_deferrals\":{}", row.qos_deferrals);
+    let _ = write!(out, ",\"aux_ssrs_raised\":{}", row.aux_ssrs_raised);
     out.push('}');
     out
 }
@@ -172,6 +173,7 @@ mod tests {
             ssr_overhead: 0.0625,
             ipis: 7,
             qos_deferrals: 3,
+            aux_ssrs_raised: 0,
         }
     }
 

@@ -15,7 +15,7 @@
 //!
 //! Every diagnostic carries the offending line number.
 
-use hiss::{Mitigation, Ns, SystemConfig};
+use hiss::{CoreId, DeviceKind, Mitigation, Ns, SystemConfig};
 
 use crate::parse::{Document, Entry, ScenarioError, Value};
 
@@ -64,6 +64,10 @@ pub enum Field {
     MaxSimTimeMs,
     /// `cc6` — whether the deep C-state is available.
     Cc6,
+    /// `steer_target` — which core §V-A single-core steering pins
+    /// interrupts to (range-checked against every swept core count at
+    /// compile time, lint `HL012`).
+    SteerTarget,
     /// `steer` — §V-A single-core interrupt steering.
     Steer,
     /// `coalesce` — §V-B interrupt coalescing.
@@ -90,6 +94,7 @@ impl Field {
             Field::CoalesceWindowUs => "coalesce_window_us",
             Field::MaxSimTimeMs => "max_sim_time_ms",
             Field::Cc6 => "cc6",
+            Field::SteerTarget => "steer_target",
             Field::Steer => "steer",
             Field::Coalesce => "coalesce",
             Field::Monolithic => "monolithic",
@@ -107,6 +112,7 @@ impl Field {
             Field::CoalesceWindowUs,
             Field::MaxSimTimeMs,
             Field::Cc6,
+            Field::SteerTarget,
             Field::Steer,
             Field::Coalesce,
             Field::Monolithic,
@@ -126,6 +132,7 @@ impl Field {
         Field::CoalesceWindowUs,
         Field::MaxSimTimeMs,
         Field::Cc6,
+        Field::SteerTarget,
     ];
 
     /// Fields accepted in `[mitigation]`.
@@ -176,6 +183,10 @@ impl Field {
                 } else {
                     Ns::MAX
                 };
+            }
+            Field::SteerTarget => {
+                let n = expect_int(value, key, line, 0, 63)?;
+                knobs.cfg.steer_target = CoreId(n as usize);
             }
             Field::Steer => knobs.mitigation.steer_single_core = expect_bool(value, key, line)?,
             Field::Coalesce => knobs.mitigation.coalesce = expect_bool(value, key, line)?,
@@ -344,6 +355,9 @@ pub enum Metric {
     QosDeferrals,
     /// Inter-processor interrupts sent.
     Ipis,
+    /// SSRs raised by non-GPU devices (NIC, DMA engine) of a
+    /// `[topology]` cell; 0 for all-GPU runs.
+    AuxSsrsRaised,
 }
 
 impl Metric {
@@ -360,6 +374,7 @@ impl Metric {
             Metric::GpuThroughput => "gpu_throughput",
             Metric::QosDeferrals => "qos_deferrals",
             Metric::Ipis => "ipis",
+            Metric::AuxSsrsRaised => "aux_ssrs_raised",
         }
     }
 
@@ -375,6 +390,7 @@ impl Metric {
         Metric::GpuThroughput,
         Metric::QosDeferrals,
         Metric::Ipis,
+        Metric::AuxSsrsRaised,
     ];
 
     /// The `hiss-obs` registry name this metric is derived from, or
@@ -394,6 +410,7 @@ impl Metric {
             Metric::GpuThroughput => Some("run.gpu_throughput"),
             Metric::QosDeferrals => Some("kernel.qos_deferrals"),
             Metric::Ipis => Some("kernel.ipis"),
+            Metric::AuxSsrsRaised => Some("run.aux_ssrs_raised"),
         }
     }
 }
@@ -415,6 +432,50 @@ pub struct Expect {
     pub line: usize,
 }
 
+/// Declarative device topology (`[topology]`): the explicit list of
+/// SSR-raising device instances a cell runs, with optional per-device
+/// MSI steering. When present it replaces the `gpus` count — the GPU
+/// application from the workload grid runs on every `gpu`-kind
+/// instance, and `nic`/`dma` instances add their default-parameter
+/// interference streams.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Topology {
+    /// Device model kinds, one per instance, in device-index order.
+    pub devices: Vec<DeviceKind>,
+    /// Per-device steering override, parallel to `devices`; `None`
+    /// follows the system-wide policy (`-1` in the file).
+    pub steer: Vec<Option<usize>>,
+    /// Line the `devices` list was declared on.
+    pub line: usize,
+    /// Line the `steer` list was declared on (the `devices` line when
+    /// the scenario has no explicit `steer`).
+    pub steer_line: usize,
+}
+
+impl Topology {
+    /// Number of GPU-kind instances.
+    pub fn gpu_count(&self) -> usize {
+        self.devices
+            .iter()
+            .filter(|k| **k == DeviceKind::Gpu)
+            .count()
+    }
+
+    /// Compact rendering for labels and store keys: `gpu@-,nic@0`
+    /// (`@-` = shared steering policy, `@N` = pinned to core N).
+    pub fn render(&self) -> String {
+        self.devices
+            .iter()
+            .zip(&self.steer)
+            .map(|(kind, steer)| match steer {
+                Some(core) => format!("{}@{core}", kind.name()),
+                None => format!("{}@-", kind.name()),
+            })
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
 /// A fully validated scenario.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
@@ -427,6 +488,9 @@ pub struct Scenario {
     pub base: Knobs,
     /// Workload mix.
     pub workload: Workload,
+    /// Declarative device topology, when `[topology]` is present
+    /// (replaces the `gpus` count).
+    pub topology: Option<Topology>,
     /// Sweep axes in file order (first axis is the outermost loop).
     pub sweeps: Vec<SweepAxis>,
     /// Number of replicas per cell (replica *i* runs with `seed + i`).
@@ -445,6 +509,7 @@ const SECTIONS: &[&str] = &[
     "system",
     "mitigation",
     "workload",
+    "topology",
     "run",
     "sweep",
     "expect",
@@ -577,6 +642,25 @@ impl Scenario {
             gpu,
         };
 
+        // [topology]
+        let mut topology = None;
+        if let Some(top) = doc.section("topology") {
+            topology = Some(parse_topology(top)?);
+        }
+        if let Some(t) = &topology {
+            // The device list fixes the GPU count, so a `gpus` base key
+            // or sweep axis would silently disagree with it.
+            if let Some(e) = doc.section("system").and_then(|s| s.get("gpus")) {
+                return Err(ScenarioError::new(
+                    e.line,
+                    "[system] `gpus` conflicts with [topology]: the device list \
+                     already fixes the GPU count",
+                ));
+            }
+            base.gpus = t.gpu_count();
+            base.cfg.num_gpus = t.gpu_count();
+        }
+
         // [run]
         let mut replicas = 1u32;
         let mut expected_rows = None;
@@ -640,6 +724,74 @@ impl Scenario {
                 });
             }
         }
+        if topology.is_some() {
+            if let Some(axis) = sweeps.iter().find(|a| a.field == Field::Gpus) {
+                return Err(ScenarioError::new(
+                    axis.line,
+                    "sweep axis `gpus` conflicts with [topology]: the device list \
+                     already fixes the GPU count",
+                ));
+            }
+        }
+
+        // Every interrupt-steering target must be a valid core under
+        // every swept core count (HL012): an out-of-range target would
+        // misroute or abort mid-simulation.
+        let min_cores = sweeps
+            .iter()
+            .filter(|a| a.field == Field::Cores)
+            .flat_map(|a| &a.values)
+            .filter_map(|v| match v {
+                Value::Int(i) => Some(*i as usize),
+                _ => None,
+            })
+            .min()
+            .unwrap_or(base.cfg.num_cores);
+        let steer_oor = |line: usize, what: String, core: usize| {
+            ScenarioError::new(
+                line,
+                format!(
+                    "{what} pins core {core}, but the scenario runs with as few as \
+                     {min_cores} cores (a steering target must satisfy 0 <= core < cores)"
+                ),
+            )
+            .with_code(hiss_lint::Code::SteerTargetOutOfRange)
+        };
+        if let Some(e) = doc.section("system").and_then(|s| s.get("steer_target")) {
+            if base.cfg.steer_target.0 >= min_cores {
+                return Err(steer_oor(
+                    e.line,
+                    "`steer_target`".to_string(),
+                    base.cfg.steer_target.0,
+                ));
+            }
+        }
+        for axis in sweeps.iter().filter(|a| a.field == Field::SteerTarget) {
+            for v in &axis.values {
+                if let Value::Int(i) = v {
+                    if *i as usize >= min_cores {
+                        return Err(steer_oor(
+                            axis.line,
+                            "`steer_target` sweep value".to_string(),
+                            *i as usize,
+                        ));
+                    }
+                }
+            }
+        }
+        if let Some(t) = &topology {
+            for (i, core) in t.steer.iter().enumerate() {
+                if let Some(core) = core {
+                    if *core >= min_cores {
+                        return Err(steer_oor(
+                            t.steer_line,
+                            format!("[topology] steer entry for device {i}"),
+                            *core,
+                        ));
+                    }
+                }
+            }
+        }
 
         // [expect]
         let mut expects = Vec::new();
@@ -654,6 +806,7 @@ impl Scenario {
             description,
             base,
             workload,
+            topology,
             sweeps,
             replicas,
             expected_rows,
@@ -679,6 +832,107 @@ impl Scenario {
             &self.workload.gpu
         }
     }
+}
+
+/// Validates one `[topology]` section into a [`Topology`].
+fn parse_topology(top: &crate::parse::Section) -> Result<Topology, ScenarioError> {
+    let mut devices: Option<(Vec<DeviceKind>, usize)> = None;
+    let mut steer: Option<(Vec<Option<usize>>, usize)> = None;
+    for e in &top.entries {
+        match e.key.as_str() {
+            "devices" => {
+                let Value::List(items) = &e.value else {
+                    return Err(ScenarioError::new(
+                        e.line,
+                        format!(
+                            "\"devices\" expects a list of device kinds, got {}",
+                            e.value.type_name()
+                        ),
+                    ));
+                };
+                let mut kinds = Vec::with_capacity(items.len());
+                for item in items {
+                    let name = expect_str(item, "devices", e.line)?;
+                    let kind = DeviceKind::by_name(name).ok_or_else(|| {
+                        let catalog: Vec<&str> = DeviceKind::ALL.iter().map(|k| k.name()).collect();
+                        let mut msg = format!(
+                            "unknown device kind {name:?} (kinds: {})",
+                            catalog.join(", ")
+                        );
+                        if let Some(suggestion) = crate::nearest(name, &catalog) {
+                            msg.push_str(&format!("; did you mean {suggestion:?}?"));
+                        }
+                        ScenarioError::new(e.line, msg)
+                    })?;
+                    kinds.push(kind);
+                }
+                if kinds.is_empty() {
+                    return Err(ScenarioError::new(
+                        e.line,
+                        "[topology] `devices` must list at least one device",
+                    ));
+                }
+                devices = Some((kinds, e.line));
+            }
+            "steer" => {
+                let Value::List(items) = &e.value else {
+                    return Err(ScenarioError::new(
+                        e.line,
+                        format!(
+                            "\"steer\" expects a list of core indices \
+                             (-1 = shared policy), got {}",
+                            e.value.type_name()
+                        ),
+                    ));
+                };
+                let mut out = Vec::with_capacity(items.len());
+                for item in items {
+                    let i = expect_int(item, "steer", e.line, -1, 63)?;
+                    out.push((i >= 0).then_some(i as usize));
+                }
+                steer = Some((out, e.line));
+            }
+            other => {
+                return Err(unknown_key(
+                    e.line,
+                    other,
+                    "topology",
+                    &["devices", "steer"],
+                ));
+            }
+        }
+    }
+    let Some((devices, line)) = devices else {
+        return Err(ScenarioError::new(
+            top.line,
+            "[topology] must set `devices = [...]`",
+        ));
+    };
+    if !devices.contains(&DeviceKind::Gpu) {
+        return Err(ScenarioError::new(
+            line,
+            "[topology] must include at least one \"gpu\" device (the workload \
+             grid's GPU application runs on it)",
+        ));
+    }
+    let (steer, steer_line) = steer.unwrap_or_else(|| (vec![None; devices.len()], line));
+    if steer.len() != devices.len() {
+        return Err(ScenarioError::new(
+            steer_line,
+            format!(
+                "`steer` must list exactly one entry per device ({} devices, \
+                 {} steer entries); use -1 to keep the shared policy",
+                devices.len(),
+                steer.len()
+            ),
+        ));
+    }
+    Ok(Topology {
+        devices,
+        steer,
+        line,
+        steer_line,
+    })
 }
 
 /// Which catalog an application list is checked against.
@@ -979,5 +1233,102 @@ gpu = ["ubench"]
     fn qos_percent_range_checked() {
         let err = Scenario::from_str(&with("[mitigation]\nqos_percent = 101\n")).unwrap_err();
         assert!(err.msg.contains("[0, 100]"), "{}", err.msg);
+    }
+
+    #[test]
+    fn topology_parses_and_fixes_the_gpu_count() {
+        let sc = Scenario::from_str(&with(
+            "[topology]\ndevices = [\"gpu\", \"nic\", \"gpu\", \"dma\"]\nsteer = [-1, 0, -1, 3]\n",
+        ))
+        .unwrap();
+        let t = sc.topology.as_ref().unwrap();
+        assert_eq!(t.devices.len(), 4);
+        assert_eq!(t.gpu_count(), 2);
+        assert_eq!(t.steer, vec![None, Some(0), None, Some(3)]);
+        assert_eq!(t.render(), "gpu@-,nic@0,gpu@-,dma@3");
+        // The device list fixes the GPU count on the base knobs.
+        assert_eq!(sc.base.gpus, 2);
+        assert_eq!(sc.base.cfg.num_gpus, 2);
+
+        // steer defaults to the shared policy for every device.
+        let sc = Scenario::from_str(&with("[topology]\ndevices = [\"gpu\", \"nic\"]\n")).unwrap();
+        assert_eq!(sc.topology.unwrap().steer, vec![None, None]);
+    }
+
+    #[test]
+    fn topology_requires_known_kinds_and_a_gpu() {
+        let err =
+            Scenario::from_str(&with("[topology]\ndevices = [\"gpu\", \"nick\"]\n")).unwrap_err();
+        assert_eq!(err.line, 8);
+        assert!(err.msg.contains("unknown device kind"), "{}", err.msg);
+        assert!(err.msg.contains("did you mean \"nic\""), "{}", err.msg);
+
+        let err =
+            Scenario::from_str(&with("[topology]\ndevices = [\"nic\", \"dma\"]\n")).unwrap_err();
+        assert!(err.msg.contains("at least one \"gpu\""), "{}", err.msg);
+
+        let err = Scenario::from_str(&with("[topology]\nsteer = [0]\n")).unwrap_err();
+        assert!(err.msg.contains("`devices = [...]`"), "{}", err.msg);
+
+        let err = Scenario::from_str(&with(
+            "[topology]\ndevices = [\"gpu\", \"nic\"]\nsteer = [0]\n",
+        ))
+        .unwrap_err();
+        assert!(err.msg.contains("one entry per device"), "{}", err.msg);
+    }
+
+    #[test]
+    fn topology_conflicts_with_the_gpus_knob_and_axis() {
+        let err = Scenario::from_str(&with(
+            "[system]\ngpus = 2\n[topology]\ndevices = [\"gpu\"]\n",
+        ))
+        .unwrap_err();
+        assert_eq!(err.line, 8);
+        assert!(err.msg.contains("conflicts with [topology]"), "{}", err.msg);
+
+        let err = Scenario::from_str(&with(
+            "[topology]\ndevices = [\"gpu\"]\n[sweep]\ngpus = [1, 2]\n",
+        ))
+        .unwrap_err();
+        assert_eq!(err.line, 10);
+        assert!(err.msg.contains("conflicts with [topology]"), "{}", err.msg);
+    }
+
+    /// Out-of-range steering targets used to survive until a mid-run
+    /// `assert!` in `MsiSteering::target`; they are now rejected at
+    /// scenario-compile time with `HL012` (the runtime check is a
+    /// `debug_assert`).
+    #[test]
+    fn steer_targets_are_range_checked_at_compile_time() {
+        // `steer_target` beyond the default 4 cores.
+        let err = Scenario::from_str(&with("[system]\nsteer_target = 4\n")).unwrap_err();
+        assert_eq!(err.code, Some(hiss_lint::Code::SteerTargetOutOfRange));
+        assert_eq!(err.line, 8);
+        assert!(err.msg.contains("as few as 4 cores"), "{}", err.msg);
+
+        // In range passes and lands on the config.
+        let sc = Scenario::from_str(&with("[system]\nsteer_target = 3\n")).unwrap();
+        assert_eq!(sc.base.cfg.steer_target, CoreId(3));
+
+        // A cores sweep axis lowers the bound to its minimum.
+        let err = Scenario::from_str(&with(
+            "[system]\nsteer_target = 3\n[sweep]\ncores = [2, 8]\n",
+        ))
+        .unwrap_err();
+        assert_eq!(err.code, Some(hiss_lint::Code::SteerTargetOutOfRange));
+        assert!(err.msg.contains("as few as 2 cores"), "{}", err.msg);
+
+        // Topology steer entries are held to the same range.
+        let err = Scenario::from_str(&with(
+            "[topology]\ndevices = [\"gpu\", \"nic\"]\nsteer = [-1, 7]\n",
+        ))
+        .unwrap_err();
+        assert_eq!(err.code, Some(hiss_lint::Code::SteerTargetOutOfRange));
+        assert_eq!(err.line, 9);
+        assert!(err.msg.contains("device 1"), "{}", err.msg);
+
+        // Swept steer_target values are each checked.
+        let err = Scenario::from_str(&with("[sweep]\nsteer_target = [0, 5]\n")).unwrap_err();
+        assert_eq!(err.code, Some(hiss_lint::Code::SteerTargetOutOfRange));
     }
 }

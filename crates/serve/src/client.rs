@@ -62,12 +62,23 @@ pub fn submit(addr: &str, scenario: &str, quick: bool) -> std::io::Result<Submis
                 simulated,
                 from_store,
             } => {
+                // A `done` tail must account for every snapshot line: a
+                // short stream (server restarted mid-grid, proxy cut the
+                // connection and replayed a stale tail) is truncation,
+                // not a small result set.
+                if snapshots.len() as u64 != cells {
+                    return Err(invalid_data(format!(
+                        "truncated stream: server reported {cells} cells \
+                         but streamed {} snapshot(s)",
+                        snapshots.len()
+                    )));
+                }
                 return Ok(Submission::Completed {
                     snapshots,
                     cells,
                     simulated,
                     from_store,
-                })
+                });
             }
             Response::Rejected { diagnostics } => return Ok(Submission::Rejected { diagnostics }),
             Response::Error { message } => return Err(invalid_data(message)),

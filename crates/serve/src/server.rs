@@ -133,6 +133,20 @@ impl Server {
                             }
                         });
                     if let Some(e) = stream_err {
+                        // Best effort: if the socket is only half-broken
+                        // (client still reading), a `resp.error` tail
+                        // turns a silent hang-up into a protocol error
+                        // the client can report. Usually this write
+                        // fails too; either way the stream never ends
+                        // in a `done` that undercounts its cells.
+                        let _ = writeln!(
+                            writer,
+                            "{}",
+                            Response::Error {
+                                message: format!("stream aborted: {e}"),
+                            }
+                            .encode()
+                        );
                         return Err(e);
                     }
                     let tail = match result {

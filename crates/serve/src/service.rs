@@ -10,10 +10,10 @@
 //! A cell's store key ([`cell_store_key`]) hashes the `Debug` rendering
 //! of its fully resolved [`Knobs`](hiss_scenario::Knobs) (system config
 //! including the replica-bumped seed, mitigation switches, QoS
-//! threshold, GPU count) plus the application names. Sweep coordinates
-//! and replica indices are already folded into the knobs, so the key is
-//! exactly the simulation's input — two scenarios sharing a cell share
-//! its entry. The stored payload is the *bare run registry*
+//! threshold, GPU count) plus the application names and the rendered
+//! `[topology]` (or `"default"`). Sweep coordinates and replica indices
+//! are already folded into the knobs, so the key is exactly the
+//! simulation's input — two scenarios sharing a cell share its entry. The stored payload is the *bare run registry*
 //! (`RunReport::metrics`, no `cell.*` labels); identity labels are
 //! re-applied at stream time with the same
 //! [`hiss_scenario::cell_metrics`] the batch compiler uses, which keeps
@@ -46,8 +46,22 @@ pub struct Summary {
 }
 
 /// The content-addressed identity of one scenario cell.
+///
+/// The `[topology]` rendering participates in the key: a topology fixes
+/// the GPU count (so `Knobs` alone looks like a hardwired cell) while
+/// attaching auxiliary devices and per-device steering that change the
+/// simulation. Cells without a topology hash the literal `"default"`.
 pub fn cell_store_key(cell: &Cell) -> StoreKey {
-    StoreKey::from_parts(&[&format!("{:?}", cell.knobs), &cell.cpu_app, &cell.gpu_app])
+    let topology = cell
+        .topology
+        .as_ref()
+        .map_or_else(|| "default".to_string(), |t| t.render());
+    StoreKey::from_parts(&[
+        &format!("{:?}", cell.knobs),
+        &cell.cpu_app,
+        &cell.gpu_app,
+        &topology,
+    ])
 }
 
 /// The deterministic submission handler shared by the TCP server, the

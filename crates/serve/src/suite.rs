@@ -22,7 +22,7 @@ use crate::service::Service;
 
 /// Names of every suite, in execution order: the scenario crate's
 /// suites plus the serving suite.
-pub const SUITES: &[&str] = &["engine", "fig3_quick", "qos_quick", "serve"];
+pub const SUITES: &[&str] = &["engine", "fig3_quick", "qos_quick", "devices", "serve"];
 
 /// Runs every suite against the repo at `root`, in [`SUITES`] order.
 pub fn run_all(root: &Path) -> Result<Vec<SuiteSnapshot>, String> {
@@ -96,10 +96,10 @@ mod tests {
     fn suite_order_appends_serve() {
         assert_eq!(
             SUITES,
-            &["engine", "fig3_quick", "qos_quick", "serve"],
+            &["engine", "fig3_quick", "qos_quick", "devices", "serve"],
             "baseline file order depends on this"
         );
-        assert_eq!(&SUITES[..3], hiss_scenario::bench_suite::SUITES);
+        assert_eq!(&SUITES[..4], hiss_scenario::bench_suite::SUITES);
     }
 
     /// The serving suite's snapshot conforms to the bench schema and

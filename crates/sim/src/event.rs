@@ -562,5 +562,67 @@ mod proptests {
             prop_assert_eq!(q.pushed(), seq);
             prop_assert_eq!(q.popped(), seq);
         }
+
+        /// Differential check under a *multi-device* event mix: several
+        /// devices each push with their own cadence class — GPU-like
+        /// mid-range gaps, NIC-like bursts of (often identical) near-zero
+        /// gaps, and DMA-like regular periods, plus a far-future arm
+        /// beyond the wheel horizon. Same-time events from *different*
+        /// devices are where FIFO-within-time matters most (the SoC's
+        /// device-indexed arming relies on it), so the pop stream must
+        /// match the reference model's `(due, seq)` order exactly.
+        #[test]
+        fn wheel_matches_reference_model_for_multi_device_mixes(
+            ops in proptest::collection::vec(
+                // (device, burst length, base gap selector, pops after).
+                (0usize..6, 1usize..5, 0u64..4, 0usize..4),
+                1..200,
+            )
+        ) {
+            let mut q = EventQueue::new();
+            // Reference payload: (due, seq, (device, device_seq)).
+            let mut reference: Vec<(Ns, u64, (usize, u64))> = Vec::new();
+            let mut dev_seq = [0u64; 6];
+            let mut seq = 0u64;
+            let mut watermark = Ns::ZERO;
+            for &(dev, burst, gap_sel, pops) in &ops {
+                // Cadence class by device index: 0/1 GPU-ish, 2/3 NIC-ish
+                // bursts at one instant, 4 DMA-ish period, 5 far-future.
+                let gap = match dev {
+                    0 | 1 => 1_000 + gap_sel * 45_000,
+                    2 | 3 => 0,
+                    4 => 1_600,
+                    _ => 4_194_304 + gap_sel * 1_000_000, // beyond horizon
+                };
+                let due = watermark + Ns::from_nanos(gap);
+                for _ in 0..burst {
+                    q.push(due, (dev, dev_seq[dev]));
+                    reference.push((due, seq, (dev, dev_seq[dev])));
+                    seq += 1;
+                    dev_seq[dev] += 1;
+                }
+                for _ in 0..pops {
+                    let Some(min_at) = reference
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, &(d, s, _))| (d, s))
+                        .map(|(at, _)| at)
+                    else {
+                        prop_assert_eq!(q.pop(), None);
+                        continue;
+                    };
+                    let (due, _, id) = reference.remove(min_at);
+                    prop_assert_eq!(q.pop(), Some((due, id)));
+                    watermark = due;
+                }
+            }
+            reference.sort_by_key(|&(d, s, _)| (d, s));
+            for &(due, _, id) in &reference {
+                prop_assert_eq!(q.pop(), Some((due, id)));
+            }
+            prop_assert_eq!(q.pop(), None);
+            prop_assert_eq!(q.pushed(), seq);
+            prop_assert_eq!(q.popped(), seq);
+        }
     }
 }

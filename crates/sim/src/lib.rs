@@ -9,6 +9,8 @@
 //!   ([`event`], far-future overflow ring in a private module),
 //! - [`NextTick`], the self-scheduling discipline components expose to
 //!   the event loop,
+//! - [`Device`], the contract a system-service-request source (GPU, NIC,
+//!   DMA engine, …) presents to the SoC ([`device`]),
 //! - [`Rng`], a seedable, forkable pseudo-random number generator ([`rng`]),
 //! - summary statistics used by the experiment harness ([`stats`]).
 //!
@@ -30,12 +32,14 @@
 //! assert_eq!((t, ev), (Ns::from_micros(1), "first"));
 //! ```
 
+pub mod device;
 pub mod event;
 mod overflow;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use device::{Device, DeviceStats};
 pub use event::{EventQueue, NextTick};
 pub use rng::Rng;
 pub use stats::{geomean, mean, percentile, Histogram, OnlineStats};

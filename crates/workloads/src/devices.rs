@@ -1,0 +1,779 @@
+//! Non-GPU SSR sources: NIC-like and DMA-engine-like device models.
+//!
+//! Any ATS/PRI-capable DMA master raises the same peripheral page requests
+//! the paper studies for the GPU; what differs is the *shape* of the
+//! request stream. Two archetypes cover the mixed-criticality SoC studies
+//! in the related work:
+//!
+//! - [`NicDevice`] — **bursty and latency-bound**. Packet trains arrive in
+//!   wall-clock time (they keep arriving while the device is stalled and
+//!   back up as a backlog); the head of each train blocks receive
+//!   processing until its buffer translation is served, and the in-flight
+//!   window is small. Translation latency directly gates throughput.
+//! - [`DmaDevice`] — **streaming and bandwidth-bound**. A copy engine
+//!   walks its buffer at full speed, raising a non-blocking translation
+//!   fault per page; it only stalls when the outstanding-request window
+//!   fills, so sustained throughput is `window / service_latency` capped
+//!   at line rate.
+//!
+//! Both implement [`hiss_sim::Device`] with the same pull discipline as
+//! [`hiss_gpu::Gpu`]: `next_tick` → `advance_to` → `raise`, completions
+//! via `complete`, and a generation counter for stale-event dedup.
+
+use hiss_gpu::{PageId, SsrId, SsrKind, SsrRequest};
+use hiss_sim::{Device, DeviceStats, NextTick, Ns, Rng};
+
+use crate::gpu_apps::GpuAppSpec;
+
+/// Execution state shared by the device models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RunState {
+    Running,
+    Stalled,
+    Finished,
+}
+
+/// Static parameters of the NIC-like source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NicParams {
+    /// Aggregate receive-processing time to complete (busy time).
+    pub total_work: Ns,
+    /// Mean gap between packet trains (exponentially distributed).
+    pub train_gap: Ns,
+    /// Packets per train, drawn uniformly from `[min, max]`.
+    pub train_len: (u32, u32),
+    /// Spacing between packets within a train.
+    pub intra_gap: Ns,
+    /// Probability a packet's buffer fault blocks receive processing
+    /// (the train head almost always does).
+    pub blocking_prob: f64,
+    /// In-flight translation window; tiny compared to a GPU's SSR table.
+    pub max_outstanding: usize,
+    /// RX-ring depth expressed in time: arrivals further than this behind
+    /// the service point are dropped, so an overwhelmed NIC sheds load
+    /// instead of queueing unboundedly.
+    pub ring_backlog: Ns,
+    /// Service kind of the raised faults.
+    pub kind: SsrKind,
+}
+
+impl Default for NicParams {
+    /// A 10GbE-class NIC receiving bursty traffic: ~14 µs trains of 4–16
+    /// buffer faults spaced 400 ns, blocking head, window of 8.
+    fn default() -> Self {
+        NicParams {
+            total_work: Ns::from_millis(12),
+            train_gap: Ns::from_micros(55),
+            train_len: (4, 16),
+            intra_gap: Ns::from_nanos(400),
+            blocking_prob: 0.75,
+            max_outstanding: 8,
+            ring_backlog: Ns::from_micros(4),
+            kind: SsrKind::SoftPageFault,
+        }
+    }
+}
+
+/// Static parameters of the DMA-engine-like source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DmaParams {
+    /// Full-speed streaming time to complete (busy time).
+    pub total_work: Ns,
+    /// Full-speed time per page — one non-blocking fault is raised per
+    /// page boundary (~1.6 µs/page ≈ 2.5 GB/s).
+    pub page_period: Ns,
+    /// Jitter fraction on the page period.
+    pub jitter: f64,
+    /// In-flight translation window; stall only when it fills.
+    pub max_outstanding: usize,
+    /// Service kind of the raised faults.
+    pub kind: SsrKind,
+}
+
+impl Default for DmaParams {
+    fn default() -> Self {
+        DmaParams {
+            total_work: Ns::from_millis(14),
+            page_period: Ns::from_nanos(1_600),
+            jitter: 0.1,
+            max_outstanding: 32,
+            kind: SsrKind::SoftPageFault,
+        }
+    }
+}
+
+/// A NIC receiving packet trains and faulting on receive buffers.
+///
+/// Arrivals live in wall-clock time: the emission schedule keeps running
+/// while the device is stalled, so a long translation delay leaves a
+/// backlog that drains in a burst once service resumes (paced by the
+/// blocking head and the small window).
+#[derive(Debug, Clone)]
+pub struct NicDevice {
+    index: usize,
+    params: NicParams,
+    progress: Ns,
+    state: RunState,
+    last_advanced: Ns,
+    /// Absolute time the next packet fault is due; falls behind `now`
+    /// while stalled (= backlog).
+    next_emit_at: Ns,
+    /// Packets left in the current train (0 = next emission starts one).
+    train_left: u32,
+    outstanding: Vec<(SsrId, bool)>,
+    next_ssr_id: u64,
+    next_page: u64,
+    generation: u64,
+    stats: DeviceStats,
+    rng: Rng,
+}
+
+impl NicDevice {
+    /// Creates a NIC starting to receive at absolute time `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.max_outstanding` is zero or the train length
+    /// range is empty or zero.
+    pub fn new(index: usize, params: NicParams, mut rng: Rng, start: Ns) -> Self {
+        assert!(params.max_outstanding > 0, "max_outstanding must be > 0");
+        assert!(
+            params.train_len.0 > 0 && params.train_len.0 <= params.train_len.1,
+            "train_len range must be non-empty"
+        );
+        let first_gap = rng.gen_exp(params.train_gap);
+        NicDevice {
+            index,
+            params,
+            progress: Ns::ZERO,
+            state: RunState::Running,
+            last_advanced: start,
+            next_emit_at: start + first_gap,
+            train_left: 0,
+            outstanding: Vec::new(),
+            next_ssr_id: 0,
+            next_page: 0,
+            generation: 0,
+            stats: DeviceStats::default(),
+            rng,
+        }
+    }
+
+    /// Static parameters.
+    pub fn params(&self) -> NicParams {
+        self.params
+    }
+
+    /// Number of raised-but-unserved faults.
+    pub fn outstanding_ssrs(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    fn finish_at(&self) -> Ns {
+        self.last_advanced + (self.params.total_work - self.progress)
+    }
+}
+
+impl NextTick for NicDevice {
+    /// Next packet fault (immediately, if a backlog accumulated while
+    /// stalled) or receive completion; `None` while stalled or finished.
+    fn next_tick(&self, now: Ns) -> Option<Ns> {
+        if self.state != RunState::Running {
+            return None;
+        }
+        let emit = self.next_emit_at.max(now);
+        Some(emit.min(self.finish_at().max(now)))
+    }
+}
+
+impl Device for NicDevice {
+    type Request = SsrRequest;
+    type Completion = SsrId;
+
+    fn id(&self) -> usize {
+        self.index
+    }
+
+    fn kind(&self) -> &'static str {
+        "nic"
+    }
+
+    fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    fn advance_to(&mut self, t: Ns) {
+        if t <= self.last_advanced {
+            return;
+        }
+        let dur = t - self.last_advanced;
+        match self.state {
+            RunState::Running => {
+                let usable = dur.min(self.params.total_work - self.progress);
+                self.progress += usable;
+                self.stats.busy += usable;
+                if self.progress >= self.params.total_work {
+                    self.state = RunState::Finished;
+                    self.generation += 1;
+                    if self.stats.finished_at.is_none() {
+                        self.stats.finished_at = Some(self.last_advanced + usable);
+                    }
+                }
+            }
+            RunState::Stalled => self.stats.stalled += dur,
+            RunState::Finished => {}
+        }
+        self.last_advanced = t;
+        if self.state != RunState::Finished {
+            // The RX ring is finite: arrivals more than `ring_backlog`
+            // behind the service point are dropped, not queued forever.
+            self.next_emit_at = self
+                .next_emit_at
+                .max(t.saturating_sub(self.params.ring_backlog));
+        }
+    }
+
+    fn raise(&mut self, now: Ns) -> Option<SsrRequest> {
+        if self.state != RunState::Running || now < self.next_emit_at {
+            return None;
+        }
+        let id = SsrId(self.next_ssr_id);
+        self.next_ssr_id += 1;
+        let page = PageId(self.next_page);
+        self.next_page += 1;
+        let starts_train = self.train_left == 0;
+        if starts_train {
+            let (lo, hi) = self.params.train_len;
+            self.train_left = self.rng.gen_range(u64::from(lo), u64::from(hi) + 1) as u32;
+        }
+        // The train head carries the blocking receive dependency.
+        let blocking = starts_train && self.rng.gen_bool(self.params.blocking_prob);
+        self.outstanding.push((id, blocking));
+        self.stats.ssrs_raised += 1;
+
+        // Advance the arrival schedule from its *scheduled* point, not
+        // from `now`: arrivals that backed up while stalled stay due in
+        // the past and drain back-to-back.
+        self.train_left -= 1;
+        let gap = if self.train_left == 0 {
+            self.rng.gen_exp(self.params.train_gap)
+        } else {
+            self.params.intra_gap
+        };
+        self.next_emit_at = self.next_emit_at.saturating_add(gap);
+
+        if blocking || self.outstanding.len() >= self.params.max_outstanding {
+            self.state = RunState::Stalled;
+            self.generation += 1;
+        }
+
+        Some(SsrRequest {
+            id,
+            gpu: self.index,
+            kind: self.params.kind,
+            page: Some(page),
+            raised_at: now,
+            blocking,
+        })
+    }
+
+    fn complete(&mut self, token: SsrId, now: Ns) {
+        self.advance_to(now);
+        let before = self.outstanding.len();
+        self.outstanding.retain(|(oid, _)| *oid != token);
+        if self.outstanding.len() == before {
+            return; // unknown/duplicate completion: ignore
+        }
+        self.stats.ssrs_completed += 1;
+        if self.state == RunState::Stalled {
+            let any_blocking = self.outstanding.iter().any(|(_, b)| *b);
+            if !any_blocking && self.outstanding.len() < self.params.max_outstanding {
+                self.state = RunState::Running;
+                self.generation += 1;
+            }
+        }
+    }
+
+    fn is_finished(&self) -> bool {
+        self.state == RunState::Finished
+    }
+
+    fn is_stalled(&self) -> bool {
+        self.state == RunState::Stalled
+    }
+
+    fn stats(&self) -> DeviceStats {
+        self.stats
+    }
+
+    fn restart(&mut self, mut rng: Rng, now: Ns) {
+        let first_gap = rng.gen_exp(self.params.train_gap);
+        self.progress = Ns::ZERO;
+        self.state = RunState::Running;
+        self.last_advanced = now;
+        self.next_emit_at = now + first_gap;
+        self.train_left = 0;
+        self.outstanding.clear();
+        self.generation += 1;
+        self.stats = DeviceStats::default();
+        self.rng = rng;
+    }
+}
+
+/// A DMA copy engine streaming through its buffer.
+///
+/// Emission lives in *progress* space (the engine only reaches the next
+/// page boundary while it is actually streaming), faults never block, and
+/// the only stall condition is a full outstanding window — the classic
+/// bandwidth-bound backpressure shape.
+#[derive(Debug, Clone)]
+pub struct DmaDevice {
+    index: usize,
+    params: DmaParams,
+    progress: Ns,
+    state: RunState,
+    last_advanced: Ns,
+    /// Progress point at which the next page fault fires.
+    next_fault_at_progress: Ns,
+    outstanding: Vec<SsrId>,
+    next_ssr_id: u64,
+    next_page: u64,
+    generation: u64,
+    stats: DeviceStats,
+    rng: Rng,
+}
+
+impl DmaDevice {
+    /// Creates a DMA engine starting its transfer at absolute time `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.max_outstanding` or `params.page_period` is zero.
+    pub fn new(index: usize, params: DmaParams, mut rng: Rng, start: Ns) -> Self {
+        assert!(params.max_outstanding > 0, "max_outstanding must be > 0");
+        assert!(params.page_period > Ns::ZERO, "page_period must be > 0");
+        let first = rng.gen_jitter(params.page_period, params.jitter);
+        DmaDevice {
+            index,
+            params,
+            progress: Ns::ZERO,
+            state: RunState::Running,
+            last_advanced: start,
+            next_fault_at_progress: first,
+            outstanding: Vec::new(),
+            next_ssr_id: 0,
+            next_page: 0,
+            generation: 0,
+            stats: DeviceStats::default(),
+            rng,
+        }
+    }
+
+    /// Static parameters.
+    pub fn params(&self) -> DmaParams {
+        self.params
+    }
+
+    /// Number of raised-but-unserved faults.
+    pub fn outstanding_ssrs(&self) -> usize {
+        self.outstanding.len()
+    }
+}
+
+impl NextTick for DmaDevice {
+    /// Next page-boundary fault or transfer completion; `None` while the
+    /// window is full or the transfer finished.
+    fn next_tick(&self, now: Ns) -> Option<Ns> {
+        if self.state != RunState::Running {
+            return None;
+        }
+        let finish_at = now + (self.params.total_work - self.progress);
+        if self.next_fault_at_progress < self.params.total_work {
+            let fault_at = now + (self.next_fault_at_progress - self.progress);
+            if fault_at <= finish_at {
+                return Some(fault_at);
+            }
+        }
+        Some(finish_at)
+    }
+}
+
+impl Device for DmaDevice {
+    type Request = SsrRequest;
+    type Completion = SsrId;
+
+    fn id(&self) -> usize {
+        self.index
+    }
+
+    fn kind(&self) -> &'static str {
+        "dma"
+    }
+
+    fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    fn advance_to(&mut self, t: Ns) {
+        if t <= self.last_advanced {
+            return;
+        }
+        let dur = t - self.last_advanced;
+        match self.state {
+            RunState::Running => {
+                let usable = dur.min(self.params.total_work - self.progress);
+                self.progress += usable;
+                self.stats.busy += usable;
+                if self.progress >= self.params.total_work {
+                    self.state = RunState::Finished;
+                    self.generation += 1;
+                    if self.stats.finished_at.is_none() {
+                        self.stats.finished_at = Some(self.last_advanced + usable);
+                    }
+                }
+            }
+            RunState::Stalled => self.stats.stalled += dur,
+            RunState::Finished => {}
+        }
+        self.last_advanced = t;
+    }
+
+    fn raise(&mut self, now: Ns) -> Option<SsrRequest> {
+        if self.state != RunState::Running || self.progress < self.next_fault_at_progress {
+            return None;
+        }
+        let id = SsrId(self.next_ssr_id);
+        self.next_ssr_id += 1;
+        let page = PageId(self.next_page);
+        self.next_page += 1;
+        self.outstanding.push(id);
+        self.stats.ssrs_raised += 1;
+
+        let gap = self
+            .rng
+            .gen_jitter(self.params.page_period, self.params.jitter);
+        self.next_fault_at_progress = self.progress.saturating_add(gap);
+
+        if self.outstanding.len() >= self.params.max_outstanding {
+            self.state = RunState::Stalled;
+            self.generation += 1;
+        }
+
+        Some(SsrRequest {
+            id,
+            gpu: self.index,
+            kind: self.params.kind,
+            page: Some(page),
+            raised_at: now,
+            blocking: false,
+        })
+    }
+
+    fn complete(&mut self, token: SsrId, now: Ns) {
+        self.advance_to(now);
+        let before = self.outstanding.len();
+        self.outstanding.retain(|oid| *oid != token);
+        if self.outstanding.len() == before {
+            return; // unknown/duplicate completion: ignore
+        }
+        self.stats.ssrs_completed += 1;
+        if self.state == RunState::Stalled && self.outstanding.len() < self.params.max_outstanding {
+            self.state = RunState::Running;
+            self.generation += 1;
+        }
+    }
+
+    fn is_finished(&self) -> bool {
+        self.state == RunState::Finished
+    }
+
+    fn is_stalled(&self) -> bool {
+        self.state == RunState::Stalled
+    }
+
+    fn stats(&self) -> DeviceStats {
+        self.stats
+    }
+
+    fn restart(&mut self, mut rng: Rng, now: Ns) {
+        let first = rng.gen_jitter(self.params.page_period, self.params.jitter);
+        self.progress = Ns::ZERO;
+        self.state = RunState::Running;
+        self.last_advanced = now;
+        self.next_fault_at_progress = first;
+        self.outstanding.clear();
+        self.generation += 1;
+        self.stats = DeviceStats::default();
+        self.rng = rng;
+    }
+}
+
+/// What kind of SSR source a topology slot instantiates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DeviceKind {
+    /// GPU running one of the catalog applications.
+    Gpu,
+    /// NIC-like bursty, latency-bound source.
+    Nic,
+    /// DMA-engine-like streaming, bandwidth-bound source.
+    Dma,
+}
+
+impl DeviceKind {
+    /// All kinds, in scenario-grammar order.
+    pub const ALL: [DeviceKind; 3] = [DeviceKind::Gpu, DeviceKind::Nic, DeviceKind::Dma];
+
+    /// The `[topology]` grammar name (also the `devN.kind` label).
+    pub fn name(self) -> &'static str {
+        match self {
+            DeviceKind::Gpu => "gpu",
+            DeviceKind::Nic => "nic",
+            DeviceKind::Dma => "dma",
+        }
+    }
+
+    /// Parses a `[topology]` grammar name.
+    pub fn by_name(name: &str) -> Option<DeviceKind> {
+        DeviceKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+/// A concrete device to attach to the SoC: the kind plus its parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeviceSpec {
+    /// GPU running `GpuAppSpec`.
+    Gpu(GpuAppSpec),
+    /// NIC-like source.
+    Nic(NicParams),
+    /// DMA-engine-like source.
+    Dma(DmaParams),
+}
+
+impl DeviceSpec {
+    /// The device kind.
+    pub fn kind(&self) -> DeviceKind {
+        match self {
+            DeviceSpec::Gpu(_) => DeviceKind::Gpu,
+            DeviceSpec::Nic(_) => DeviceKind::Nic,
+            DeviceSpec::Dma(_) => DeviceKind::Dma,
+        }
+    }
+
+    /// The label this device's RNG stream is forked under. GPU devices
+    /// keep the application name (bit-compatible with the pre-topology
+    /// path); other kinds fork under their kind name.
+    pub fn fork_label(&self) -> &'static str {
+        match self {
+            DeviceSpec::Gpu(app) => app.name,
+            DeviceSpec::Nic(_) => "nic",
+            DeviceSpec::Dma(_) => "dma",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives any SSR device to completion with a fixed service latency.
+    fn drive<D: Device<Request = SsrRequest, Completion = SsrId>>(
+        dev: &mut D,
+        service: Ns,
+    ) -> DeviceStats {
+        let mut now = Ns::ZERO;
+        let mut pending: Vec<(Ns, SsrId)> = Vec::new();
+        let mut steps = 0;
+        loop {
+            steps += 1;
+            assert!(steps < 500_000, "simulation did not terminate");
+            let next_dev = dev.next_tick(now);
+            let next_done = pending.iter().map(|(t, _)| *t).min();
+            match (next_dev, next_done) {
+                (None, None) => {
+                    assert!(dev.is_finished(), "deadlock: stalled with no completions");
+                    break;
+                }
+                (Some(td), nd) if nd.is_none_or(|tc| td <= tc) => {
+                    dev.advance_to(td);
+                    now = td;
+                    if dev.is_finished() {
+                        break;
+                    }
+                    if let Some(req) = dev.raise(td) {
+                        assert_eq!(req.gpu, dev.id());
+                        pending.push((td + service, req.id));
+                    }
+                }
+                (_, Some(tc)) => {
+                    let idx = pending.iter().position(|(t, _)| *t == tc).unwrap();
+                    let (t, id) = pending.swap_remove(idx);
+                    dev.advance_to(t);
+                    now = t;
+                    dev.complete(id, t);
+                }
+                (Some(_), None) => unreachable!("guard covers this arm"),
+            }
+        }
+        dev.stats()
+    }
+
+    #[test]
+    fn nic_finishes_and_accounts_wall_time() {
+        let params = NicParams {
+            total_work: Ns::from_micros(500),
+            ..NicParams::default()
+        };
+        let mut nic = NicDevice::new(1, params, Rng::new(7), Ns::ZERO);
+        let s = drive(&mut nic, Ns::from_micros(5));
+        assert_eq!(s.busy, Ns::from_micros(500));
+        assert!(s.finished_at.is_some());
+        assert!(s.ssrs_raised > 0);
+        assert_eq!(
+            s.ssrs_completed,
+            s.ssrs_raised - nic.outstanding_ssrs() as u64
+        );
+    }
+
+    #[test]
+    fn nic_is_latency_bound() {
+        let params = NicParams {
+            total_work: Ns::from_millis(1),
+            ..NicParams::default()
+        };
+        let fast = drive(
+            &mut NicDevice::new(0, params, Rng::new(3), Ns::ZERO),
+            Ns::from_micros(2),
+        );
+        let slow = drive(
+            &mut NicDevice::new(0, params, Rng::new(3), Ns::ZERO),
+            Ns::from_micros(40),
+        );
+        assert!(
+            slow.stalled > fast.stalled,
+            "slow service must stall the NIC more: {} vs {}",
+            slow.stalled,
+            fast.stalled
+        );
+        assert!(slow.finished_at.unwrap() > fast.finished_at.unwrap());
+    }
+
+    #[test]
+    fn nic_backlog_drains_in_a_burst_after_a_stall() {
+        // One train: head blocks. While it is outstanding the rest of the
+        // train backs up; after completion the backlog is due immediately.
+        let params = NicParams {
+            total_work: Ns::from_millis(1),
+            train_gap: Ns::from_micros(100),
+            train_len: (4, 4),
+            blocking_prob: 1.0,
+            ..NicParams::default()
+        };
+        let mut nic = NicDevice::new(0, params, Rng::new(1), Ns::ZERO);
+        let t0 = nic.next_tick(Ns::ZERO).unwrap();
+        nic.advance_to(t0);
+        let head = nic.raise(t0).expect("train head due");
+        assert!(head.blocking);
+        assert!(nic.is_stalled());
+        assert!(nic.next_tick(t0).is_none());
+        // Serve the head 30µs later; the 2nd packet (due intra_gap after
+        // the head) is now overdue → next_tick fires immediately.
+        let t1 = t0 + Ns::from_micros(30);
+        nic.complete(head.id, t1);
+        assert!(!nic.is_stalled());
+        assert_eq!(nic.next_tick(t1), Some(t1));
+        let second = nic.raise(t1).expect("backlogged packet due");
+        assert!(!second.blocking, "only the train head blocks");
+    }
+
+    #[test]
+    fn dma_finishes_exactly_and_faults_once_per_page() {
+        let params = DmaParams {
+            total_work: Ns::from_micros(200),
+            page_period: Ns::from_micros(2),
+            jitter: 0.0,
+            ..DmaParams::default()
+        };
+        let mut dma = DmaDevice::new(2, params, Rng::new(9), Ns::ZERO);
+        let s = drive(&mut dma, Ns::from_micros(1));
+        assert_eq!(s.busy, Ns::from_micros(200));
+        // 200µs / 2µs per page = 100 boundaries, minus the final one.
+        assert!((95..=100).contains(&s.ssrs_raised), "{}", s.ssrs_raised);
+        assert_eq!(s.stalled, Ns::ZERO, "fast service never fills the window");
+    }
+
+    #[test]
+    fn dma_is_bandwidth_bound_by_the_window() {
+        let params = DmaParams {
+            total_work: Ns::from_millis(1),
+            page_period: Ns::from_micros(2),
+            jitter: 0.0,
+            max_outstanding: 4,
+            ..DmaParams::default()
+        };
+        // Service latency 40µs with a window of 4 sustains one fault per
+        // 10µs — far below the 2µs line rate, so the engine must stall.
+        let slow = drive(
+            &mut DmaDevice::new(0, params, Rng::new(5), Ns::ZERO),
+            Ns::from_micros(40),
+        );
+        assert!(
+            slow.stalled > Ns::from_micros(500),
+            "stalled {}",
+            slow.stalled
+        );
+        let fast = drive(
+            &mut DmaDevice::new(0, params, Rng::new(5), Ns::ZERO),
+            Ns::from_micros(1),
+        );
+        assert_eq!(fast.stalled, Ns::ZERO);
+    }
+
+    #[test]
+    fn dma_faults_never_block() {
+        let mut dma = DmaDevice::new(0, DmaParams::default(), Rng::new(11), Ns::ZERO);
+        let t = dma.next_tick(Ns::ZERO).unwrap();
+        dma.advance_to(t);
+        let req = dma.raise(t).expect("fault due");
+        assert!(!req.blocking);
+        assert!(!dma.is_stalled());
+    }
+
+    #[test]
+    fn restart_resets_progress_but_not_id_spaces() {
+        let params = NicParams {
+            total_work: Ns::from_micros(300),
+            ..NicParams::default()
+        };
+        let mut nic = NicDevice::new(0, params, Rng::new(2), Ns::ZERO);
+        drive(&mut nic, Ns::from_micros(3));
+        let gen_before = nic.generation();
+        let raised_before = nic.stats().ssrs_raised;
+        assert!(raised_before > 0);
+        let mut rng = Rng::new(2);
+        nic.restart(rng.fork("iter1"), Ns::from_millis(1));
+        assert!(!nic.is_finished());
+        assert!(nic.generation() > gen_before);
+        assert_eq!(nic.stats(), DeviceStats::default());
+        let t = nic.next_tick(Ns::from_millis(1)).unwrap();
+        nic.advance_to(t);
+        let req = nic.raise(t).expect("due");
+        // Fresh run continues the SSR-id space so completions cannot alias.
+        assert_eq!(req.id.0, raised_before);
+    }
+
+    #[test]
+    fn device_kind_round_trips_names() {
+        for kind in DeviceKind::ALL {
+            assert_eq!(DeviceKind::by_name(kind.name()), Some(kind));
+        }
+        assert_eq!(DeviceKind::by_name("npu"), None);
+    }
+
+    #[test]
+    fn spec_fork_labels_match_the_pre_topology_path() {
+        let gpu = DeviceSpec::Gpu(crate::gpu_apps::GpuAppSpec::by_name("ubench").unwrap());
+        assert_eq!(gpu.fork_label(), "ubench");
+        assert_eq!(DeviceSpec::Nic(NicParams::default()).fork_label(), "nic");
+        assert_eq!(DeviceSpec::Dma(DmaParams::default()).fork_label(), "dma");
+    }
+}

@@ -7,7 +7,10 @@
 //! - the 6 **GPU** applications that generate SSRs ([`GpuAppSpec`],
 //!   [`gpu_suite`]): BFS and SpMV from SHOC, SSSP from Pannotia, BPT,
 //!   XSBench, and the paper's `ubench` microbenchmark that streams
-//!   through memory faulting on every page.
+//!   through memory faulting on every page,
+//! - two non-GPU SSR sources for `[topology]` experiments ([`devices`]):
+//!   a bursty, latency-bound NIC model ([`NicDevice`]) and a streaming,
+//!   bandwidth-bound DMA-engine model ([`DmaDevice`]).
 //!
 //! The CPU records capture what Fig. 3a/5/12 depend on: thread structure
 //! (raytrace is mostly single-threaded, so idle cores absorb handlers),
@@ -24,9 +27,11 @@
 //! from it — PARSEC/SHOC inputs are not shipped here. See DESIGN.md §5.
 
 pub mod cpu_apps;
+pub mod devices;
 pub mod gpu_apps;
 pub mod streams;
 
 pub use cpu_apps::{parsec_suite, CpuAppSpec};
+pub use devices::{DeviceKind, DeviceSpec, DmaDevice, DmaParams, NicDevice, NicParams};
 pub use gpu_apps::{gpu_suite, GpuAppSpec};
 pub use streams::{AddressStream, BranchStream};

@@ -6,7 +6,10 @@
 //! `HISS_THREADS` override the runner sizes itself from.
 
 use hiss::experiments::{fig3, pareto, test_cpu_subset, test_gpu_subset, BaselineCache};
-use hiss::{run_jobs_on, ExperimentBuilder, Mitigation, SystemConfig};
+use hiss::{
+    run_jobs_on, CoreId, DeviceSpec, DmaParams, ExperimentBuilder, Mitigation, NicParams,
+    SystemConfig,
+};
 
 /// Exact (bit-level) fingerprint of a Fig. 3 grid.
 fn fig3_bits(rows: &[fig3::Fig3Row]) -> Vec<(String, String, u64, u64)> {
@@ -77,11 +80,32 @@ fn hiss_threads_1_and_8_produce_identical_grids() {
     };
     let counters_serial = counters("1");
 
+    // Mixed device topologies (GPU + NIC + DMA, one steered) must be as
+    // thread-invariant as the all-GPU grids: the full metric snapshot —
+    // `devN.*` rows included — is pinned byte-identical across worker
+    // counts.
+    let device_snapshots = |threads: &str| -> Vec<String> {
+        std::env::set_var("HISS_THREADS", threads);
+        let n: usize = threads.parse().expect("numeric HISS_THREADS");
+        run_jobs_on(n, gpu.len(), |i| {
+            ExperimentBuilder::new(cfg)
+                .cpu_app("x264")
+                .gpu_app(gpu[i])
+                .device(DeviceSpec::Nic(NicParams::default()))
+                .device_steered(DeviceSpec::Dma(DmaParams::default()), Some(CoreId(2)))
+                .run()
+                .metrics
+                .to_json()
+        })
+    };
+    let devices_serial = device_snapshots("1");
+
     std::env::set_var("HISS_THREADS", "8");
     BaselineCache::global().clear();
     let fig3_parallel = fig3::fig3_with(&cfg, &cpu, &gpu);
     let pareto_parallel = pareto::pareto_with(&cfg, &cpu, &["ubench"], &combos);
     let counters_parallel = counters("8");
+    let devices_parallel = device_snapshots("8");
 
     // And once more against a *warm* cache: memoized baselines must not
     // change any value either.
@@ -94,6 +118,13 @@ fn hiss_threads_1_and_8_produce_identical_grids() {
     assert_eq!(fig3_bits(&fig3_serial), fig3_bits(&fig3_warm));
     assert_eq!(pareto_bits(&pareto_serial), pareto_bits(&pareto_parallel));
     assert_eq!(counters_serial, counters_parallel);
+    assert_eq!(devices_serial, devices_parallel);
+    for snap in &devices_serial {
+        assert!(
+            snap.contains("\"dev1.kind\":\"nic\"") && snap.contains("\"dev2.kind\":\"dma\""),
+            "device rows missing from snapshot: {snap}"
+        );
+    }
     for (pushed, popped, peak) in counters_serial {
         // Conservation: peak is a real high watermark, and the loop's
         // early exit is the only reason pops may trail pushes.

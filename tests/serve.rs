@@ -19,7 +19,7 @@ use std::process::{Child, Command, Stdio};
 use std::sync::Arc;
 
 use hiss::DiskStore;
-use hiss_serve::{cell_store_key, Service};
+use hiss_serve::{cell_store_key, Response, Service};
 
 fn repo_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
@@ -235,6 +235,176 @@ name = "tiny"
 cpu = ["x264"]
 gpu = ["ubench"]
 "#;
+
+/// A fake server: accepts one connection, reads the request line, plays
+/// back the given response lines verbatim, and closes the socket —
+/// the wire behaviour of a server killed (or cut by a proxy) mid-stream.
+///
+/// Same sanction as the serve accept loop (see lint.toml): a
+/// transport-only thread that never touches simulation state.
+#[allow(clippy::disallowed_methods)]
+fn fake_server(lines: Vec<String>) -> (String, std::thread::JoinHandle<()>) {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let handle = std::thread::spawn(move || {
+        use std::io::Write;
+        let (conn, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+        let mut req = String::new();
+        reader.read_line(&mut req).unwrap();
+        let mut writer = conn;
+        for line in &lines {
+            writeln!(writer, "{line}").unwrap();
+        }
+        writer.flush().unwrap();
+    });
+    (addr, handle)
+}
+
+/// One plausible-looking cell snapshot line (no `resp.*` framing).
+fn cell_line() -> String {
+    let mut m = hiss::MetricsRegistry::new();
+    m.label("cell.cpu_app", "x264");
+    m.counter("kernel.ipis", 9);
+    Response::Cell(m).encode()
+}
+
+/// A `done` tail claiming more cells than were streamed must be a hard
+/// protocol error, not a successful short run: a server restarted
+/// mid-grid (or a replayed stale tail) silently losing cells is exactly
+/// the failure a batch pipeline cannot be allowed to absorb.
+#[test]
+fn done_tail_undercounting_the_stream_is_a_protocol_error() {
+    let done = Response::Done {
+        cells: 3,
+        simulated: 3,
+        from_store: 0,
+    };
+    let (addr, handle) = fake_server(vec![cell_line(), done.encode()]);
+    let err = hiss_serve::submit(&addr, TINY, false).unwrap_err();
+    handle.join().unwrap();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    let msg = err.to_string();
+    assert!(
+        msg.contains("truncated") && msg.contains("3 cells") && msg.contains("1 snapshot"),
+        "unhelpful truncation error: {msg}"
+    );
+}
+
+/// A connection that closes with no tail at all (killed server) is an
+/// error too — never a zero-cell success.
+#[test]
+fn eof_mid_stream_is_an_error_not_a_short_run() {
+    let (addr, handle) = fake_server(vec![cell_line()]);
+    let err = hiss_serve::submit(&addr, TINY, false).unwrap_err();
+    handle.join().unwrap();
+    assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+}
+
+/// The `hiss-cli submit` process must propagate a truncated stream as a
+/// nonzero exit with the protocol error on stderr — and write nothing
+/// to the `--metrics` file path.
+#[test]
+fn cli_submit_exits_nonzero_on_a_truncated_stream() {
+    let done = Response::Done {
+        cells: 2,
+        simulated: 2,
+        from_store: 0,
+    };
+    let (addr, handle) = fake_server(vec![cell_line(), done.encode()]);
+    let out_path = tmp("truncated_submit.jsonl");
+    let _ = std::fs::remove_file(&out_path);
+    let out = cli()
+        .args([
+            "submit",
+            "scenarios/fig3.hiss",
+            "--addr",
+            &addr,
+            "--metrics",
+            out_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    handle.join().unwrap();
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        !out.status.success(),
+        "truncated stream exited zero:\n{stderr}"
+    );
+    assert!(stderr.contains("truncated"), "stderr: {stderr}");
+    assert!(
+        !out_path.exists(),
+        "a truncated stream must not produce a metrics file"
+    );
+}
+
+const TINY_TOPOLOGY: &str = r#"
+[scenario]
+name = "tiny"
+[workload]
+cpu = ["x264"]
+gpu = ["ubench"]
+[topology]
+devices = ["gpu", "nic"]
+steer = [-1, 3]
+"#;
+
+/// Store-identity regression: `TINY` and `TINY_TOPOLOGY` resolve to the
+/// same `Knobs` (the topology fixes gpus = 1) and the same app names,
+/// so before the key incorporated the topology they collided to one
+/// cached result — a NIC-laden run served from a NIC-free entry.
+#[test]
+fn store_keys_differ_for_cells_differing_only_in_topology() {
+    let plain = hiss_scenario::Scenario::from_str(TINY).unwrap();
+    let topo = hiss_scenario::Scenario::from_str(TINY_TOPOLOGY).unwrap();
+    let plain_cell = hiss_scenario::expand(&plain, false).remove(0);
+    let topo_cell = hiss_scenario::expand(&topo, false).remove(0);
+    assert_eq!(
+        format!("{:?}", plain_cell.knobs),
+        format!("{:?}", topo_cell.knobs),
+        "collision precondition: the knobs alone cannot tell these apart"
+    );
+    assert_ne!(
+        cell_store_key(&plain_cell),
+        cell_store_key(&topo_cell),
+        "store key must incorporate the [topology]"
+    );
+}
+
+/// The collision, end to end: warm the store with the plain scenario,
+/// then submit the topology variant — it must simulate, not be served
+/// the plain scenario's cached result.
+#[test]
+fn topology_cells_never_hit_a_plain_cells_store_entry() {
+    let dir = tmp("topology_key_collision");
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Arc::new(DiskStore::open(&dir).unwrap());
+    let service = Service::new(Some(Arc::clone(&store)));
+
+    let mut plain = Vec::new();
+    service
+        .submit("tiny", TINY, false, |m| plain.push(m.to_json()))
+        .unwrap();
+    let mut topo = Vec::new();
+    let s = service
+        .submit("tiny_topology", TINY_TOPOLOGY, false, |m| {
+            topo.push(m.to_json())
+        })
+        .unwrap();
+    assert_eq!(
+        (s.cells, s.simulated, s.from_store),
+        (1, 1, 0),
+        "the topology cell must not be served from the plain cell's entry"
+    );
+    assert!(
+        topo[0].contains("run.aux_ssrs_raised") && topo[0].contains("cell.topology"),
+        "topology snapshot lacks its device metrics: {}",
+        &topo[0]
+    );
+    assert_ne!(plain, topo);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
 
 /// Every committed corruption fixture must be detected (not crash, not
 /// serve garbage), counted under `bench.serve.store_invalid`, fall back
