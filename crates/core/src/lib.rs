@@ -44,6 +44,7 @@ pub mod experiments;
 pub mod metrics;
 pub mod replicate;
 pub mod runner;
+pub mod sanitize;
 pub mod soc;
 pub mod store;
 pub mod trace;
@@ -57,6 +58,7 @@ pub use runner::{
     par_map, pool_totals, run_jobs, run_jobs_on, run_jobs_profiled, thread_count,
     thread_count_from, PoolProfile,
 };
+pub use sanitize::{force_sanitize, sanitize_enabled};
 pub use soc::{ExperimentBuilder, Soc};
 pub use store::{DiskStore, StoreKey};
 pub use trace::{Trace, TraceSpan, Tracer};

@@ -920,6 +920,22 @@ impl Soc {
         metrics.gauge("energy.cpu_joules", energy.cpu_joules);
         metrics.gauge("energy.cpu_avg_watts", energy.cpu_avg_watts);
 
+        // Audit the finished snapshot against the declared conservation
+        // laws. The audit and the published count are unconditional so
+        // snapshots stay byte-identical across enforcement modes; only
+        // whether a violation aborts depends on the sanitizer switch.
+        let audit = hiss_obs::invariants::audit(&metrics, hiss_obs::schema::Scope::Run);
+        metrics.counter("run.invariants_checked", audit.checked as u64);
+        if !audit.clean() && crate::sanitize::sanitize_enabled() {
+            let mut msg = String::from("metrics sanitizer: run violates its conservation laws\n");
+            for v in &audit.violations {
+                msg.push_str("  ");
+                msg.push_str(&v.detail);
+                msg.push('\n');
+            }
+            panic!("{msg}");
+        }
+
         RunReport {
             elapsed: end,
             cpu_app_runtime,

@@ -3,7 +3,8 @@
 //! rendering.
 //!
 //! Codes are grouped by pass — `HL0xx` scenario semantics, `HL2xx`
-//! metric schema, `HL3xx` determinism/source — and are **stable**: a
+//! metric schema, `HL3xx` determinism/source, `HL4xx` conservation
+//! laws and namespace coverage — and are **stable**: a
 //! code never changes meaning, so CI logs, fixture goldens, and
 //! `docs/LINTS.md` can refer to them permanently.
 
@@ -89,6 +90,23 @@ pub enum Code {
     /// A disk-store write in a `[scan] store_paths` file bypasses the
     /// atomic write-then-rename helper.
     StoreWriteBypass,
+    /// Two `[expect]` bands contradict a declared conservation law
+    /// (e.g. a lower bound on `events_popped` above an upper bound on
+    /// `events_pushed` when popped ≤ pushed must hold).
+    ExpectContradictsInvariant,
+    /// A `BENCH_BASELINE.json` snapshot violates a declared bench-scope
+    /// conservation law (a `bench.total.X` differs from its cell sum).
+    BaselineInvariantViolated,
+    /// A run/report metrics snapshot violates a declared conservation
+    /// law (the runtime sanitizer's finding, surfaced as a lint when
+    /// auditing snapshot files).
+    RunInvariantViolated,
+    /// A schema entry is exercised by no committed scenario, bench
+    /// suite, or documentation row — dead namespace.
+    DeadMetric,
+    /// A scenario-spec knob is set by no committed scenario — dead
+    /// grammar.
+    DeadKnob,
 }
 
 impl Code {
@@ -116,6 +134,11 @@ impl Code {
         Code::BannedThreads,
         Code::UnusedAllowEntry,
         Code::StoreWriteBypass,
+        Code::ExpectContradictsInvariant,
+        Code::BaselineInvariantViolated,
+        Code::RunInvariantViolated,
+        Code::DeadMetric,
+        Code::DeadKnob,
     ];
 
     /// The stable `HLxxx` identifier.
@@ -142,15 +165,22 @@ impl Code {
             Code::BannedThreads => "HL303",
             Code::UnusedAllowEntry => "HL304",
             Code::StoreWriteBypass => "HL305",
+            Code::ExpectContradictsInvariant => "HL401",
+            Code::BaselineInvariantViolated => "HL402",
+            Code::RunInvariantViolated => "HL403",
+            Code::DeadMetric => "HL404",
+            Code::DeadKnob => "HL405",
         }
     }
 
     /// The code's fixed severity.
     pub fn severity(self) -> Severity {
         match self {
-            Code::DegenerateSweepAxis | Code::UnusedBaseKey | Code::UnusedAllowEntry => {
-                Severity::Warn
-            }
+            Code::DegenerateSweepAxis
+            | Code::UnusedBaseKey
+            | Code::UnusedAllowEntry
+            | Code::DeadMetric
+            | Code::DeadKnob => Severity::Warn,
             _ => Severity::Error,
         }
     }

@@ -65,32 +65,54 @@ fn doc_segment_matches(doc: &str, pat: &str) -> bool {
     false
 }
 
-/// Whether a documented name (possibly ending in `.*`) is covered by at
-/// least one schema pattern.
-fn doc_name_in_schema(name: &str) -> bool {
+/// Whether a documented name (concrete, placeholder-spelled, or ending
+/// in `.*`) covers one specific schema pattern — the building block for
+/// both directions of the docs/schema agreement: "does this doc name
+/// resolve?" (here) and "is this schema entry documented anywhere?"
+/// (the `HL404` coverage lint in [`crate::invariants`]).
+pub(crate) fn doc_name_covers(name: &str, pattern: &str) -> bool {
     let (prefix, wildcard_tail) = match name.strip_suffix(".*") {
         Some(p) => (p, true),
         None => (name, false),
     };
     let doc_segs: Vec<&str> = prefix.split('.').collect();
-    schema::SCHEMA.iter().any(|e| {
-        let pat_segs: Vec<&str> = e.pattern.split('.').collect();
-        if wildcard_tail {
-            // `kernel.batch.*` covers any entry strictly under the
-            // prefix.
-            pat_segs.len() > doc_segs.len()
-                && doc_segs
-                    .iter()
-                    .zip(&pat_segs)
-                    .all(|(d, p)| doc_segment_matches(d, p))
-        } else {
-            pat_segs.len() == doc_segs.len()
-                && doc_segs
-                    .iter()
-                    .zip(&pat_segs)
-                    .all(|(d, p)| doc_segment_matches(d, p))
+    let pat_segs: Vec<&str> = pattern.split('.').collect();
+    if wildcard_tail {
+        // `kernel.batch.*` covers any entry strictly under the prefix.
+        pat_segs.len() > doc_segs.len()
+            && doc_segs
+                .iter()
+                .zip(&pat_segs)
+                .all(|(d, p)| doc_segment_matches(d, p))
+    } else {
+        pat_segs.len() == doc_segs.len()
+            && doc_segs
+                .iter()
+                .zip(&pat_segs)
+                .all(|(d, p)| doc_segment_matches(d, p))
+    }
+}
+
+/// Whether a documented name (possibly ending in `.*`) is covered by at
+/// least one schema pattern.
+fn doc_name_in_schema(name: &str) -> bool {
+    schema::SCHEMA
+        .iter()
+        .any(|e| doc_name_covers(name, e.pattern))
+}
+
+/// Every candidate metric name documented in `text` (deduplicated, in
+/// order of first appearance) — the "docs exercise these" input to the
+/// coverage lint.
+pub fn documented_names(text: &str) -> Vec<String> {
+    let mut seen = std::collections::BTreeSet::new();
+    let mut out = Vec::new();
+    for (_, span) in backtick_spans(text) {
+        if is_candidate(span) && seen.insert(span) {
+            out.push(span.to_string());
         }
-    })
+    }
+    out
 }
 
 /// Extracts backtick spans with their 1-based line numbers.

@@ -17,6 +17,10 @@
 //! - [`docs`] — the documentation half of the metric-schema pass,
 //!   checking `docs/OBSERVABILITY.md` names against
 //!   [`hiss_obs::schema`].
+//! - [`invariants`] — the conservation-law pass: audits committed
+//!   snapshot files (`BENCH_BASELINE.json`, run-registry dumps) against
+//!   the declared [`hiss_obs::invariants`] table and flags dead schema
+//!   entries no committed artifact exercises.
 //!
 //! The scenario semantic lints (`HL001`–`HL011`) live in
 //! `hiss-scenario` (they need the parser and compiler), but report
@@ -29,6 +33,7 @@ pub mod baseline;
 pub mod config;
 pub mod diag;
 pub mod docs;
+pub mod invariants;
 pub mod sources;
 
 pub use config::{AllowEntry, ConfigError, Construct, LintConfig};

@@ -341,9 +341,11 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
 pub fn scan(root: &Path, config: &LintConfig) -> std::io::Result<Vec<Diagnostic>> {
     let mut diags = Vec::new();
     let mut used = vec![false; config.allows.len()];
+    let mut scanned = std::collections::BTreeSet::new();
 
     for scan_root in &config.roots {
         for (rel, path) in source_files(root, scan_root)? {
+            scanned.insert(rel.clone());
             let src = fs::read_to_string(&path)?;
             let tokens = tokenize(&src);
             let mut findings = scan_tokens(&tokens);
@@ -386,17 +388,30 @@ pub fn scan(root: &Path, config: &LintConfig) -> std::io::Result<Vec<Diagnostic>
     }
 
     for (entry, used) in config.allows.iter().zip(used) {
-        if !used {
-            diags.push(Diagnostic::new(
-                Code::UnusedAllowEntry,
-                Some("lint.toml"),
-                entry.line,
-                format!(
-                    "allow entry for `{}` in {} matched nothing; remove it",
-                    entry.construct, entry.path
-                ),
-            ));
+        if used {
+            continue;
         }
+        // Distinguish a justification that has merely gone stale from a
+        // path that cannot match anything — a typo or a file that moved
+        // — so the fix (update the path vs delete the entry) is obvious.
+        let msg = if scanned.contains(&entry.path) {
+            format!(
+                "allow entry for `{}` in {} matched nothing; remove it",
+                entry.construct, entry.path
+            )
+        } else {
+            format!(
+                "allow entry for `{}` names {}, which is not a file under the \
+                 [scan] roots; fix the path or remove the entry",
+                entry.construct, entry.path
+            )
+        };
+        diags.push(Diagnostic::new(
+            Code::UnusedAllowEntry,
+            Some("lint.toml"),
+            entry.line,
+            msg,
+        ));
     }
 
     crate::diag::sort(&mut diags);
@@ -490,6 +505,38 @@ mod tests {
         assert!(in_store_paths("crates/serve/src/bin/hiss-cli.rs", &paths));
         assert!(!in_store_paths("crates/core/src/store_other.rs", &paths));
         assert!(!in_store_paths("crates/core/src/runner.rs", &paths));
+    }
+
+    #[test]
+    fn unresolvable_allow_paths_get_a_distinct_diagnostic() {
+        let root =
+            std::env::temp_dir().join(format!("hiss-lint-allow-path-test-{}", std::process::id()));
+        let src_dir = root.join("crates/x/src");
+        std::fs::create_dir_all(&src_dir).unwrap();
+        std::fs::write(src_dir.join("lib.rs"), "pub fn f() {}\n").unwrap();
+        let config = crate::config::parse(
+            "[[allow]]\npath = \"crates/x/src/lib.rs\"\nconstruct = \"hash-collections\"\n\
+             reason = \"r\"\n\
+             [[allow]]\npath = \"crates/x/src/gone.rs\"\nconstruct = \"wall-clock\"\n\
+             reason = \"r\"\n",
+        )
+        .unwrap();
+        let diags = scan(&root, &config).unwrap();
+        std::fs::remove_dir_all(&root).unwrap();
+
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().all(|d| d.code == Code::UnusedAllowEntry));
+        // A stale entry on a real file keeps the remove-it wording…
+        let stale = diags.iter().find(|d| d.msg.contains("lib.rs")).unwrap();
+        assert!(stale.msg.contains("matched nothing"), "{}", stale.msg);
+        // …while a path naming no scanned file says so explicitly.
+        let missing = diags.iter().find(|d| d.msg.contains("gone.rs")).unwrap();
+        assert!(
+            missing.msg.contains("not a file under the [scan] roots"),
+            "{}",
+            missing.msg
+        );
+        assert!(!missing.msg.contains("matched nothing"), "{}", missing.msg);
     }
 
     #[test]

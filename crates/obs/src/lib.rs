@@ -33,7 +33,13 @@
 //! The full namespace is declared statically in [`schema`]; `hiss-cli
 //! lint` checks scenario `[expect]` metrics and `docs/OBSERVABILITY.md`
 //! against it so specs, docs, and the registry cannot drift.
+//!
+//! On top of the schema, [`invariants`] declares the conservation laws
+//! the namespace obeys (SSR chain accounting, per-core sums, bench
+//! totals vs cells) as one table that the runtime sanitizer, the
+//! baseline lint, and the expect-band lint all enforce.
 
+pub mod invariants;
 mod json;
 mod registry;
 mod render;

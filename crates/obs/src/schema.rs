@@ -264,6 +264,10 @@ pub const SCHEMA: &[SchemaEntry] = &[
     ),
     run_g("energy.cpu_joules", "modeled CPU package energy"),
     run_g("energy.cpu_avg_watts", "modeled average CPU package power"),
+    run_c(
+        "run.invariants_checked",
+        "conservation laws audited when the run was finalized",
+    ),
     // Scenario compiler cell identity (compile.rs::cell_metrics)
     SchemaEntry {
         pattern: "cell.cpu_app",
@@ -442,6 +446,11 @@ pub const SCHEMA: &[SchemaEntry] = &[
     bench_c(
         "bench.serve.store_writes",
         "entries published to the disk store (write-then-rename)",
+    ),
+    bench_c(
+        "bench.serve.cells_audited",
+        "run registries audited against the conservation laws before \
+         being served or stored",
     ),
     SchemaEntry {
         pattern: "bench.wall.tN.s",

@@ -88,6 +88,10 @@ pub struct Row {
     pub qos_deferrals: u64,
     /// SSRs raised by non-GPU devices (NIC, DMA); 0 for all-GPU cells.
     pub aux_ssrs_raised: u64,
+    /// Events pushed onto the simulation calendar.
+    pub events_pushed: u64,
+    /// Events popped from the calendar (`<= events_pushed` always).
+    pub events_popped: u64,
 }
 
 /// Expands a scenario into its cell grid for the given mode.
@@ -240,6 +244,8 @@ fn row_from_report(cell: &Cell, run: &RunReport, base: &RunReport, gpu_base: &Ru
             .metrics
             .counter_value("run.aux_ssrs_raised")
             .unwrap_or(0),
+        events_pushed: run.metrics.counter_value("run.events_pushed").unwrap_or(0),
+        events_popped: run.metrics.counter_value("run.events_popped").unwrap_or(0),
     }
 }
 

@@ -44,6 +44,8 @@ fn metric_value(metric: Metric, row: &Row) -> Option<f64> {
         Metric::QosDeferrals => row.qos_deferrals as f64,
         Metric::Ipis => row.ipis as f64,
         Metric::AuxSsrsRaised => row.aux_ssrs_raised as f64,
+        Metric::EventsPushed => row.events_pushed as f64,
+        Metric::EventsPopped => row.events_popped as f64,
     })
 }
 
@@ -144,6 +146,8 @@ mod tests {
             ipis: 3,
             qos_deferrals: 0,
             aux_ssrs_raised: 0,
+            events_pushed: 100,
+            events_popped: 90,
         }
     }
 

@@ -21,7 +21,7 @@ use std::path::Path;
 use hiss_lint::{Code, Diagnostic};
 
 use crate::parse::{Document, Section};
-use crate::spec::{Agg, Field, Knobs, Scenario};
+use crate::spec::{Agg, Field, Knobs, Metric, Scenario};
 
 /// Lints one scenario file on disk. The path is the diagnostic label.
 pub fn lint_file(path: &Path) -> Vec<Diagnostic> {
@@ -54,6 +54,7 @@ pub fn lint_text(file: &str, text: &str) -> Vec<Diagnostic> {
     check_shadowed_base_keys(file, &doc, &sc, &mut diags);
     check_pinned_rows(file, &doc, &sc, &mut diags);
     check_expect_schema(file, &sc, &mut diags);
+    check_invariant_bands(file, &sc, &mut diags);
     hiss_lint::diag::sort(&mut diags);
     diags
 }
@@ -333,6 +334,197 @@ fn check_expect_schema(file: &str, sc: &Scenario, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// HL401 — band pairs that contradict a declared conservation law.
+///
+/// For a law `a ≤ b` whose sides are both single concrete metrics an
+/// `[expect]` band can constrain, the row-wise ordering lifts to
+/// aggregates whenever the constrained aggregates are themselves
+/// ordered (`min ≤ mean ≤ max` over one metric): `g1(a) ≤ g2(b)` for
+/// any aggregate pair with `rank(g1) ≤ rank(g2)`. A lower bound on
+/// `g1(a)` above an upper bound on `g2(b)` is therefore unsatisfiable
+/// by *any* run — not a tight band but a logical impossibility — and is
+/// rejected statically. Equalities are checked in both directions.
+fn check_invariant_bands(file: &str, sc: &Scenario, out: &mut Vec<Diagnostic>) {
+    use hiss_obs::invariants::{Invariant, Rel, Term, INVARIANTS};
+
+    let metric_for = |registry_name: &str| {
+        Metric::ALL
+            .iter()
+            .copied()
+            .find(|m| m.registry_key() == Some(registry_name))
+    };
+    let rank = |agg: Agg| match agg {
+        Agg::Min => 0,
+        Agg::Mean => 1,
+        Agg::Max => 2,
+    };
+    let mut flag_le = |inv: &Invariant, a: Metric, b: Metric| {
+        // a ≤ b row-wise; contradiction: lower-bounding g1(a) above
+        // g2(b)'s upper bound with rank(g1) ≤ rank(g2).
+        for lo_band in sc.expects.iter().filter(|e| e.metric == a) {
+            for hi_band in sc.expects.iter().filter(|e| e.metric == b) {
+                if rank(lo_band.agg) <= rank(hi_band.agg) && lo_band.lo > hi_band.hi {
+                    out.push(Diagnostic::new(
+                        Code::ExpectContradictsInvariant,
+                        Some(file),
+                        lo_band.line.max(hi_band.line),
+                        format!(
+                            "bands `{}` and `{}` contradict the `{}` conservation law \
+                             ({} {} {}): {} would have to reach {} while {} stays at most {}",
+                            lo_band.key,
+                            hi_band.key,
+                            inv.name,
+                            a.key(),
+                            inv.rel.as_str(),
+                            b.key(),
+                            lo_band.key,
+                            lo_band.lo,
+                            hi_band.key,
+                            hi_band.hi
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+    for inv in INVARIANTS {
+        let (&[Term::Sum(l)], &[Term::Sum(r)]) = (inv.lhs, inv.rhs) else {
+            continue;
+        };
+        let (Some(a), Some(b)) = (metric_for(l), metric_for(r)) else {
+            continue;
+        };
+        flag_le(inv, a, b);
+        if inv.rel == Rel::Eq {
+            flag_le(inv, b, a);
+        }
+    }
+}
+
+/// Library-wide coverage lints over every committed scenario: `HL404`
+/// (schema entries nothing exercises) and `HL405` (spec knobs no
+/// scenario sets). `root` is the repo root holding `scenarios/`,
+/// `BENCH_BASELINE.json`, and `docs/OBSERVABILITY.md`; the scenario
+/// grids are expanded in dry-run mode (the same lowering `HL008` uses),
+/// never executed.
+pub fn check_coverage(root: &Path) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut exercised_metrics: BTreeSet<String> = BTreeSet::new();
+    let mut exercised_fields: BTreeSet<&'static str> = BTreeSet::new();
+
+    // Committed scenario library: expect metrics + every knob set in
+    // [system]/[mitigation] or driven by a sweep axis of the expanded
+    // grid.
+    let dir = root.join("scenarios");
+    let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(&dir)
+        .map(|rd| {
+            rd.filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|x| x == "hiss"))
+                .collect()
+        })
+        .unwrap_or_default();
+    files.sort();
+    for path in &files {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            continue; // unreadable files are lint_file's finding, not ours
+        };
+        let Ok(doc) = crate::parse::parse(&text) else {
+            continue; // parse errors are lint_file's finding, not ours
+        };
+        let Ok(sc) = Scenario::from_document(&doc) else {
+            continue;
+        };
+        for expect in &sc.expects {
+            if let Some(key) = expect.metric.registry_key() {
+                exercised_metrics.insert(key.to_string());
+            }
+        }
+        // A combo axis/key drives the three switches it aliases, so
+        // `mitigation = ["steer", ...]` exercises `steer` too (the same
+        // aliasing the HL009 shadow check accounts for).
+        let mut mark = |field: Field| {
+            exercised_fields.insert(field.key());
+            if field == Field::MitigationCombo {
+                for f in [Field::Steer, Field::Coalesce, Field::Monolithic] {
+                    exercised_fields.insert(f.key());
+                }
+            }
+        };
+        for name in ["system", "mitigation"] {
+            let Some(section) = doc.section(name) else {
+                continue;
+            };
+            for e in &section.entries {
+                if let Some(field) = field_by_key(&e.key) {
+                    mark(field);
+                }
+            }
+        }
+        for cell in crate::compile::expand(&sc, false) {
+            for (key, _) in &cell.axes {
+                if let Some(field) = field_by_key(key) {
+                    mark(field);
+                }
+            }
+        }
+    }
+
+    // Committed bench baseline: every stored name is exercised.
+    if let Ok(text) = std::fs::read_to_string(root.join("BENCH_BASELINE.json")) {
+        for line in text.lines().map(str::trim).filter(|l| !l.is_empty()) {
+            if let Ok(reg) = hiss_obs::MetricsRegistry::from_json(line) {
+                for (name, _) in reg.iter() {
+                    exercised_metrics.insert(name.to_string());
+                }
+            }
+        }
+    }
+
+    // Observability doc: every documented name row is exercised.
+    if let Ok(text) = std::fs::read_to_string(root.join("docs/OBSERVABILITY.md")) {
+        exercised_metrics.extend(hiss_lint::docs::documented_names(&text));
+    }
+
+    diags.extend(hiss_lint::invariants::check_dead_metrics(
+        &exercised_metrics,
+        "docs/OBSERVABILITY.md",
+    ));
+
+    let scenarios_label = dir.display().to_string();
+    for field in [
+        Field::Cores,
+        Field::Gpus,
+        Field::Seed,
+        Field::TimerTickUs,
+        Field::CoalesceWindowUs,
+        Field::MaxSimTimeMs,
+        Field::Cc6,
+        Field::SteerTarget,
+        Field::Steer,
+        Field::Coalesce,
+        Field::Monolithic,
+        Field::QosPercent,
+        Field::MitigationCombo,
+    ] {
+        if !exercised_fields.contains(field.key()) {
+            diags.push(Diagnostic::new(
+                Code::DeadKnob,
+                Some(&scenarios_label),
+                0,
+                format!(
+                    "spec knob `{}` is set by no committed scenario — \
+                     exercise it in the library or retire it from the grammar",
+                    field.key()
+                ),
+            ));
+        }
+    }
+
+    hiss_lint::diag::sort(&mut diags);
+    diags
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -478,6 +670,76 @@ quick_cpu = []
         // In-range targets lint clean, topology or not.
         assert!(lint("[system]\nsteer_target = 3\n").is_empty());
         assert!(lint("[topology]\ndevices = [\"gpu\", \"nic\"]\nsteer = [-1, 3]\n").is_empty());
+    }
+
+    #[test]
+    fn bands_contradicting_a_conservation_law_are_flagged() {
+        // popped ≤ pushed always holds, so forcing min(popped) ≥ 1000
+        // while capping max(pushed) ≤ 500 is unsatisfiable by any run.
+        let d = lint("[expect]\nmin_events_popped = [1000, 2000]\nmax_events_pushed = [0, 500]\n");
+        assert_eq!(codes(&d), vec![Code::ExpectContradictsInvariant]);
+        assert_eq!(d[0].code.as_str(), "HL401");
+        assert_eq!(d[0].file.as_deref(), Some("t.hiss"));
+        assert_eq!(d[0].line, 9);
+        assert!(d[0].msg.contains("events_popped_bounded"), "{}", d[0].msg);
+
+        // Same bounds the other way round are satisfiable.
+        assert!(lint(
+            "[expect]\nmin_events_pushed = [1000, 1e15]\nmax_events_popped = [0, 1e15]\n"
+        )
+        .is_empty());
+        // max(popped) above mean(pushed)'s cap is NOT a contradiction:
+        // one large row can carry the maximum while the mean stays low.
+        assert!(lint(
+            "[expect]\nmax_events_popped = [1000, 1e15]\nmean_events_pushed = [0, 500]\n"
+        )
+        .is_empty());
+        // …but min(popped) above mean(pushed)'s cap is one.
+        let d = lint("[expect]\nmin_events_popped = [1000, 1e15]\nmean_events_pushed = [0, 500]\n");
+        assert_eq!(codes(&d), vec![Code::ExpectContradictsInvariant]);
+    }
+
+    #[test]
+    fn coverage_flags_dead_knobs_and_dead_metrics() {
+        let root = std::env::temp_dir().join(format!("hiss-coverage-test-{}", std::process::id()));
+        let scen_dir = root.join("scenarios");
+        std::fs::create_dir_all(&scen_dir).unwrap();
+        std::fs::write(
+            scen_dir.join("only.hiss"),
+            format!("{BASE}[sweep]\nqos_percent = [0, 5]\n[expect]\nmean_ipis = [0, 1e12]\n"),
+        )
+        .unwrap();
+        let diags = check_coverage(&root);
+        std::fs::remove_dir_all(&root).unwrap();
+
+        let dead_knobs: Vec<&str> = diags
+            .iter()
+            .filter(|d| d.code == Code::DeadKnob)
+            .map(|d| d.msg.as_str())
+            .collect();
+        assert!(
+            dead_knobs.iter().any(|m| m.contains("`cores`")),
+            "{dead_knobs:?}"
+        );
+        assert!(
+            !dead_knobs.iter().any(|m| m.contains("`qos_percent`")),
+            "swept knobs are exercised: {dead_knobs:?}"
+        );
+        // With no baseline and no doc, nearly everything is dead — but
+        // the expect-mapped metric is exercised.
+        let dead_metrics: Vec<&str> = diags
+            .iter()
+            .filter(|d| d.code == Code::DeadMetric)
+            .map(|d| d.msg.as_str())
+            .collect();
+        assert!(
+            dead_metrics.iter().any(|m| m.contains("`run.elapsed_ns`")),
+            "{dead_metrics:?}"
+        );
+        assert!(
+            !dead_metrics.iter().any(|m| m.contains("`kernel.ipis`")),
+            "expect-exercised metrics are covered: {dead_metrics:?}"
+        );
     }
 
     #[test]

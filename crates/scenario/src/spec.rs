@@ -358,6 +358,12 @@ pub enum Metric {
     /// SSRs raised by non-GPU devices (NIC, DMA engine) of a
     /// `[topology]` cell; 0 for all-GPU runs.
     AuxSsrsRaised,
+    /// Events pushed onto the simulation calendar (run cost/shape).
+    EventsPushed,
+    /// Events popped from the simulation calendar; the conservation law
+    /// `events_popped <= events_pushed` always holds, and the invariant
+    /// lint (`HL401`) rejects band pairs that contradict it.
+    EventsPopped,
 }
 
 impl Metric {
@@ -375,6 +381,8 @@ impl Metric {
             Metric::QosDeferrals => "qos_deferrals",
             Metric::Ipis => "ipis",
             Metric::AuxSsrsRaised => "aux_ssrs_raised",
+            Metric::EventsPushed => "events_pushed",
+            Metric::EventsPopped => "events_popped",
         }
     }
 
@@ -391,6 +399,8 @@ impl Metric {
         Metric::QosDeferrals,
         Metric::Ipis,
         Metric::AuxSsrsRaised,
+        Metric::EventsPushed,
+        Metric::EventsPopped,
     ];
 
     /// The `hiss-obs` registry name this metric is derived from, or
@@ -411,6 +421,8 @@ impl Metric {
             Metric::QosDeferrals => Some("kernel.qos_deferrals"),
             Metric::Ipis => Some("kernel.ipis"),
             Metric::AuxSsrsRaised => Some("run.aux_ssrs_raised"),
+            Metric::EventsPushed => Some("run.events_pushed"),
+            Metric::EventsPopped => Some("run.events_popped"),
         }
     }
 }

@@ -7,13 +7,14 @@
 //!              [--metrics <path>]
 //! hiss-cli timeline --cpu x264 --gpu ubench --from-us 5000 --to-us 5400
 //! hiss-cli figures [--quick]
-//! hiss-cli report <snapshot> [--json]
+//! hiss-cli report <snapshot> [--json] [--sanitize]
 //! hiss-cli scenario validate <file>...
 //! hiss-cli scenario run <file> [--quick] [--json] [--no-check]
-//!                      [--metrics <path>] [--profile]
+//!                      [--metrics <path>] [--profile] [--sanitize]
 //! hiss-cli scenario list [<dir>]
 //! hiss-cli lint [<file.hiss>...] [--sources] [--docs] [--bench]
-//!               [--root <dir>] [--config <lint.toml>]
+//!               [--invariants] [--all] [--root <dir>]
+//!               [--config <lint.toml>]
 //! hiss-cli bench run [--json] [--out <path>] [--root <dir>]
 //! hiss-cli bench check [--baseline <path>] [--fresh <path>] [--json]
 //!                      [--root <dir>]
@@ -27,14 +28,21 @@
 //! `report` renders a metrics snapshot file — one JSON object per line,
 //! as written by `run --metrics` / `scenario run --metrics` — as ASCII
 //! tables, or as JSON-lines (one metric per line) with `--json`.
+//! `--sanitize` additionally audits every snapshot line against the
+//! declared run-scope conservation laws (`HL403`) and exits nonzero on
+//! any violation.
 //!
 //! `lint` runs static analysis with no simulation: scenario semantic
 //! lints over the given `.hiss` files, the determinism source lint over
 //! `crates/*/src` (`--sources`, honouring the committed `lint.toml`
 //! allowlist), the `docs/OBSERVABILITY.md` metric-schema check
-//! (`--docs`), and the `BENCH_BASELINE.json` schema check (`--bench`).
-//! Exit status is nonzero on any finding; the code catalogue is
-//! `docs/LINTS.md`.
+//! (`--docs`), the `BENCH_BASELINE.json` schema check (`--bench`), and
+//! the conservation-law checks (`--invariants`: the baseline's
+//! bench-scope arithmetic, `HL402`, plus the coverage analysis flagging
+//! schema entries and spec knobs nothing committed exercises,
+//! `HL404`/`HL405`). `--all` turns every mode on and lints the whole
+//! committed scenario library under `<root>/scenarios`. Exit status is
+//! nonzero on any finding; the code catalogue is `docs/LINTS.md`.
 //!
 //! `serve` runs the long-running simulation service (`docs/SERVE.md`):
 //! a TCP server accepting scenario submissions over a line-delimited
@@ -79,13 +87,13 @@ fn usage() -> ExitCode {
          hiss-cli timeline --cpu <app> \
          --gpu <app> --from-us <t0> --to-us <t1> [--width <cols>]\n  \
          hiss-cli figures [--quick]\n  \
-         hiss-cli report <snapshot> [--json]\n  \
+         hiss-cli report <snapshot> [--json] [--sanitize]\n  \
          hiss-cli scenario validate <file>...\n  \
          hiss-cli scenario run <file> [--quick] [--json] [--no-check] \
-         [--metrics <path>] [--profile]\n  \
+         [--metrics <path>] [--profile] [--sanitize]\n  \
          hiss-cli scenario list [<dir>]\n  \
          hiss-cli lint [<file.hiss>...] [--sources] [--docs] [--bench] \
-         [--root <dir>] [--config <lint.toml>]\n  \
+         [--invariants] [--all] [--root <dir>] [--config <lint.toml>]\n  \
          hiss-cli bench run [--json] [--out <path>] [--root <dir>]\n  \
          hiss-cli bench check [--baseline <path>] [--fresh <path>] \
          [--json] [--root <dir>]\n  \
@@ -256,11 +264,13 @@ fn build(cfg: SystemConfig, args: &Args) -> Option<ExperimentBuilder> {
     Some(b)
 }
 
-/// `hiss-cli report <snapshot> [--json]` — renders a metrics snapshot
-/// file (one JSON object per line, as written by `run --metrics` and
-/// `scenario run --metrics`) as ASCII tables or JSON-lines.
+/// `hiss-cli report <snapshot> [--json] [--sanitize]` — renders a
+/// metrics snapshot file (one JSON object per line, as written by
+/// `run --metrics` and `scenario run --metrics`) as ASCII tables or
+/// JSON-lines. `--sanitize` audits every line against the run-scope
+/// conservation laws and exits nonzero on any `HL403` violation.
 fn report_command(argv: Vec<String>) -> ExitCode {
-    let args = match Args::parse(argv, &["--json"], &[]) {
+    let args = match Args::parse(argv, &["--json", "--sanitize"], &[]) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("{e}");
@@ -305,17 +315,30 @@ fn report_command(argv: Vec<String>) -> ExitCode {
         eprintln!("{file}: no snapshots found");
         return ExitCode::FAILURE;
     }
+    if args.flag("--sanitize") {
+        let diags = hiss_lint::invariants::check_snapshot_invariants(file, &text);
+        for d in &diags {
+            eprintln!("{d}");
+        }
+        if !diags.is_empty() {
+            eprintln!("sanitize: {} violation(s) in {file}", diags.len());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("sanitize: clean");
+    }
     ExitCode::SUCCESS
 }
 
-/// `hiss-cli lint [<file.hiss>...] [--sources] [--docs] [--root <dir>]
-/// [--config <lint.toml>]` — static analysis without running any
-/// simulation. Exits nonzero on any finding (errors and warnings
-/// alike), so CI can gate on it.
+/// `hiss-cli lint [<file.hiss>...] [--sources] [--docs] [--bench]
+/// [--invariants] [--all] [--root <dir>] [--config <lint.toml>]` —
+/// static analysis without running any simulation. `--all` enables
+/// every mode and lints the committed scenario library under
+/// `<root>/scenarios`. Exits nonzero on any finding (errors and
+/// warnings alike), so CI can gate on it.
 fn lint_command(argv: Vec<String>) -> ExitCode {
     let args = match Args::parse(
         argv,
-        &["--sources", "--docs", "--bench"],
+        &["--sources", "--docs", "--bench", "--invariants", "--all"],
         &["--root", "--config"],
     ) {
         Ok(a) => a,
@@ -324,12 +347,18 @@ fn lint_command(argv: Vec<String>) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let all = args.flag("--all");
     if args.positional.is_empty()
+        && !all
         && !args.flag("--sources")
         && !args.flag("--docs")
         && !args.flag("--bench")
+        && !args.flag("--invariants")
     {
-        eprintln!("lint requires scenario files and/or --sources / --docs / --bench");
+        eprintln!(
+            "lint requires scenario files and/or --sources / --docs / --bench / \
+             --invariants / --all"
+        );
         return ExitCode::FAILURE;
     }
     let root = PathBuf::from(args.value("--root").unwrap_or("."));
@@ -338,8 +367,21 @@ fn lint_command(argv: Vec<String>) -> ExitCode {
     for file in &args.positional {
         diags.extend(scenario::lint::lint_file(Path::new(file)));
     }
+    if all {
+        let dir = root.join("scenarios");
+        let files = match scenario::list_files(&dir) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("cannot list {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        for path in files {
+            diags.extend(scenario::lint::lint_file(&path));
+        }
+    }
 
-    if args.flag("--sources") {
+    if all || args.flag("--sources") {
         // The allowlist is read from <root>/lint.toml unless --config
         // overrides it; a missing default config just means an empty
         // allowlist, while a missing explicit one is an error.
@@ -375,7 +417,7 @@ fn lint_command(argv: Vec<String>) -> ExitCode {
         }
     }
 
-    if args.flag("--docs") {
+    if all || args.flag("--docs") {
         let doc_rel = "docs/OBSERVABILITY.md";
         let doc_path = root.join(doc_rel);
         match std::fs::read_to_string(&doc_path) {
@@ -387,7 +429,7 @@ fn lint_command(argv: Vec<String>) -> ExitCode {
         }
     }
 
-    if args.flag("--bench") {
+    if all || args.flag("--bench") {
         let bench_rel = "BENCH_BASELINE.json";
         let bench_path = root.join(bench_rel);
         match std::fs::read_to_string(&bench_path) {
@@ -397,6 +439,26 @@ fn lint_command(argv: Vec<String>) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+
+    if all || args.flag("--invariants") {
+        // The bench-scope conservation laws over the committed baseline
+        // (HL402), then the coverage analysis: schema entries and spec
+        // knobs that nothing committed exercises (HL404/HL405).
+        let bench_rel = "BENCH_BASELINE.json";
+        let bench_path = root.join(bench_rel);
+        match std::fs::read_to_string(&bench_path) {
+            Ok(text) => {
+                diags.extend(hiss_lint::invariants::check_baseline_invariants(
+                    bench_rel, &text,
+                ));
+            }
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", bench_path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        diags.extend(scenario::lint::check_coverage(&root));
     }
 
     hiss_lint::diag::sort(&mut diags);
@@ -659,7 +721,7 @@ fn scenario_command(mut argv: Vec<String>) -> ExitCode {
         "run" => {
             let args = match Args::parse(
                 argv,
-                &["--quick", "--json", "--no-check", "--profile"],
+                &["--quick", "--json", "--no-check", "--profile", "--sanitize"],
                 &["--metrics"],
             ) {
                 Ok(a) => a,
@@ -680,8 +742,16 @@ fn scenario_command(mut argv: Vec<String>) -> ExitCode {
                 }
             };
             let quick = args.flag("--quick");
+            let sanitize = args.flag("--sanitize");
+            if sanitize {
+                // Enforce the conservation laws inside every run (the
+                // Soc::finalize audit panics on violation), then
+                // re-audit the finalized snapshots below as the
+                // belt-and-braces second reading.
+                hiss::force_sanitize();
+            }
             let metrics_path = args.value("--metrics");
-            let rows = if metrics_path.is_some() || args.flag("--profile") {
+            let rows = if metrics_path.is_some() || args.flag("--profile") || sanitize {
                 let (pairs, batch) = if args.flag("--profile") {
                     let (pairs, batch) = scenario::run_profiled(&sc, quick);
                     (pairs, Some(batch))
@@ -703,6 +773,33 @@ fn scenario_command(mut argv: Vec<String>) -> ExitCode {
                 if let Some(batch) = batch {
                     // Wall-clock profile: stderr, so piped stdout stays data.
                     eprint!("{}", batch.to_table());
+                }
+                if sanitize {
+                    let mut checked = 0usize;
+                    let mut failures = Vec::new();
+                    for snap in &snapshots {
+                        let audit = hiss_obs::invariants::audit(snap, hiss_obs::schema::Scope::Run);
+                        checked += audit.checked;
+                        for v in audit.violations {
+                            failures.push(hiss_lint::Diagnostic::new(
+                                hiss_lint::Code::RunInvariantViolated,
+                                Some(file.as_str()),
+                                0,
+                                v.detail,
+                            ));
+                        }
+                    }
+                    for d in &failures {
+                        eprintln!("{d}");
+                    }
+                    eprintln!(
+                        "sanitize: {} cell(s), {checked} invariant check(s), {} violation(s)",
+                        snapshots.len(),
+                        failures.len()
+                    );
+                    if !failures.is_empty() {
+                        return ExitCode::FAILURE;
+                    }
                 }
                 rows
             } else {

@@ -75,6 +75,7 @@ pub struct Service {
     queue_peak: AtomicU64,
     cells_simulated: AtomicU64,
     cells_from_store: AtomicU64,
+    cells_audited: AtomicU64,
 }
 
 impl Service {
@@ -87,6 +88,7 @@ impl Service {
             queue_peak: AtomicU64::new(0),
             cells_simulated: AtomicU64::new(0),
             cells_from_store: AtomicU64::new(0),
+            cells_audited: AtomicU64::new(0),
         }
     }
 
@@ -148,18 +150,36 @@ impl Service {
         Ok(summary)
     }
 
+    /// Audits one bare run registry against the run-scope conservation
+    /// laws ([`hiss_obs::invariants`]) — the serving-path sanitizer,
+    /// always on regardless of build profile or `HISS_SANITIZE`.
+    fn audit(&self, reg: &MetricsRegistry) -> hiss_obs::invariants::AuditReport {
+        self.cells_audited.fetch_add(1, Ordering::Relaxed);
+        hiss_obs::invariants::audit(reg, hiss_obs::schema::Scope::Run)
+    }
+
     /// Serves one cell: disk-store hit if possible, engine otherwise
     /// (publishing the fresh result back to the store). The `bool` is
     /// `true` when the cell came from the store.
+    ///
+    /// Every registry passes the conservation-law audit before it is
+    /// served or stored: a stored entry that parses but violates a law
+    /// (a buggy writer, a hand-edit surviving the checksum) is treated
+    /// like a corrupt one — recomputed and healed in place — while a
+    /// *fresh* result violating a law is a simulator bug and panics
+    /// with the named diff rather than poisoning the store.
     fn run_cell(&self, cell: &Cell) -> (MetricsRegistry, bool) {
         if let Some(store) = &self.store {
             let key = cell_store_key(cell);
             if let Some(metrics) = store.load(&key) {
-                self.cells_from_store.fetch_add(1, Ordering::Relaxed);
-                let report = RunReport::from_metrics(metrics);
-                return (cell_metrics(cell, &report), true);
+                if self.audit(&metrics).clean() {
+                    self.cells_from_store.fetch_add(1, Ordering::Relaxed);
+                    let report = RunReport::from_metrics(metrics);
+                    return (cell_metrics(cell, &report), true);
+                }
             }
             let (_, report) = run_cell_report(cell);
+            require_clean(&self.audit(&report.metrics), cell);
             // Best-effort publish: a failed write degrades to
             // recompute-next-time, never to a wrong result.
             let _ = store.save(&key, &report.metrics);
@@ -167,6 +187,7 @@ impl Service {
             return (cell_metrics(cell, &report), false);
         }
         let (_, report) = run_cell_report(cell);
+        require_clean(&self.audit(&report.metrics), cell);
         self.cells_simulated.fetch_add(1, Ordering::Relaxed);
         (cell_metrics(cell, &report), false)
     }
@@ -195,6 +216,10 @@ impl Service {
             format!("{prefix}.cells_from_store"),
             self.cells_from_store.load(Ordering::Relaxed),
         );
+        reg.counter(
+            format!("{prefix}.cells_audited"),
+            self.cells_audited.load(Ordering::Relaxed),
+        );
         if let Some(store) = &self.store {
             reg.counter(format!("{prefix}.store_hits"), store.hit_count());
             reg.counter(format!("{prefix}.store_misses"), store.miss_count());
@@ -202,6 +227,25 @@ impl Service {
             reg.counter(format!("{prefix}.store_writes"), store.write_count());
         }
     }
+}
+
+/// Aborts on a fresh result that violates its conservation laws — the
+/// serving-path twin of the `Soc::finalize` sanitizer, unconditional
+/// because a violating result must never enter the disk store.
+fn require_clean(audit: &hiss_obs::invariants::AuditReport, cell: &Cell) {
+    if audit.clean() {
+        return;
+    }
+    let mut msg = format!(
+        "serve sanitizer: fresh result for {}×{} violates its conservation laws\n",
+        cell.cpu_app, cell.gpu_app
+    );
+    for v in &audit.violations {
+        msg.push_str("  ");
+        msg.push_str(&v.detail);
+        msg.push('\n');
+    }
+    panic!("{msg}");
 }
 
 #[cfg(test)]
@@ -298,6 +342,48 @@ gpu = ["ubench"]
             .map(|(_, m)| m.to_json())
             .collect();
         assert_eq!(served, direct);
+
+        std::fs::remove_dir_all(store.root()).unwrap();
+    }
+
+    #[test]
+    fn law_violating_store_entries_are_recomputed_and_healed() {
+        let store = tmp_store("law_violation");
+        let service = Service::new(Some(Arc::clone(&store)));
+        let mut first = Vec::new();
+        service
+            .submit("tiny.hiss", TINY, false, |m| first.push(m.to_json()))
+            .unwrap();
+
+        // Doctor the stored registry: bump `run.events_popped` past
+        // `run.events_pushed` and rewrite it through the store's own
+        // writer, so the entry is perfectly valid on disk — checksummed,
+        // parseable — and only the conservation-law audit can reject it.
+        let sc = Scenario::from_str(TINY).unwrap();
+        let key = cell_store_key(&expand(&sc, false)[0]);
+        let mut doctored = store.load(&key).unwrap();
+        let pushed = doctored.counter_value("run.events_pushed").unwrap();
+        doctored.counter("run.events_popped", pushed + 1);
+        store.save(&key, &doctored).unwrap();
+
+        let mut again = Vec::new();
+        let summary = service
+            .submit("tiny.hiss", TINY, false, |m| again.push(m.to_json()))
+            .unwrap();
+        // Rejected, recomputed, healed — and still byte-identical.
+        assert_eq!((summary.simulated, summary.from_store), (1, 0));
+        assert_eq!(first, again);
+        let healed = store.load(&key).unwrap();
+        assert!(
+            hiss_obs::invariants::audit(&healed, hiss_obs::schema::Scope::Run).clean(),
+            "entry was healed"
+        );
+
+        let mut reg = MetricsRegistry::new();
+        service.publish(&mut reg, "bench.serve");
+        // First submission audits 1 fresh cell; the second audits the
+        // doctored load and the recomputed replacement.
+        assert_eq!(reg.counter_value("bench.serve.cells_audited"), Some(3));
 
         std::fs::remove_dir_all(store.root()).unwrap();
     }

@@ -1,0 +1,191 @@
+//! Perturbation tests on the conservation-law sanitizer
+//! (`hiss_obs::invariants`): a finalized run snapshot must audit clean
+//! exactly as produced, and flipping any single counter must be caught
+//! whenever it breaks a declared law. The proptest cross-checks the
+//! auditor against a naive re-evaluation of the invariant table, so a
+//! bug in the auditor's term aggregation cannot hide behind the table
+//! it shares with the oracle's *selection* of laws.
+
+use std::sync::OnceLock;
+
+use hiss::{ExperimentBuilder, SystemConfig};
+use hiss_obs::invariants::{audit, invariants_for, Rel, Term};
+use hiss_obs::schema::{pattern_matches, Scope};
+use hiss_obs::{MetricValue, MetricsRegistry};
+use proptest::prelude::*;
+
+/// One finalized run registry, computed once — the perturbation corpus.
+fn base_snapshot() -> &'static MetricsRegistry {
+    static SNAP: OnceLock<MetricsRegistry> = OnceLock::new();
+    SNAP.get_or_init(|| {
+        ExperimentBuilder::new(SystemConfig::a10_7850k())
+            .cpu_app("x264")
+            .gpu_app("ubench")
+            .run()
+            .metrics
+    })
+}
+
+fn counter_names(reg: &MetricsRegistry) -> Vec<String> {
+    reg.iter()
+        .filter(|(_, v)| matches!(v, MetricValue::Counter(_)))
+        .map(|(n, _)| n.to_string())
+        .collect()
+}
+
+/// Naive term evaluation, written against the public pattern matcher.
+fn eval_term(reg: &MetricsRegistry, term: Term) -> u128 {
+    let mut acc: u128 = 0;
+    for (name, value) in reg.iter() {
+        if !pattern_matches(term.pattern(), name) {
+            continue;
+        }
+        match term {
+            Term::Sum(_) => {
+                if let MetricValue::Counter(v) = value {
+                    acc += *v as u128;
+                }
+            }
+            Term::Count(_) => acc += 1,
+        }
+    }
+    acc
+}
+
+/// Re-evaluates every run-scope law from scratch: the oracle the
+/// auditor is differentially tested against.
+fn naive_violations(reg: &MetricsRegistry) -> Vec<&'static str> {
+    invariants_for(Scope::Run)
+        .filter_map(|inv| {
+            let lhs: u128 = inv.lhs.iter().map(|t| eval_term(reg, *t)).sum();
+            let rhs: u128 = inv.rhs.iter().map(|t| eval_term(reg, *t)).sum();
+            let holds = match inv.rel {
+                Rel::Eq => lhs == rhs,
+                Rel::Le => lhs <= rhs,
+            };
+            (!holds).then_some(inv.name)
+        })
+        .collect()
+}
+
+/// Whether `name` contributes to one side of `terms` as a summed
+/// counter.
+fn in_sums(name: &str, terms: &[Term]) -> bool {
+    terms
+        .iter()
+        .any(|t| matches!(t, Term::Sum(_)) && pattern_matches(t.pattern(), name))
+}
+
+#[test]
+fn untouched_snapshot_audits_clean_and_round_trips_byte_for_byte() {
+    let reg = base_snapshot();
+    let report = audit(reg, Scope::Run);
+    assert!(report.clean(), "{:?}", report.violations);
+    assert!(report.checked > 0, "no run-scope laws were evaluated");
+
+    let json = reg.to_json();
+    let back = MetricsRegistry::from_json(&json).expect("round trip parses");
+    assert_eq!(back.to_json(), json, "round trip must be byte-identical");
+    assert!(audit(&back, Scope::Run).clean());
+}
+
+/// For every equality law, bumping a counter that appears on exactly
+/// one of its sides must produce a violation naming that law. This is
+/// the sanitizer's whole job stated as a sweep: no single-counter
+/// corruption of a conserved quantity goes unnoticed.
+#[test]
+fn every_one_sided_bump_on_an_equality_is_flagged() {
+    let base = base_snapshot();
+    let names = counter_names(base);
+    let mut exercised = 0usize;
+    for inv in invariants_for(Scope::Run).filter(|i| i.rel == Rel::Eq) {
+        let Some(name) = names
+            .iter()
+            .find(|n| in_sums(n, inv.lhs) != in_sums(n, inv.rhs))
+        else {
+            continue; // law over families this workload never publishes
+        };
+        exercised += 1;
+        let mut reg = base.clone();
+        let old = reg.counter_value(name).unwrap();
+        reg.counter(name.clone(), old + 1);
+        let report = audit(&reg, Scope::Run);
+        assert!(
+            report.violations.iter().any(|v| v.name == inv.name),
+            "bumping `{name}` did not trip `{}`: {:?}",
+            inv.name,
+            report.violations
+        );
+    }
+    assert!(exercised >= 5, "only {exercised} equality laws exercised");
+}
+
+/// The boundary case of the calendar bound: popped = pushed is legal,
+/// popped = pushed + 1 is not, and the violation names the law with
+/// both sides of the failed comparison.
+#[test]
+fn calendar_bound_is_tight() {
+    let pushed = base_snapshot().counter_value("run.events_pushed").unwrap();
+
+    let mut reg = base_snapshot().clone();
+    reg.counter("run.events_popped", pushed);
+    assert!(audit(&reg, Scope::Run).clean());
+
+    reg.counter("run.events_popped", pushed + 1);
+    let report = audit(&reg, Scope::Run);
+    let v = report
+        .violations
+        .iter()
+        .find(|v| v.name == "events_popped_bounded")
+        .expect("overshoot must be flagged");
+    assert!(v.detail.contains("run.events_popped"), "{}", v.detail);
+    assert!(v.detail.contains(&(pushed + 1).to_string()), "{}", v.detail);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Differential sweep: perturb one arbitrary counter by an
+    /// arbitrary amount in either direction; the auditor must report
+    /// exactly the laws the naive evaluator says are broken — no
+    /// misses, no false alarms — and any one-sided hit on an equality
+    /// must surface.
+    #[test]
+    fn audit_agrees_with_naive_reevaluation_under_mutation(
+        idx in 0usize..10_000,
+        delta in 1u64..1_001,
+        bump_up in any::<bool>(),
+    ) {
+        let base = base_snapshot();
+        let names = counter_names(base);
+        let name = &names[idx % names.len()];
+        let mut reg = base.clone();
+        let old = reg.counter_value(name).unwrap();
+        let new = if bump_up {
+            old.saturating_add(delta)
+        } else {
+            old.saturating_sub(delta)
+        };
+        reg.counter(name.clone(), new);
+
+        let got: Vec<&str> = audit(&reg, Scope::Run)
+            .violations
+            .iter()
+            .map(|v| v.name)
+            .collect();
+        prop_assert_eq!(&got, &naive_violations(&reg));
+
+        if new != old {
+            for inv in invariants_for(Scope::Run).filter(|i| i.rel == Rel::Eq) {
+                if in_sums(name, inv.lhs) != in_sums(name, inv.rhs) {
+                    prop_assert!(
+                        got.contains(&inv.name),
+                        "mutating `{}` must trip `{}`",
+                        name,
+                        inv.name
+                    );
+                }
+            }
+        }
+    }
+}

@@ -69,15 +69,101 @@ fn every_scenario_code_has_a_fixture() {
     let covered: Vec<String> = fixtures().iter().map(|p| expected_code(p)).collect();
     for code in hiss_lint::Code::ALL {
         let code = code.as_str();
-        // HL2xx/HL3xx are exercised by the source-tree fixture below;
-        // HL201 is a pure drift guard with no reachable .hiss trigger
-        // (every accepted metric currently resolves in the schema).
-        if code >= "HL2" {
+        // HL2xx/HL3xx are exercised by the source-tree fixture below
+        // and HL402..HL405 by the snapshots/ fixtures and coverage
+        // unit tests — none of those has a single-`.hiss` trigger
+        // (HL201 is a pure drift guard with none at all). HL401 does
+        // (`[expect]` bands contradicting a conservation law), so it
+        // is held to a fixture like the HL0xx grammar codes.
+        if code >= "HL2" && code != "HL401" {
             continue;
         }
         assert!(
             covered.contains(&code.to_string()),
             "no fixture covers {code}"
+        );
+    }
+}
+
+/// The snapshot fixtures: doctored baseline/snapshot JSON inputs for
+/// the codes that lint *metric files* rather than `.hiss` text, each
+/// pinned to a byte-exact golden like the `.hiss` fixtures above.
+#[test]
+fn snapshot_fixtures_match_their_goldens() {
+    let dir = fixture_dir().join("snapshots");
+    let mut paths: Vec<_> = std::fs::read_dir(&dir)
+        .expect("tests/lint_fixtures/snapshots exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x != "expect"))
+        .collect();
+    paths.sort();
+    assert!(!paths.is_empty(), "no snapshot fixtures found");
+    for path in paths {
+        let name = path.file_name().unwrap().to_str().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let code = expected_code(&path);
+        let diags = match code.as_str() {
+            "HL203" => hiss_lint::baseline::check_baseline(name, &text),
+            "HL402" => hiss_lint::invariants::check_baseline_invariants(name, &text),
+            "HL403" => hiss_lint::invariants::check_snapshot_invariants(name, &text),
+            other => panic!("{name}: no checker mapped for {other}"),
+        };
+        assert!(
+            diags.iter().any(|d| d.code.as_str() == code),
+            "{name}: no {code} among {diags:?}"
+        );
+        let rendered: String = diags.iter().map(|d| format!("{d}\n")).collect();
+        let golden = std::fs::read_to_string(path.with_extension("expect"))
+            .unwrap_or_else(|e| panic!("{name}: missing golden: {e}"));
+        assert_eq!(rendered, golden, "{name}: diagnostics drifted from golden");
+    }
+}
+
+/// Every code catalogued in docs/LINTS.md is pinned somewhere: by a
+/// fixture whose stem names it (`hl402_*` → HL402, in either fixture
+/// directory) or by one of the named tests listed here. Adding a code
+/// to the docs without a pin fails this test.
+#[test]
+fn every_documented_code_is_pinned_by_a_fixture_or_named_test() {
+    let named: &[(&str, &str)] = &[
+        (
+            "HL201",
+            "hiss-scenario lint::tests::expect_metrics_resolve_in_the_obs_schema",
+        ),
+        ("HL202", "cli_flags_every_code_in_the_broken_source_tree"),
+        ("HL301", "cli_flags_every_code_in_the_broken_source_tree"),
+        ("HL302", "cli_flags_every_code_in_the_broken_source_tree"),
+        ("HL303", "cli_flags_every_code_in_the_broken_source_tree"),
+        ("HL304", "cli_flags_every_code_in_the_broken_source_tree"),
+        ("HL305", "cli_flags_every_code_in_the_broken_source_tree"),
+        (
+            "HL404",
+            "hiss-scenario lint::tests::coverage_flags_dead_knobs_and_dead_metrics",
+        ),
+        (
+            "HL405",
+            "hiss-scenario lint::tests::coverage_flags_dead_knobs_and_dead_metrics",
+        ),
+    ];
+    let mut pinned: Vec<String> = Vec::new();
+    for dir in [fixture_dir(), fixture_dir().join("snapshots")] {
+        for entry in std::fs::read_dir(dir).unwrap().filter_map(|e| e.ok()) {
+            let path = entry.path();
+            if path.is_file() && !path.extension().is_some_and(|x| x == "expect") {
+                pinned.push(expected_code(&path));
+            }
+        }
+    }
+    let text = std::fs::read_to_string(repo_root().join("docs/LINTS.md")).unwrap();
+    for code in text
+        .lines()
+        .filter_map(|l| l.strip_prefix("### "))
+        .filter_map(|h| h.split_whitespace().next())
+    {
+        assert!(
+            pinned.contains(&code.to_string()) || named.iter().any(|(c, _)| *c == code),
+            "{code} is documented but pinned by no fixture or named test"
         );
     }
 }
@@ -175,13 +261,58 @@ fn cli_flags_every_code_in_the_broken_source_tree() {
 }
 
 #[test]
-fn cli_exits_zero_on_the_committed_tree() {
-    let mut cmd = cli();
-    cmd.args(["lint", "--sources", "--docs"]);
-    for path in hiss_scenario::list_files(&repo_root().join("scenarios")).unwrap() {
-        cmd.arg(path);
+fn cli_lint_invariants_flags_the_doctored_tree() {
+    let out = cli()
+        .args([
+            "lint",
+            "--invariants",
+            "--root",
+            "tests/lint_fixtures/invariants_tree",
+        ])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(!out.status.success(), "expected findings:\n{stdout}");
+    for code in ["HL402", "HL404", "HL405"] {
+        assert!(
+            stdout.contains(&format!("[{code}]")),
+            "{code} not in output:\n{stdout}"
+        );
     }
-    let out = cmd.output().unwrap();
+    assert!(
+        stdout.contains("BENCH_BASELINE.json:2:"),
+        "HL402 must carry file:line:\n{stdout}"
+    );
+}
+
+#[test]
+fn cli_report_sanitize_flags_the_doctored_snapshot() {
+    let out = cli()
+        .args([
+            "report",
+            "tests/lint_fixtures/snapshots/hl403_snapshot_violation.jsonl",
+            "--sanitize",
+        ])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        !out.status.success(),
+        "sanitize unexpectedly passed:\n{stderr}"
+    );
+    assert!(stderr.contains("[HL403]"), "{stderr}");
+    assert!(
+        stderr.contains("hl403_snapshot_violation.jsonl:2:"),
+        "violation must carry file:line:\n{stderr}"
+    );
+}
+
+/// `lint --all` is what CI's static-analysis job runs: the whole
+/// committed tree — scenarios, sources, docs, baseline schema, and
+/// the conservation-law/coverage passes — must be clean.
+#[test]
+fn cli_exits_zero_on_the_committed_tree() {
+    let out = cli().args(["lint", "--all"]).output().unwrap();
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(
         out.status.success(),
