@@ -63,6 +63,45 @@ impl Mitigation {
     }
 }
 
+/// Mixed-criticality partitioning configuration (the mitigation axis
+/// the safety-critical literature adds on top of the paper's three
+/// techniques). Class 0 is *critical*, class 1 is *best-effort*;
+/// devices named by `critical_device_mask` raise class-0 SSRs, the
+/// first `critical_cores` cores belong to the critical class, and the
+/// partitioned IOMMU path keeps the classes' event logs, coalescing
+/// timers, and interrupt targets apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CriticalityConfig {
+    /// Bit i set ⇒ device i (topology order) raises critical SSRs.
+    pub critical_device_mask: u64,
+    /// Cores `[0, critical_cores)` are the critical partition.
+    pub critical_cores: usize,
+    /// Core reservation: critical cores never receive SSR interrupts
+    /// or kernel worker threads.
+    pub reserve: bool,
+    /// Best-effort share of the 128-entry PPR event log, percent
+    /// (1–100); the critical class keeps the remainder.
+    pub ppr_quota_percent: u32,
+    /// Coalescing window for critical-class requests ([`Ns::ZERO`]
+    /// fires immediately).
+    pub critical_window: Ns,
+    /// Coalescing window for best-effort requests.
+    pub best_effort_window: Ns,
+}
+
+impl Default for CriticalityConfig {
+    fn default() -> Self {
+        CriticalityConfig {
+            critical_device_mask: 0,
+            critical_cores: 1,
+            reserve: true,
+            ppr_quota_percent: 50,
+            critical_window: Ns::ZERO,
+            best_effort_window: Ns::ZERO,
+        }
+    }
+}
+
 /// Full mitigation + QoS configuration of one run.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct MitigationConfig {
@@ -70,6 +109,8 @@ pub struct MitigationConfig {
     pub mitigation: Mitigation,
     /// §VI QoS governor, if enabled.
     pub qos: Option<QosParams>,
+    /// Mixed-criticality partitioning, if classes are assigned.
+    pub criticality: Option<CriticalityConfig>,
 }
 
 /// Static configuration of the simulated SoC (paper Table II).

@@ -49,7 +49,7 @@ pub mod soc;
 pub mod store;
 pub mod trace;
 
-pub use config::{Mitigation, MitigationConfig, SystemConfig};
+pub use config::{CriticalityConfig, Mitigation, MitigationConfig, SystemConfig};
 pub use energy::{EnergyParams, EnergyReport};
 pub use experiments::BaselineCache;
 pub use metrics::RunReport;

@@ -38,7 +38,7 @@ use hiss_qos::QosParams;
 use hiss_sim::{Device, DeviceStats, EventQueue, NextTick, Ns, Rng};
 use hiss_workloads::{CpuAppSpec, DeviceSpec, DmaDevice, GpuAppSpec, NicDevice};
 
-use crate::config::{Mitigation, MitigationConfig, SystemConfig};
+use crate::config::{CriticalityConfig, Mitigation, MitigationConfig, SystemConfig};
 use crate::energy::{EnergyParams, EnergyReport};
 use crate::metrics::{KernelSnapshot, RunReport};
 use crate::trace::Tracer;
@@ -48,6 +48,58 @@ use crate::trace::Tracer;
 struct UserThread {
     remaining: Ns,
     finished_at: Option<Ns>,
+}
+
+/// Per-criticality-class accounting, kept only when a
+/// [`CriticalityConfig`] is active. Class 0 is critical, class 1 is
+/// best-effort; a request's class is the class of the device that raised
+/// it (the IOMMU's partition holds the device mask). Every counter here
+/// splits an existing whole-run total, and the guarded `class_*_split`
+/// conservation laws in `hiss_obs::invariants` hold the splits to their
+/// totals.
+#[derive(Debug)]
+struct CritState {
+    cfg: CriticalityConfig,
+    requests: [u64; 2],
+    drained: [u64; 2],
+    interrupts: [u64; 2],
+    serviced: [u64; 2],
+    deferrals: [u64; 2],
+    /// Raise-to-completion latency samples per class (exact, not a
+    /// histogram: the per-class p99 feeds a pinned scenario band).
+    latencies: [Vec<Ns>; 2],
+}
+
+impl CritState {
+    fn new(cfg: CriticalityConfig) -> Self {
+        CritState {
+            cfg,
+            requests: [0; 2],
+            drained: [0; 2],
+            interrupts: [0; 2],
+            serviced: [0; 2],
+            deferrals: [0; 2],
+            latencies: [Vec::new(), Vec::new()],
+        }
+    }
+
+    /// Whether `core` belongs to the reserved critical partition.
+    fn core_reserved(&self, core: usize) -> bool {
+        self.cfg.reserve && core < self.cfg.critical_cores
+    }
+}
+
+/// Sorted-sample mean and nearest-rank p99, in microseconds.
+fn latency_summary_us(samples: &mut [Ns]) -> (f64, f64) {
+    if samples.is_empty() {
+        return (0.0, 0.0);
+    }
+    samples.sort_unstable();
+    let n = samples.len();
+    let sum: u64 = samples.iter().map(|l| l.as_nanos()).sum();
+    let mean = sum as f64 / n as f64 / 1_000.0;
+    let idx = ((n as f64 * 0.99).ceil() as usize).clamp(1, n) - 1;
+    (mean, samples[idx].as_nanos() as f64 / 1_000.0)
 }
 
 /// What a core is doing right now.
@@ -189,6 +241,7 @@ struct HostView {
     busy: Vec<bool>,
     preempt: Vec<Ns>,
     wake: Vec<Ns>,
+    reserved: Vec<bool>,
 }
 
 impl CoreHost for HostView {
@@ -203,6 +256,9 @@ impl CoreHost for HostView {
     }
     fn wake_delay(&self, core: CoreId) -> Ns {
         self.wake[core.0]
+    }
+    fn reserved(&self, core: CoreId) -> bool {
+        self.reserved[core.0]
     }
 }
 
@@ -245,6 +301,9 @@ pub struct Soc {
     batch_buf: Vec<SsrRequest>,
     /// Scratch for kernel-output cascades, reused across interrupts.
     kout_buf: Vec<KernelOutput>,
+    /// Per-criticality-class accounting; `None` unless the run carries a
+    /// [`CriticalityConfig`] (default runs stay bit-identical).
+    crit: Option<CritState>,
     /// The per-core OS scheduler tick schedule.
     tick: TickTimer,
 }
@@ -312,6 +371,22 @@ impl Soc {
                 iommu.set_device_steering(i, *core);
             }
         }
+        if let Some(c) = mit.criticality {
+            assert!(
+                c.critical_cores >= 1 && c.critical_cores < cfg.num_cores,
+                "critical_cores must leave at least one best-effort core \
+                 ({} of {})",
+                c.critical_cores,
+                cfg.num_cores,
+            );
+            iommu.enable_partitioning(
+                c.critical_device_mask,
+                c.ppr_quota_percent,
+                c.critical_window,
+                c.best_effort_window,
+                if c.reserve { c.critical_cores } else { 0 },
+            );
+        }
         let kernel = Kernel::new(
             KernelConfig {
                 costs: cfg.costs,
@@ -349,6 +424,7 @@ impl Soc {
                 busy: Vec::with_capacity(cfg.num_cores),
                 preempt: Vec::with_capacity(cfg.num_cores),
                 wake: Vec::with_capacity(cfg.num_cores),
+                reserved: Vec::with_capacity(cfg.num_cores),
             },
             module_warmth: (0..cfg.num_cores.div_ceil(2))
                 .map(|_| WarmthModel::with_params(cfg.cpu.l2_pollution, cfg.cpu.l2_pollution))
@@ -356,6 +432,7 @@ impl Soc {
             armed_dev: vec![None; num_devices],
             batch_buf: Vec::new(),
             kout_buf: Vec::new(),
+            crit: mit.criticality.map(CritState::new),
             tick: TickTimer::new(cfg.timer_tick, cfg.tick_cost),
             cfg,
         }
@@ -375,7 +452,10 @@ impl Soc {
         view.busy.clear();
         view.preempt.clear();
         view.wake.clear();
+        view.reserved.clear();
         for c in 0..self.cfg.num_cores {
+            view.reserved
+                .push(self.crit.as_ref().is_some_and(|cs| cs.core_reserved(c)));
             let user_alive = self.users[c]
                 .as_ref()
                 .is_some_and(|u| u.finished_at.is_none());
@@ -495,6 +575,9 @@ impl Soc {
     }
 
     fn log_request(&mut self, req: SsrRequest) {
+        if let Some(cs) = self.crit.as_mut() {
+            cs.requests[self.iommu.class_of_device(req.gpu)] += 1;
+        }
         match self.iommu.on_request(req, self.now) {
             IommuDecision::Interrupt(core) => self.deliver_interrupt(core),
             IommuDecision::ArmTimer(deadline) => {
@@ -505,11 +588,19 @@ impl Soc {
     }
 
     fn deliver_interrupt(&mut self, core: CoreId) {
+        // Under partitioning each drain serves exactly one class; read it
+        // before the drain consumes the queue head. Batches are
+        // class-pure, so the kernel-stat deltas below attribute cleanly.
+        let class = self.iommu.pending_drain_class();
         self.iommu.drain_into(&mut self.batch_buf);
         if self.batch_buf.is_empty() {
             return;
         }
         self.refresh_host_view();
+        let (serviced_before, deferrals_before) = {
+            let ks = self.kernel.stats();
+            (ks.ssrs_serviced, ks.qos_deferrals)
+        };
         self.kernel.on_interrupt_into(
             &self.view,
             core,
@@ -517,6 +608,18 @@ impl Soc {
             self.now,
             &mut self.kout_buf,
         );
+        if let (Some(cs), Some(class)) = (self.crit.as_mut(), class) {
+            cs.interrupts[class] += 1;
+            cs.drained[class] += self.batch_buf.len() as u64;
+            let ks = self.kernel.stats();
+            cs.serviced[class] += ks.ssrs_serviced - serviced_before;
+            cs.deferrals[class] += ks.qos_deferrals - deferrals_before;
+            for kout in &self.kout_buf {
+                if let KernelOutput::SsrComplete { request, at } = kout {
+                    cs.latencies[class].push(*at - request.raised_at);
+                }
+            }
+        }
         for i in 0..self.kout_buf.len() {
             match self.kout_buf[i] {
                 KernelOutput::Occupy {
@@ -900,6 +1003,36 @@ impl Soc {
         if let Some(gov) = self.kernel.governor() {
             gov.publish(&mut metrics, "qos");
         }
+        // Per-criticality-class splits. `qos.classes` is the guard marker
+        // the `class_*_split` conservation laws key on: publishing it arms
+        // them, so the audit below holds every split to its whole-run
+        // total on exactly the runs that carry classes.
+        if let Some(cs) = self.crit.as_mut() {
+            metrics.counter("qos.classes", 2u64);
+            for class in 0..2usize {
+                let pfx = format!("qos.class{class}");
+                metrics.counter(format!("{pfx}.requests"), cs.requests[class]);
+                metrics.counter(format!("{pfx}.drained"), cs.drained[class]);
+                metrics.counter(format!("{pfx}.interrupts"), cs.interrupts[class]);
+                metrics.counter(format!("{pfx}.ssrs_serviced"), cs.serviced[class]);
+                metrics.counter(format!("{pfx}.deferrals"), cs.deferrals[class]);
+                metrics.counter(
+                    format!("{pfx}.quota_flushes"),
+                    self.iommu.quota_flushes(class),
+                );
+                let (mean_us, p99_us) = latency_summary_us(&mut cs.latencies[class]);
+                metrics.gauge(format!("{pfx}.mean_latency_us"), mean_us);
+                metrics.gauge(format!("{pfx}.p99_latency_us"), p99_us);
+            }
+            for c in 0..self.cfg.num_cores {
+                let label = if c < cs.cfg.critical_cores {
+                    "critical"
+                } else {
+                    "best_effort"
+                };
+                metrics.label(format!("cpu.core{c}.class"), label);
+            }
+        }
         metrics.counter("run.elapsed_ns", end.as_nanos());
         if let Some(rt) = cpu_app_runtime {
             metrics.counter("run.cpu_app_runtime_ns", rt.as_nanos());
@@ -1004,6 +1137,15 @@ impl ExperimentBuilder {
     /// Enables the §VI QoS governor.
     pub fn qos(mut self, params: QosParams) -> Self {
         self.mitigation.qos = Some(params);
+        self
+    }
+
+    /// Splits the run into criticality classes: partitions the IOMMU's
+    /// PPR log per class, optionally reserves the critical cores against
+    /// SSR interrupts and kernel threads, and publishes per-class
+    /// `qos.classN.*` metrics.
+    pub fn criticality(mut self, cfg: CriticalityConfig) -> Self {
+        self.mitigation.criticality = Some(cfg);
         self
     }
 
@@ -1478,6 +1620,110 @@ mod tests {
         let others = |r: &RunReport| -> u64 { r.kernel.interrupts_per_core[..3].iter().sum() };
         assert!(others(&pinned) < others(&spread));
         assert!(pinned.kernel.interrupts_per_core[3] > 0);
+    }
+
+    #[test]
+    fn criticality_run_publishes_class_splits_that_sum_to_totals() {
+        let baseline = ExperimentBuilder::new(cfg())
+            .cpu_app("x264")
+            .gpu_app("ubench")
+            .gpu_app("sssp")
+            .run();
+        assert_eq!(
+            baseline.metrics.counter_value("qos.classes"),
+            None,
+            "default runs must not publish class metrics"
+        );
+        let report = ExperimentBuilder::new(cfg())
+            .cpu_app("x264")
+            .gpu_app("ubench")
+            .gpu_app("sssp")
+            .criticality(CriticalityConfig {
+                critical_device_mask: 0b10, // sssp (device 1) is critical
+                ..CriticalityConfig::default()
+            })
+            .run();
+        let m = &report.metrics;
+        assert_eq!(m.counter_value("qos.classes"), Some(2));
+        let class_sum = |suffix: &str| -> u64 {
+            (0..2)
+                .map(|c| m.counter_value(&format!("qos.class{c}.{suffix}")).unwrap())
+                .sum()
+        };
+        assert_eq!(class_sum("requests"), report.iommu.requests);
+        assert_eq!(class_sum("drained"), report.iommu.drained);
+        assert_eq!(
+            class_sum("interrupts"),
+            report.kernel.interrupts_per_core.iter().sum::<u64>()
+        );
+        assert_eq!(class_sum("ssrs_serviced"), report.kernel.ssrs_serviced);
+        assert_eq!(class_sum("deferrals"), report.kernel.qos_deferrals);
+        assert_eq!(class_sum("quota_flushes"), report.iommu.log_full_flushes);
+        // Both classes saw traffic and measured latency for it.
+        for c in 0..2 {
+            assert!(m.counter_value(&format!("qos.class{c}.requests")).unwrap() > 0);
+            assert!(
+                m.gauge_value(&format!("qos.class{c}.p99_latency_us"))
+                    .unwrap()
+                    > 0.0
+            );
+        }
+        assert_eq!(m.label_value("cpu.core0.class"), Some("critical"));
+        assert_eq!(m.label_value("cpu.core1.class"), Some("best_effort"));
+        // The guarded per-class conservation laws armed: six more checks
+        // than the default run's audit.
+        assert_eq!(
+            m.counter_value("run.invariants_checked"),
+            baseline
+                .metrics
+                .counter_value("run.invariants_checked")
+                .map(|n| n + 6)
+        );
+    }
+
+    #[test]
+    fn core_reservation_keeps_interrupts_off_critical_cores() {
+        let open = ExperimentBuilder::new(cfg())
+            .cpu_app("x264")
+            .gpu_app("ubench")
+            .criticality(CriticalityConfig {
+                critical_device_mask: 0,
+                reserve: false,
+                ..CriticalityConfig::default()
+            })
+            .run();
+        assert!(
+            open.kernel.interrupts_per_core[0] > 0,
+            "without reservation the spread policy hits core 0"
+        );
+        let reserved = ExperimentBuilder::new(cfg())
+            .cpu_app("x264")
+            .gpu_app("ubench")
+            .criticality(CriticalityConfig {
+                critical_device_mask: 0,
+                reserve: true,
+                ..CriticalityConfig::default()
+            })
+            .run();
+        assert_eq!(
+            reserved.kernel.interrupts_per_core[0], 0,
+            "reserved core 0 must field no SSR interrupts: {:?}",
+            reserved.kernel.interrupts_per_core
+        );
+        assert!(reserved.kernel.interrupts_per_core[1..].iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "best-effort core")]
+    fn criticality_reserving_every_core_panics() {
+        let _ = ExperimentBuilder::new(cfg())
+            .cpu_app("x264")
+            .gpu_app("ubench")
+            .criticality(CriticalityConfig {
+                critical_cores: 4,
+                ..CriticalityConfig::default()
+            })
+            .run();
     }
 
     #[test]

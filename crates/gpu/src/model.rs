@@ -103,6 +103,7 @@ enum RunState {
 ///     jitter: 0.0,
 ///     burst_prob: 0.0,
 ///     kind: SsrKind::SoftPageFault,
+///     page_stride: 1,
 /// };
 /// let mut gpu = Gpu::new(0, GpuParams::default(), profile,
 ///                        Ns::from_millis(1), Rng::new(1));
@@ -333,7 +334,7 @@ impl Gpu {
         let id = SsrId(self.next_ssr_id);
         self.next_ssr_id += 1;
         let page = PageId(self.next_page);
-        self.next_page += 1;
+        self.next_page += self.profile.page_stride.max(1);
         self.page_table.touch(page);
         let blocking = self.rng.gen_bool(self.profile.blocking_prob);
         self.outstanding.push((id, blocking));
@@ -497,6 +498,7 @@ mod tests {
             jitter: 0.0,
             burst_prob: 0.0,
             kind: SsrKind::SoftPageFault,
+            page_stride: 1,
         }
     }
 
@@ -595,6 +597,7 @@ mod tests {
             jitter: 0.0,
             burst_prob: 0.0,
             kind: SsrKind::SoftPageFault,
+            page_stride: 1,
         };
         let mut g = Gpu::new(
             0,
@@ -783,6 +786,7 @@ mod proptests {
                 jitter: 0.3,
                 burst_prob: 0.0,
                 kind: SsrKind::SoftPageFault,
+                page_stride: 1,
             };
             let params = GpuParams { max_outstanding: limit, ..GpuParams::default() };
             let g = Gpu::new(0, params, prof, Ns::from_micros(5_000), SimRng::new(seed));
@@ -801,6 +805,7 @@ mod proptests {
                 jitter: 0.0,
                 burst_prob: 0.0,
                 kind: SsrKind::SoftPageFault,
+                page_stride: 1,
             };
             let mk = || Gpu::new(0, GpuParams::default(), prof, Ns::from_micros(2_000), SimRng::new(seed));
             let fast = drive(mk(), 5);

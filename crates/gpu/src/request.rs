@@ -116,6 +116,11 @@ pub struct SsrProfile {
     /// The service requested (the paper's experiments use soft page
     /// faults; signals exercise the non-IOMMU path).
     pub kind: SsrKind,
+    /// Pages skipped between successive faults (1 = sequential). A
+    /// worst-case aggressor uses a large stride so consecutive faults
+    /// never share upper page-table levels, defeating the IOMMU's
+    /// page-walk cache the way anti-locality contention generators do.
+    pub page_stride: u64,
 }
 
 impl SsrProfile {
@@ -128,6 +133,7 @@ impl SsrProfile {
             jitter: 0.0,
             burst_prob: 0.0,
             kind: SsrKind::SoftPageFault,
+            page_stride: 1,
         }
     }
 
@@ -184,6 +190,7 @@ mod tests {
             jitter: 0.2,
             burst_prob: 0.0,
             kind: SsrKind::SoftPageFault,
+            page_stride: 1,
         };
         assert!(p.is_active());
     }

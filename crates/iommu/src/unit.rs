@@ -47,6 +47,47 @@ impl IommuStats {
     }
 }
 
+/// Mixed-criticality partition state: per-class PPR logs, coalescing
+/// deadlines, and quota accounting (class 0 = critical, class 1 =
+/// best-effort). Entirely opt-in — an IOMMU without a partition is
+/// bit-identical to the unpartitioned implementation.
+#[derive(Debug, Clone)]
+struct Partition {
+    /// Bit i set ⇒ device i raises class-0 (critical) requests.
+    critical_device_mask: u64,
+    /// Per-class event logs carved out of the shared 128-entry PPR log.
+    logs: [Vec<SsrRequest>; 2],
+    /// Per-class log quotas; filling one forces a flush of that class
+    /// only, so best-effort floods cannot evict critical entries.
+    capacities: [usize; 2],
+    /// Per-class coalescing windows (zero fires immediately).
+    windows: [Ns; 2],
+    /// Per-class armed timer deadlines.
+    deadlines: [Option<Ns>; 2],
+    /// Per-class interrupt-in-flight flags.
+    in_flight: [bool; 2],
+    /// Per-class forced-flush counts (their sum is
+    /// `IommuStats::log_full_flushes`).
+    quota_flushes: [u64; 2],
+    /// Classes with a raised but not yet drained interrupt, in raise
+    /// order (at most one entry per class).
+    drain_queue: Vec<usize>,
+    /// Cores `[0, reserved_cores)` never receive SSR MSIs (core
+    /// reservation; zero disables).
+    reserved_cores: usize,
+}
+
+impl Partition {
+    /// The criticality class of requests from `device`.
+    fn class_of(&self, device: usize) -> usize {
+        if device < 64 && self.critical_device_mask & (1 << device) != 0 {
+            0
+        } else {
+            1
+        }
+    }
+}
+
 /// IO memory-management unit with optional interrupt coalescing.
 ///
 /// # Example
@@ -86,6 +127,8 @@ pub struct Iommu {
     /// An MSI has been raised but the top half has not drained yet;
     /// further requests ride along for free.
     interrupt_in_flight: bool,
+    /// Mixed-criticality partition, if enabled.
+    part: Option<Partition>,
     stats: IommuStats,
 }
 
@@ -123,8 +166,83 @@ impl Iommu {
             log: Vec::new(),
             timer_deadline: None,
             interrupt_in_flight: false,
+            part: None,
             stats: IommuStats::default(),
         }
+    }
+
+    /// Enables mixed-criticality partitioning: devices in
+    /// `critical_device_mask` raise class-0 (critical) requests, the
+    /// best-effort class gets `quota_percent` of the PPR log (the
+    /// critical class keeps the remainder, each class at least one
+    /// entry), classes coalesce over their own windows, and — when
+    /// `reserved_cores` is non-zero — MSIs are remapped off cores
+    /// `[0, reserved_cores)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a window exceeds [`Iommu::MAX_COALESCE_WINDOW`],
+    /// `quota_percent` is outside 1–100, or `reserved_cores` leaves no
+    /// core eligible for MSIs.
+    pub fn enable_partitioning(
+        &mut self,
+        critical_device_mask: u64,
+        quota_percent: u32,
+        critical_window: Ns,
+        best_effort_window: Ns,
+        reserved_cores: usize,
+    ) {
+        assert!(
+            (1..=100).contains(&quota_percent),
+            "best-effort PPR quota {quota_percent}% outside 1–100"
+        );
+        for window in [critical_window, best_effort_window] {
+            assert!(
+                window <= Self::MAX_COALESCE_WINDOW,
+                "coalescing window {window} exceeds the 13µs hardware maximum"
+            );
+        }
+        assert!(
+            reserved_cores < self.num_cores,
+            "reserving {reserved_cores} of {} cores leaves no MSI target",
+            self.num_cores
+        );
+        let be_cap = (self.log_capacity * quota_percent as usize / 100).max(1);
+        let crit_cap = self.log_capacity.saturating_sub(be_cap).max(1);
+        self.part = Some(Partition {
+            critical_device_mask,
+            logs: [Vec::new(), Vec::new()],
+            capacities: [crit_cap, be_cap],
+            windows: [critical_window, best_effort_window],
+            deadlines: [None, None],
+            in_flight: [false, false],
+            quota_flushes: [0, 0],
+            drain_queue: Vec::with_capacity(2),
+            reserved_cores,
+        });
+    }
+
+    /// Whether mixed-criticality partitioning is enabled.
+    pub fn partitioned(&self) -> bool {
+        self.part.is_some()
+    }
+
+    /// The criticality class of requests from `device` (0 = critical,
+    /// 1 = best-effort; 1 when partitioning is off).
+    pub fn class_of_device(&self, device: usize) -> usize {
+        self.part.as_ref().map_or(1, |p| p.class_of(device))
+    }
+
+    /// The class the next [`Iommu::drain_into`] call will drain, if an
+    /// interrupt is outstanding (partitioned mode only).
+    pub fn pending_drain_class(&self) -> Option<usize> {
+        self.part.as_ref()?.drain_queue.first().copied()
+    }
+
+    /// Forced-flush count of one class's partitioned log (their sum is
+    /// the run's `iommu.log_full_flushes`).
+    pub fn quota_flushes(&self, class: usize) -> u64 {
+        self.part.as_ref().map_or(0, |p| p.quota_flushes[class])
     }
 
     /// Counters so far.
@@ -137,15 +255,23 @@ impl Iommu {
         self.coalesce_window
     }
 
-    /// Number of requests waiting in the PPR log.
+    /// Number of requests waiting in the PPR log (summed over the class
+    /// partitions when partitioning is enabled).
     pub fn pending(&self) -> usize {
-        self.log.len()
+        match &self.part {
+            Some(p) => p.logs[0].len() + p.logs[1].len(),
+            None => self.log.len(),
+        }
     }
 
     /// The armed coalescing-timer deadline, if any (for event-staleness
-    /// checks by the SoC loop).
+    /// checks by the SoC loop; the earliest class deadline when
+    /// partitioned).
     pub fn timer_deadline(&self) -> Option<Ns> {
-        self.timer_deadline
+        match &self.part {
+            Some(p) => p.deadlines.iter().flatten().min().copied(),
+            None => self.timer_deadline,
+        }
     }
 
     /// Pins MSIs raised on behalf of `device` to `core`, overriding the
@@ -173,22 +299,49 @@ impl Iommu {
         self.overrides.get(device).copied().flatten()
     }
 
+    /// The MSI target for a batch opened by `device`: its per-device
+    /// override, if any, picks the target without touching the shared
+    /// rotation state.
+    fn steer_for(&mut self, device: Option<usize>) -> CoreId {
+        device
+            .and_then(|d| self.device_steering(d))
+            .unwrap_or_else(|| self.steering.target(self.num_cores))
+    }
+
     fn raise(&mut self) -> IommuDecision {
         self.interrupt_in_flight = true;
         self.timer_deadline = None;
         self.stats.interrupts += 1;
         // A coalesced batch is attributed to the device that opened it
-        // (the oldest logged request): its per-device override, if any,
-        // picks the target without touching the shared rotation state.
+        // (the oldest logged request).
         let device = self.log.first().map(|r| r.gpu);
-        let target = device
-            .and_then(|d| self.device_steering(d))
-            .unwrap_or_else(|| self.steering.target(self.num_cores));
+        let target = self.steer_for(device);
+        IommuDecision::Interrupt(target)
+    }
+
+    /// Raises an MSI for `class`'s partitioned log. Any steered target
+    /// landing on a reserved core is remapped to the next best-effort
+    /// core (wrapping scan), so critical cores never take SSR IRQs.
+    fn raise_class(&mut self, class: usize) -> IommuDecision {
+        let part = self.part.as_mut().expect("partitioned path");
+        part.in_flight[class] = true;
+        part.deadlines[class] = None;
+        part.drain_queue.push(class);
+        let reserved = part.reserved_cores;
+        let device = part.logs[class].first().map(|r| r.gpu);
+        self.stats.interrupts += 1;
+        let mut target = self.steer_for(device);
+        if target.0 < reserved {
+            target = CoreId(reserved + (target.0 % (self.num_cores - reserved)));
+        }
         IommuDecision::Interrupt(target)
     }
 
     /// Logs an SSR request arriving at `now` and decides what happens.
     pub fn on_request(&mut self, request: SsrRequest, now: Ns) -> IommuDecision {
+        if self.part.is_some() {
+            return self.on_request_partitioned(request, now);
+        }
         self.stats.requests += 1;
         self.log.push(request);
 
@@ -213,10 +366,61 @@ impl Iommu {
         }
     }
 
+    /// The partitioned mirror of [`Iommu::on_request`]: each class has
+    /// its own log, quota, in-flight flag, and coalescing window.
+    fn on_request_partitioned(&mut self, request: SsrRequest, now: Ns) -> IommuDecision {
+        self.stats.requests += 1;
+        let part = self.part.as_mut().expect("partitioned path");
+        let class = part.class_of(request.gpu);
+        part.logs[class].push(request);
+
+        if part.in_flight[class] {
+            return IommuDecision::Absorbed;
+        }
+        let over_quota = part.logs[class].len() >= part.capacities[class];
+        let window = part.windows[class];
+        let timer_armed = part.deadlines[class].is_some();
+        if over_quota {
+            part.quota_flushes[class] += 1;
+            self.stats.log_full_flushes += 1;
+            return self.raise_class(class);
+        }
+        if window == Ns::ZERO {
+            return self.raise_class(class);
+        }
+        if timer_armed {
+            return IommuDecision::Absorbed;
+        }
+        let deadline = now + window;
+        self.part.as_mut().expect("partitioned path").deadlines[class] = Some(deadline);
+        IommuDecision::ArmTimer(deadline)
+    }
+
     /// Handles a coalescing-timer expiration scheduled for `deadline`.
     /// Returns the MSI target, or `None` if the timer was stale (the log
-    /// was force-flushed in the meantime).
+    /// was force-flushed in the meantime). In partitioned mode, classes
+    /// are scanned in order and the first with a matching armed deadline
+    /// fires — deterministic even when both classes share a deadline
+    /// (each fire consumes one class's timer).
     pub fn on_timer(&mut self, deadline: Ns) -> Option<CoreId> {
+        if self.part.is_some() {
+            for class in 0..2 {
+                let part = self.part.as_mut().expect("partitioned path");
+                if part.deadlines[class] != Some(deadline) {
+                    continue;
+                }
+                if part.logs[class].is_empty() {
+                    part.deadlines[class] = None;
+                    continue;
+                }
+                self.stats.timer_fires += 1;
+                match self.raise_class(class) {
+                    IommuDecision::Interrupt(core) => return Some(core),
+                    _ => unreachable!("raise_class always interrupts"),
+                }
+            }
+            return None; // stale timer event
+        }
         if self.timer_deadline != Some(deadline) {
             return None; // stale timer event
         }
@@ -245,6 +449,19 @@ impl Iommu {
     /// interrupt with an owned scratch buffer, so steady-state interrupt
     /// delivery does not allocate.
     pub fn drain_into(&mut self, out: &mut Vec<SsrRequest>) {
+        if let Some(part) = self.part.as_mut() {
+            // Class-pure drain: the oldest raised class hands over its
+            // whole partitioned log; other classes keep theirs.
+            out.clear();
+            if part.drain_queue.is_empty() {
+                return;
+            }
+            let class = part.drain_queue.remove(0);
+            part.in_flight[class] = false;
+            self.stats.drained += part.logs[class].len() as u64;
+            out.append(&mut part.logs[class]);
+            return;
+        }
         self.interrupt_in_flight = false;
         self.stats.drained += self.log.len() as u64;
         out.clear();
@@ -254,9 +471,10 @@ impl Iommu {
 
 impl hiss_sim::NextTick for Iommu {
     /// The coalescing-timer deadline is the IOMMU's only self-scheduled
-    /// event; with no timer armed it never needs the event loop.
+    /// event; with no timer armed it never needs the event loop. In
+    /// partitioned mode this is the earliest armed class deadline.
     fn next_tick(&self, _now: Ns) -> Option<Ns> {
-        self.timer_deadline
+        self.timer_deadline()
     }
 }
 
@@ -454,6 +672,121 @@ mod tests {
     #[should_panic(expected = "13µs hardware maximum")]
     fn oversized_window_panics() {
         Iommu::with_coalescing(MsiSteering::spread(), 4, Ns::from_micros(14));
+    }
+
+    #[test]
+    fn partitioned_classes_drain_class_pure_batches() {
+        let mut i = Iommu::new(MsiSteering::spread(), 4);
+        // Device 0 critical, both classes uncoalesced, no reservation.
+        i.enable_partitioning(0b1, 50, Ns::ZERO, Ns::ZERO, 0);
+        assert!(i.partitioned());
+        assert_eq!(i.class_of_device(0), 0);
+        assert_eq!(i.class_of_device(1), 1);
+        // Critical raises, then best-effort raises while the critical
+        // interrupt is still in flight: separate interrupts, separate
+        // batches, in raise order.
+        assert!(matches!(
+            i.on_request(req_from(0, 0, Ns::ZERO), Ns::ZERO),
+            IommuDecision::Interrupt(_)
+        ));
+        assert!(matches!(
+            i.on_request(req_from(1, 1, Ns::from_nanos(5)), Ns::from_nanos(5)),
+            IommuDecision::Interrupt(_)
+        ));
+        // A second critical request rides the in-flight class-0 MSI.
+        assert_eq!(
+            i.on_request(req_from(2, 0, Ns::from_nanos(9)), Ns::from_nanos(9)),
+            IommuDecision::Absorbed
+        );
+        assert_eq!(i.pending_drain_class(), Some(0));
+        let batch = i.drain();
+        assert_eq!(batch.len(), 2);
+        assert!(batch.iter().all(|r| r.gpu == 0), "class-0 batch is pure");
+        assert_eq!(i.pending_drain_class(), Some(1));
+        let batch = i.drain();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].gpu, 1);
+        assert_eq!(i.pending_drain_class(), None);
+        assert_eq!(i.stats().drained, i.stats().requests);
+    }
+
+    #[test]
+    fn best_effort_quota_flushes_do_not_touch_the_critical_log() {
+        let w = Ns::from_micros(13);
+        let mut i = Iommu::with_coalescing(MsiSteering::spread(), 4, w);
+        // Best-effort gets 25% of 128 = 32 entries; both classes
+        // coalesce over the full window so logs actually fill.
+        i.enable_partitioning(0b1, 25, w, w, 0);
+        // One critical request sits coalescing.
+        i.on_request(req_from(0, 0, Ns::ZERO), Ns::ZERO);
+        // A best-effort flood fills its 32-entry quota and force-flushes
+        // without evicting (or flushing) the critical entry.
+        let mut flushed = 0;
+        for n in 0..32u64 {
+            let t = Ns::from_nanos(10 + n);
+            if let IommuDecision::Interrupt(_) = i.on_request(req_from(100 + n, 1, t), t) {
+                flushed += 1;
+            }
+        }
+        assert_eq!(flushed, 1, "quota flush fires at 32 entries");
+        assert_eq!(i.quota_flushes(1), 1);
+        assert_eq!(i.quota_flushes(0), 0);
+        assert_eq!(i.stats().log_full_flushes, 1);
+        assert_eq!(i.pending_drain_class(), Some(1));
+        assert_eq!(i.drain().len(), 32);
+        // The critical request is still logged, its timer still armed.
+        assert_eq!(i.pending(), 1);
+        let deadline = i.timer_deadline().expect("critical timer armed");
+        assert_eq!(i.on_timer(deadline), Some(CoreId(1)));
+        assert_eq!(i.drain().len(), 1);
+    }
+
+    #[test]
+    fn reserved_cores_never_receive_msis() {
+        let mut i = Iommu::new(MsiSteering::spread(), 4);
+        i.enable_partitioning(0b1, 50, Ns::ZERO, Ns::ZERO, 2);
+        let mut targets = Vec::new();
+        for n in 0..8u64 {
+            let t = Ns::from_micros(n);
+            let device = (n % 2) as usize;
+            if let IommuDecision::Interrupt(c) = i.on_request(req_from(n, device, t), t) {
+                targets.push(c.0);
+            }
+            i.drain();
+        }
+        assert!(targets.iter().all(|&c| c >= 2), "{targets:?}");
+        assert!(targets.contains(&2) && targets.contains(&3), "{targets:?}");
+    }
+
+    #[test]
+    fn per_class_windows_are_independent() {
+        let w = Ns::from_micros(13);
+        let mut i = Iommu::new(MsiSteering::spread(), 4);
+        // Critical fires immediately; best-effort coalesces over 13µs.
+        i.enable_partitioning(0b1, 50, Ns::ZERO, w, 0);
+        assert!(matches!(
+            i.on_request(req_from(0, 0, Ns::ZERO), Ns::ZERO),
+            IommuDecision::Interrupt(_)
+        ));
+        i.drain();
+        assert_eq!(
+            i.on_request(req_from(1, 1, Ns::ZERO), Ns::ZERO),
+            IommuDecision::ArmTimer(w)
+        );
+        assert_eq!(
+            i.on_request(req_from(2, 1, Ns::from_micros(1)), Ns::from_micros(1)),
+            IommuDecision::Absorbed
+        );
+        assert_eq!(i.on_timer(w), Some(CoreId(1)));
+        assert_eq!(i.drain().len(), 2);
+        assert_eq!(i.stats().timer_fires, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "leaves no MSI target")]
+    fn full_reservation_is_rejected() {
+        let mut i = Iommu::new(MsiSteering::spread(), 4);
+        i.enable_partitioning(0, 50, Ns::ZERO, Ns::ZERO, 4);
     }
 
     #[test]

@@ -26,6 +26,12 @@ pub trait CoreHost {
     /// zero. This is why SSRs to sleeping cores can be *slower* than to
     /// busy ones (paper Fig. 3b values above 1.0).
     fn wake_delay(&self, core: CoreId) -> Ns;
+    /// `true` if `core` is reserved for critical work — floating kernel
+    /// threads must not land there (mixed-criticality core reservation;
+    /// no core is reserved unless the host says otherwise).
+    fn reserved(&self, _core: CoreId) -> bool {
+        false
+    }
 }
 
 /// Kernel configuration: costs, mitigations, QoS.

@@ -81,21 +81,31 @@ impl Kthread {
                 "kthread {} pinned to out-of-range core {core}",
                 self.name
             );
-            return core;
+            // Core reservation outranks even a hard pin: a reserved
+            // core must never run floating kernel threads.
+            if !host.reserved(core) {
+                return core;
+            }
         }
-        if !host.user_active(self.home) {
+        if !host.user_active(self.home) && !host.reserved(self.home) {
             return self.home;
         }
         for c in 0..host.num_cores() {
             let core = CoreId(c);
-            if !host.user_active(core) {
+            if !host.user_active(core) && !host.reserved(core) {
                 return core;
             }
         }
-        // Every core has user work: rotate (CFS load balancing) so the
-        // kthread's CPU consumption spreads over all application threads
-        // instead of starving one of them.
-        self.rotate = (self.rotate + 1) % host.num_cores();
+        // Every eligible core has user work: rotate (CFS load balancing)
+        // over the non-reserved cores so the kthread's CPU consumption
+        // spreads over all best-effort application threads instead of
+        // starving one of them.
+        for _ in 0..host.num_cores() {
+            self.rotate = (self.rotate + 1) % host.num_cores();
+            if !host.reserved(CoreId(self.rotate)) {
+                return CoreId(self.rotate);
+            }
+        }
         CoreId(self.rotate)
     }
 }
@@ -122,6 +132,30 @@ mod tests {
         }
         fn wake_delay(&self, _core: CoreId) -> Ns {
             Ns::ZERO
+        }
+    }
+
+    /// Test host whose first `reserved` cores are a critical partition.
+    struct ReservingHost {
+        busy: Vec<bool>,
+        reserved: usize,
+    }
+
+    impl CoreHost for ReservingHost {
+        fn num_cores(&self) -> usize {
+            self.busy.len()
+        }
+        fn user_active(&self, core: CoreId) -> bool {
+            self.busy[core.0]
+        }
+        fn preempt_delay(&self, _core: CoreId) -> Ns {
+            Ns::from_micros(20)
+        }
+        fn wake_delay(&self, _core: CoreId) -> Ns {
+            Ns::ZERO
+        }
+        fn reserved(&self, core: CoreId) -> bool {
+            core.0 < self.reserved
         }
     }
 
@@ -168,6 +202,25 @@ mod tests {
         let seq: Vec<usize> = (0..8).map(|_| t.place(&host).0).collect();
         assert_eq!(seq, vec![3, 0, 1, 2, 3, 0, 1, 2]);
         assert!(t.migrations() > 0);
+    }
+
+    #[test]
+    fn reserved_cores_never_receive_kernel_threads() {
+        // Core 0 reserved and idle; the thread must skip it everywhere:
+        // as an affinity target, as an idle home, and in rotation.
+        let host = ReservingHost {
+            busy: vec![false, true, true, true],
+            reserved: 1,
+        };
+        let mut t = Kthread::new("worker", CoreId(0));
+        t.set_affinity(Some(CoreId(0)));
+        assert_ne!(t.place(&host), CoreId(0), "reservation outranks affinity");
+        t.set_affinity(None);
+        t.home = CoreId(0);
+        assert_ne!(t.place(&host), CoreId(0), "idle reserved home abandoned");
+        // All best-effort cores busy: rotation covers only cores 1..4.
+        let seq: Vec<usize> = (0..6).map(|_| t.place(&host).0).collect();
+        assert!(seq.iter().all(|&c| c != 0), "{seq:?}");
     }
 
     #[test]

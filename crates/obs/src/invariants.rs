@@ -120,6 +120,13 @@ pub struct Invariant {
     pub rel: Rel,
     /// Additive terms of the right side.
     pub rhs: &'static [Term],
+    /// Optional guard pattern: the law is evaluated only when the
+    /// registry publishes at least one name matching it. Guarded laws
+    /// cover opt-in families whose absence must not read as zero (the
+    /// per-class split laws key on the `qos.classes` marker); a skipped
+    /// guard does not count toward an audit's `checked` total, so
+    /// default runs publish the same `run.invariants_checked`.
+    pub guard: Option<&'static str>,
     /// One-line statement of the law.
     pub doc: &'static str,
 }
@@ -137,6 +144,27 @@ const fn run_eq(
         lhs,
         rel: Rel::Eq,
         rhs,
+        guard: None,
+        doc,
+    }
+}
+
+/// `run`-scope equality evaluated only when `guard` matches a published
+/// name (opt-in families whose absence must not read as zero).
+const fn run_eq_when(
+    guard: &'static str,
+    name: &'static str,
+    lhs: &'static [Term],
+    rhs: &'static [Term],
+    doc: &'static str,
+) -> Invariant {
+    Invariant {
+        name,
+        scope: Scope::Run,
+        lhs,
+        rel: Rel::Eq,
+        rhs,
+        guard: Some(guard),
         doc,
     }
 }
@@ -154,6 +182,7 @@ const fn run_le(
         lhs,
         rel: Rel::Le,
         rhs,
+        guard: None,
         doc,
     }
 }
@@ -170,6 +199,7 @@ const fn cpu_total(
         lhs: per_core,
         rel: Rel::Eq,
         rhs: total,
+        guard: None,
         doc: "per-core time category sums to its cpu.total mirror",
     }
 }
@@ -187,6 +217,7 @@ const fn bench_total(
         lhs: total,
         rel: Rel::Eq,
         rhs: cells,
+        guard: None,
         doc: "suite total equals the sum over its per-cell counters",
     }
 }
@@ -275,6 +306,52 @@ pub const INVARIANTS: &[Invariant] = &[
         &[Term::Sum("qos.deferrals")],
         &[Term::Sum("kernel.qos_deferrals")],
         "the governor and the kernel count the same deferral episodes",
+    ),
+    // --- Run scope: per-criticality-class splits (guarded on the
+    // `qos.classes` marker, published only when a scenario assigns
+    // classes — on every other run the family is absent and the laws
+    // are skipped rather than read as zero).
+    run_eq_when(
+        "qos.classes",
+        "class_requests_split",
+        &[Term::Sum("qos.classN.requests")],
+        &[Term::Sum("iommu.requests")],
+        "per-class request counts split the IOMMU request total",
+    ),
+    run_eq_when(
+        "qos.classes",
+        "class_drained_split",
+        &[Term::Sum("qos.classN.drained")],
+        &[Term::Sum("iommu.drained")],
+        "per-class drain counts split the IOMMU drain total",
+    ),
+    run_eq_when(
+        "qos.classes",
+        "class_interrupts_split",
+        &[Term::Sum("qos.classN.interrupts")],
+        &[Term::Sum("kernel.interrupts.total")],
+        "per-class interrupt counts split the kernel interrupt total",
+    ),
+    run_eq_when(
+        "qos.classes",
+        "class_serviced_split",
+        &[Term::Sum("qos.classN.ssrs_serviced")],
+        &[Term::Sum("kernel.ssrs_serviced")],
+        "per-class service counts split the kernel service total",
+    ),
+    run_eq_when(
+        "qos.classes",
+        "class_deferrals_split",
+        &[Term::Sum("qos.classN.deferrals")],
+        &[Term::Sum("kernel.qos_deferrals")],
+        "per-class deferral counts split the kernel deferral total",
+    ),
+    run_eq_when(
+        "qos.classes",
+        "class_quota_flushes_agree",
+        &[Term::Sum("qos.classN.quota_flushes")],
+        &[Term::Sum("iommu.log_full_flushes")],
+        "partitioned per-class quota flushes are the run's log-full flushes",
     ),
     // --- Run scope: calendar and workload accounting -----------------
     run_le(
@@ -433,6 +510,7 @@ pub const INVARIANTS: &[Invariant] = &[
         lhs: &[Term::Sum("bench.cells")],
         rel: Rel::Eq,
         rhs: &[Term::Count("bench.cell.*.elapsed_ns")],
+        guard: None,
         doc: "bench.cells equals the number of per-cell snapshots recorded",
     },
 ];
@@ -482,8 +560,21 @@ fn describe_side(terms: &[Term], value: u128) -> String {
     format!("{} = {value}", rendered.join(" + "))
 }
 
-/// Evaluates one invariant against a registry.
+/// Whether a guarded invariant applies to this registry (unguarded laws
+/// always apply; guarded laws need a published name matching the guard).
+pub fn applies(inv: &Invariant, reg: &MetricsRegistry) -> bool {
+    match inv.guard {
+        None => true,
+        Some(guard) => reg.iter().any(|(name, _)| pattern_matches(guard, name)),
+    }
+}
+
+/// Evaluates one invariant against a registry. A guarded law whose
+/// guard matches nothing is skipped (returns `None`).
 pub fn check(inv: &Invariant, reg: &MetricsRegistry) -> Option<Violation> {
+    if !applies(inv, reg) {
+        return None;
+    }
     let lhs: u128 = inv.lhs.iter().map(|t| t.eval(reg)).sum();
     let rhs: u128 = inv.rhs.iter().map(|t| t.eval(reg)).sum();
     let holds = match inv.rel {
@@ -512,6 +603,9 @@ pub fn check(inv: &Invariant, reg: &MetricsRegistry) -> Option<Violation> {
 pub fn audit(reg: &MetricsRegistry, scope: Scope) -> AuditReport {
     let mut report = AuditReport::default();
     for inv in invariants_for(scope) {
+        if !applies(inv, reg) {
+            continue;
+        }
         report.checked += 1;
         report.violations.extend(check(inv, reg));
     }
@@ -535,6 +629,13 @@ mod tests {
                     "invariant {} ranges over `{}`, absent from the schema",
                     inv.name,
                     term.pattern()
+                );
+            }
+            if let Some(guard) = inv.guard {
+                assert!(
+                    crate::schema::SCHEMA.iter().any(|e| e.pattern == guard),
+                    "invariant {} guarded on `{guard}`, absent from the schema",
+                    inv.name,
                 );
             }
         }
@@ -593,6 +694,38 @@ mod tests {
             assert!(report.clean(), "{:?}", report.violations);
             assert!(report.checked > 0);
         }
+    }
+
+    #[test]
+    fn guarded_laws_skip_without_their_marker_and_enforce_with_it() {
+        // A run registry with SSR traffic but no class split published:
+        // the per-class Eq laws must not fire (their LHS would read 0).
+        let mut reg = MetricsRegistry::new();
+        reg.counter("iommu.requests", 9);
+        reg.counter("iommu.drained", 9);
+        reg.counter("dev0.ssrs_raised", 9);
+        reg.counter("gpu0.ssrs_raised", 9);
+        let baseline = audit(&reg, Scope::Run);
+        assert!(baseline.clean(), "{:?}", baseline.violations);
+
+        // Publishing the marker arms the guard; an incomplete split now
+        // violates its law, and `checked` grows by the guarded count.
+        reg.counter("qos.classes", 2);
+        reg.counter("qos.class0.requests", 4);
+        reg.counter("qos.class1.requests", 4); // 4+4 != 9
+        reg.counter("qos.class0.drained", 4);
+        reg.counter("qos.class1.drained", 5);
+        let report = audit(&reg, Scope::Run);
+        assert_eq!(report.checked, baseline.checked + 6);
+        assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+        let v = &report.violations[0];
+        assert_eq!(v.name, "class_requests_split");
+        assert_eq!((v.lhs, v.rhs), (8, 9));
+        assert!(
+            v.detail.contains("Σ qos.classN.requests = 8"),
+            "{}",
+            v.detail
+        );
     }
 
     #[test]

@@ -165,6 +165,12 @@ pub const SCHEMA: &[SchemaEntry] = &[
     run_c("cpu.coreN.os_tick_ns", "periodic OS tick time, core N"),
     run_g("cpu.coreN.cc6_residency", "CC6 residency fraction, core N"),
     run_g("cpu.coreN.ssr_overhead", "SSR-servicing fraction, core N"),
+    SchemaEntry {
+        pattern: "cpu.coreN.class",
+        kind: MetricKind::Label,
+        scope: Scope::Run,
+        doc: "criticality class of core N (critical, best_effort)",
+    },
     run_c("cpu.total.user_ns", "user-mode application time, all cores"),
     run_c(
         "cpu.total.top_half_ns",
@@ -223,6 +229,30 @@ pub const SCHEMA: &[SchemaEntry] = &[
     run_c("qos.passes", "interrupts passed through immediately"),
     run_c("qos.recorded_ns", "kernel time accounted by the governor"),
     run_g("qos.threshold", "configured kernel-time threshold fraction"),
+    // Soc per-class accounting ("qos.classN"), present only when a
+    // scenario assigns criticality classes. `qos.classes` is the guard
+    // marker the per-class conservation laws key on.
+    run_c(
+        "qos.classes",
+        "criticality classes in the run (2 when enabled)",
+    ),
+    run_c("qos.classN.requests", "SSRs raised by class-N devices"),
+    run_c("qos.classN.drained", "requests drained for class N"),
+    run_c("qos.classN.interrupts", "interrupts delivered for class N"),
+    run_c("qos.classN.ssrs_serviced", "SSRs serviced for class N"),
+    run_c("qos.classN.deferrals", "QoS deferrals hit by class N"),
+    run_c(
+        "qos.classN.quota_flushes",
+        "forced flushes of class N's partitioned log",
+    ),
+    run_g(
+        "qos.classN.mean_latency_us",
+        "mean SSR latency for class N, microseconds",
+    ),
+    run_g(
+        "qos.classN.p99_latency_us",
+        "99th-percentile SSR latency for class N, microseconds",
+    ),
     // Soc::finalize derived metrics ("run", "energy")
     run_c("run.elapsed_ns", "simulated wall time of the run"),
     run_c(

@@ -17,6 +17,10 @@
 //!   governor sweep, exercising deferral paths fig3 never takes),
 //! - `devices` — `scenarios/topology.hiss` in quick mode (a GPU + NIC +
 //!   DMA `[topology]`, gating the auxiliary-device SSR path),
+//! - `mixed_criticality` — `scenarios/mixed_criticality.hiss` in quick
+//!   mode (the `[criticality]` partition under the worst-case
+//!   aggressor: core reservation, PPR quota, and per-class coalescing
+//!   windows all on the gated path),
 //! - `engine` — a direct serial [`ExperimentBuilder`] co-run on the
 //!   calling thread, probing allocation traffic and calendar churn
 //!   without the pool or cache in the way.
@@ -54,7 +58,13 @@ pub const CELL_COUNTERS: &[(&str, &str)] = &[
 ];
 
 /// Names of every suite, in execution order.
-pub const SUITES: &[&str] = &["engine", "fig3_quick", "qos_quick", "devices"];
+pub const SUITES: &[&str] = &[
+    "engine",
+    "fig3_quick",
+    "qos_quick",
+    "devices",
+    "mixed_criticality",
+];
 
 /// One cell's identity as a single schema segment: dots in axis values
 /// would split into extra pattern segments, so they become underscores
@@ -159,6 +169,7 @@ pub fn run_all(root: &Path) -> Result<Vec<SuiteSnapshot>, String> {
         scenario_suite("fig3_quick", root, "fig3.hiss")?,
         scenario_suite("qos_quick", root, "qos_sweep.hiss")?,
         scenario_suite("devices", root, "topology.hiss")?,
+        scenario_suite("mixed_criticality", root, "mixed_criticality.hiss")?,
     ])
 }
 

@@ -88,6 +88,9 @@ pub struct Row {
     pub qos_deferrals: u64,
     /// SSRs raised by non-GPU devices (NIC, DMA); 0 for all-GPU cells.
     pub aux_ssrs_raised: u64,
+    /// p99 end-to-end latency of critical-class SSRs, µs; 0 on cells
+    /// without a criticality partition.
+    pub critical_p99_latency_us: f64,
     /// Events pushed onto the simulation calendar.
     pub events_pushed: u64,
     /// Events popped from the calendar (`<= events_pushed` always).
@@ -120,6 +123,13 @@ pub fn expand(sc: &Scenario, quick: bool) -> Vec<Cell> {
                 for replica in 0..sc.replicas {
                     let mut k = knobs;
                     k.cfg.seed = k.cfg.seed.wrapping_add(replica as u64);
+                    // `[criticality]` lowers per cell: only cells whose
+                    // CPU application holds the critical class run the
+                    // partitioning machinery; the rest of the grid is
+                    // the unprotected control group.
+                    if !sc.critical_apps.iter().any(|a| a == cpu_app) {
+                        k.criticality = None;
+                    }
                     cells.push(Cell {
                         cpu_app: cpu_app.clone(),
                         gpu_app: gpu_app.clone(),
@@ -160,6 +170,7 @@ pub fn run_cell_report(cell: &Cell) -> (Row, std::sync::Arc<RunReport>) {
     let is_default = cell.knobs.mitigation == Mitigation::DEFAULT
         && cell.knobs.qos_percent == 0.0
         && cell.knobs.gpus == 1
+        && cell.knobs.criticality.is_none()
         && cell.topology.is_none();
     let run = if is_default {
         cache.corun_default(cfg, &cell.cpu_app, &cell.gpu_app)
@@ -186,6 +197,9 @@ pub fn run_cell_report(cell: &Cell) -> (Row, std::sync::Arc<RunReport>) {
         }
         if cell.knobs.qos_percent > 0.0 {
             b = b.qos(QosParams::threshold_percent(cell.knobs.qos_percent));
+        }
+        if let Some(c) = cell.knobs.criticality {
+            b = b.criticality(c);
         }
         std::sync::Arc::new(b.run())
     };
@@ -244,6 +258,10 @@ fn row_from_report(cell: &Cell, run: &RunReport, base: &RunReport, gpu_base: &Ru
             .metrics
             .counter_value("run.aux_ssrs_raised")
             .unwrap_or(0),
+        critical_p99_latency_us: run
+            .metrics
+            .gauge_value("qos.class0.p99_latency_us")
+            .unwrap_or(0.0),
         events_pushed: run.metrics.counter_value("run.events_pushed").unwrap_or(0),
         events_popped: run.metrics.counter_value("run.events_popped").unwrap_or(0),
     }
@@ -463,6 +481,45 @@ steer = [-1, 3, -1]
             m.counter_value("run.aux_ssrs_raised"),
             Some(row.aux_ssrs_raised)
         );
+    }
+
+    /// `[criticality]` lowers per CPU application: only critical-listed
+    /// apps keep the partition config, and those cells publish per-class
+    /// metrics (the `cell.*` snapshot carries them) while the control
+    /// cells stay class-free.
+    #[test]
+    fn criticality_lowers_onto_critical_cells_only() {
+        let sc = Scenario::from_str(
+            r#"
+[scenario]
+name = "t"
+[workload]
+cpu = ["raytrace", "x264"]
+gpu = ["ubench"]
+[criticality]
+critical = ["raytrace"]
+critical_devices = [0]
+"#,
+        )
+        .unwrap();
+        let cells = expand(&sc, false);
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].cpu_app, "raytrace");
+        let c = cells[0].knobs.criticality.expect("critical cell keeps it");
+        assert_eq!(c.critical_device_mask, 0b1);
+        assert!(cells[1].knobs.criticality.is_none(), "x264 is the control");
+
+        let pairs = run_with_metrics(&sc, false);
+        let (crit_row, crit_m) = &pairs[0];
+        assert_eq!(crit_m.counter_value("qos.classes"), Some(2));
+        assert_eq!(
+            crit_m.gauge_value("qos.class0.p99_latency_us"),
+            Some(crit_row.critical_p99_latency_us)
+        );
+        assert!(crit_row.critical_p99_latency_us > 0.0);
+        let (ctrl_row, ctrl_m) = &pairs[1];
+        assert_eq!(ctrl_m.counter_value("qos.classes"), None);
+        assert_eq!(ctrl_row.critical_p99_latency_us, 0.0);
     }
 
     #[test]

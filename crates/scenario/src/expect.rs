@@ -46,6 +46,7 @@ fn metric_value(metric: Metric, row: &Row) -> Option<f64> {
         Metric::AuxSsrsRaised => row.aux_ssrs_raised as f64,
         Metric::EventsPushed => row.events_pushed as f64,
         Metric::EventsPopped => row.events_popped as f64,
+        Metric::CriticalP99LatencyUs => row.critical_p99_latency_us,
     })
 }
 
@@ -146,6 +147,7 @@ mod tests {
             ipis: 3,
             qos_deferrals: 0,
             aux_ssrs_raised: 0,
+            critical_p99_latency_us: 0.0,
             events_pushed: 100,
             events_popped: 90,
         }

@@ -243,7 +243,7 @@ fn check_shadowed_base_keys(file: &str, doc: &Document, sc: &Scenario, out: &mut
             ),
         ));
     };
-    for name in ["system", "mitigation"] {
+    for name in ["system", "mitigation", "criticality"] {
         let Some(section) = doc.section(name) else {
             continue;
         };
@@ -264,7 +264,8 @@ fn check_shadowed_base_keys(file: &str, doc: &Document, sc: &Scenario, out: &mut
 }
 
 /// `Field::by_key` is private to `spec`; the lint only needs the keys
-/// `[system]`/`[mitigation]` accept, which `apply` already validated.
+/// `[system]`/`[mitigation]`/`[criticality]` accept, which `apply`
+/// already validated.
 fn field_by_key(key: &str) -> Option<Field> {
     [
         Field::Cores,
@@ -280,6 +281,11 @@ fn field_by_key(key: &str) -> Option<Field> {
         Field::Monolithic,
         Field::QosPercent,
         Field::MitigationCombo,
+        Field::CritReserve,
+        Field::CritQuota,
+        Field::CritCores,
+        Field::CritWindowUs,
+        Field::BeWindowUs,
     ]
     .into_iter()
     .find(|f| f.key() == key)
@@ -451,7 +457,7 @@ pub fn check_coverage(root: &Path) -> Vec<Diagnostic> {
                 }
             }
         };
-        for name in ["system", "mitigation"] {
+        for name in ["system", "mitigation", "criticality"] {
             let Some(section) = doc.section(name) else {
                 continue;
             };
@@ -506,6 +512,11 @@ pub fn check_coverage(root: &Path) -> Vec<Diagnostic> {
         Field::Monolithic,
         Field::QosPercent,
         Field::MitigationCombo,
+        Field::CritReserve,
+        Field::CritQuota,
+        Field::CritCores,
+        Field::CritWindowUs,
+        Field::BeWindowUs,
     ] {
         if !exercised_fields.contains(field.key()) {
             diags.push(Diagnostic::new(

@@ -76,6 +76,11 @@ pub fn row_json(row: &Row) -> String {
     let _ = write!(out, ",\"ipis\":{}", row.ipis);
     let _ = write!(out, ",\"qos_deferrals\":{}", row.qos_deferrals);
     let _ = write!(out, ",\"aux_ssrs_raised\":{}", row.aux_ssrs_raised);
+    let _ = write!(
+        out,
+        ",\"critical_p99_latency_us\":{}",
+        json_f64(row.critical_p99_latency_us)
+    );
     let _ = write!(out, ",\"events_pushed\":{}", row.events_pushed);
     let _ = write!(out, ",\"events_popped\":{}", row.events_popped);
     out.push('}');
@@ -176,6 +181,7 @@ mod tests {
             ipis: 7,
             qos_deferrals: 3,
             aux_ssrs_raised: 0,
+            critical_p99_latency_us: 0.0,
             events_pushed: 5000,
             events_popped: 4900,
         }

@@ -15,7 +15,7 @@
 //!
 //! Every diagnostic carries the offending line number.
 
-use hiss::{CoreId, DeviceKind, Mitigation, Ns, SystemConfig};
+use hiss::{CoreId, CriticalityConfig, DeviceKind, Mitigation, Ns, SystemConfig};
 
 use crate::parse::{Document, Entry, ScenarioError, Value};
 
@@ -33,6 +33,10 @@ pub struct Knobs {
     pub mitigation: Mitigation,
     /// §VI QoS threshold in percent; 0 disables the governor.
     pub qos_percent: f64,
+    /// Mixed-criticality partitioning (`[criticality]`); `None` runs the
+    /// cell without classes. The batch compiler clears it on cells whose
+    /// CPU application is not in the scenario's critical list.
+    pub criticality: Option<CriticalityConfig>,
 }
 
 impl Default for Knobs {
@@ -42,6 +46,7 @@ impl Default for Knobs {
             gpus: 1,
             mitigation: Mitigation::DEFAULT,
             qos_percent: 0.0,
+            criticality: None,
         }
     }
 }
@@ -80,6 +85,21 @@ pub enum Field {
     /// `+`-joined subset of `steer`, `coalesce`, `mono`
     /// (e.g. `"steer+mono"`).
     MitigationCombo,
+    /// `reserve` — whether critical cores are fenced off from SSR IRQs
+    /// and bottom-half worker threads (`[criticality]` only).
+    CritReserve,
+    /// `ppr_quota_percent` — critical-class share of the IOMMU PPR
+    /// queue, 1–100 (`[criticality]` only).
+    CritQuota,
+    /// `critical_cores` — cores `[0, n)` are the critical partition
+    /// (`[criticality]` only).
+    CritCores,
+    /// `critical_window_us` — coalescing window for critical-class
+    /// requests; 0 delivers immediately (`[criticality]` only).
+    CritWindowUs,
+    /// `best_effort_window_us` — coalescing window for best-effort
+    /// requests (`[criticality]` only).
+    BeWindowUs,
 }
 
 impl Field {
@@ -100,6 +120,11 @@ impl Field {
             Field::Monolithic => "monolithic",
             Field::QosPercent => "qos_percent",
             Field::MitigationCombo => "mitigation",
+            Field::CritReserve => "reserve",
+            Field::CritQuota => "ppr_quota_percent",
+            Field::CritCores => "critical_cores",
+            Field::CritWindowUs => "critical_window_us",
+            Field::BeWindowUs => "best_effort_window_us",
         }
     }
 
@@ -118,6 +143,11 @@ impl Field {
             Field::Monolithic,
             Field::QosPercent,
             Field::MitigationCombo,
+            Field::CritReserve,
+            Field::CritQuota,
+            Field::CritCores,
+            Field::CritWindowUs,
+            Field::BeWindowUs,
         ]
         .into_iter()
         .find(|f| f.key() == key)
@@ -142,6 +172,16 @@ impl Field {
         Field::Monolithic,
         Field::QosPercent,
         Field::MitigationCombo,
+    ];
+
+    /// Fields accepted in `[criticality]` (and sweepable once the
+    /// section is present).
+    const CRITICALITY: &'static [Field] = &[
+        Field::CritReserve,
+        Field::CritQuota,
+        Field::CritCores,
+        Field::CritWindowUs,
+        Field::BeWindowUs,
     ];
 
     /// Validates `value` for this field and applies it to `knobs`.
@@ -205,6 +245,36 @@ impl Field {
             }
             Field::MitigationCombo => {
                 knobs.mitigation = parse_mitigation_combo(value, line)?;
+            }
+            Field::CritReserve
+            | Field::CritQuota
+            | Field::CritCores
+            | Field::CritWindowUs
+            | Field::BeWindowUs => {
+                let Some(c) = knobs.criticality.as_mut() else {
+                    return Err(ScenarioError::new(
+                        line,
+                        format!("{key:?} requires a [criticality] section"),
+                    ));
+                };
+                match self {
+                    Field::CritReserve => c.reserve = expect_bool(value, key, line)?,
+                    Field::CritQuota => {
+                        c.ppr_quota_percent = expect_int(value, key, line, 1, 100)? as u32
+                    }
+                    Field::CritCores => {
+                        c.critical_cores = expect_int(value, key, line, 1, 63)? as usize
+                    }
+                    Field::CritWindowUs => {
+                        c.critical_window =
+                            Ns::from_micros(expect_int(value, key, line, 0, 13)? as u64)
+                    }
+                    Field::BeWindowUs => {
+                        c.best_effort_window =
+                            Ns::from_micros(expect_int(value, key, line, 0, 13)? as u64)
+                    }
+                    _ => unreachable!(),
+                }
             }
         }
         Ok(())
@@ -364,6 +434,10 @@ pub enum Metric {
     /// `events_popped <= events_pushed` always holds, and the invariant
     /// lint (`HL401`) rejects band pairs that contradict it.
     EventsPopped,
+    /// p99 end-to-end latency of *critical-class* SSRs, µs — the bound
+    /// a mixed-criticality scenario pins under the aggressor; 0 on
+    /// cells without classes.
+    CriticalP99LatencyUs,
 }
 
 impl Metric {
@@ -383,6 +457,7 @@ impl Metric {
             Metric::AuxSsrsRaised => "aux_ssrs_raised",
             Metric::EventsPushed => "events_pushed",
             Metric::EventsPopped => "events_popped",
+            Metric::CriticalP99LatencyUs => "critical_p99_latency_us",
         }
     }
 
@@ -401,6 +476,7 @@ impl Metric {
         Metric::AuxSsrsRaised,
         Metric::EventsPushed,
         Metric::EventsPopped,
+        Metric::CriticalP99LatencyUs,
     ];
 
     /// The `hiss-obs` registry name this metric is derived from, or
@@ -423,6 +499,7 @@ impl Metric {
             Metric::AuxSsrsRaised => Some("run.aux_ssrs_raised"),
             Metric::EventsPushed => Some("run.events_pushed"),
             Metric::EventsPopped => Some("run.events_popped"),
+            Metric::CriticalP99LatencyUs => Some("qos.class0.p99_latency_us"),
         }
     }
 }
@@ -503,6 +580,11 @@ pub struct Scenario {
     /// Declarative device topology, when `[topology]` is present
     /// (replaces the `gpus` count).
     pub topology: Option<Topology>,
+    /// CPU applications assigned the critical class (`[criticality]
+    /// critical`); cells running any other CPU application drop the
+    /// class machinery entirely. Empty when the scenario has no
+    /// `[criticality]` section.
+    pub critical_apps: Vec<String>,
     /// Sweep axes in file order (first axis is the outermost loop).
     pub sweeps: Vec<SweepAxis>,
     /// Number of replicas per cell (replica *i* runs with `seed + i`).
@@ -522,6 +604,7 @@ const SECTIONS: &[&str] = &[
     "mitigation",
     "workload",
     "topology",
+    "criticality",
     "run",
     "sweep",
     "expect",
@@ -673,6 +756,52 @@ impl Scenario {
             base.cfg.num_gpus = t.gpu_count();
         }
 
+        // [criticality] — parsed after [workload]/[topology] (its app
+        // and device references are validated against them) and before
+        // [sweep] (swept criticality knobs trial-apply against `base`,
+        // which must already carry `Some` config).
+        let mut critical_apps: Vec<String> = Vec::new();
+        if let Some(crit) = doc.section("criticality") {
+            base.criticality = Some(CriticalityConfig::default());
+            let mut devices_line = None;
+            for e in &crit.entries {
+                match e.key.as_str() {
+                    "critical" => {
+                        critical_apps = parse_critical_apps(e, &workload)?;
+                    }
+                    "critical_devices" => {
+                        let cfg = base.criticality.as_mut().expect("set above");
+                        cfg.critical_device_mask = parse_critical_devices(e, topology.as_ref())?;
+                        devices_line = Some(e.line);
+                    }
+                    other => {
+                        let field = Field::by_key(other)
+                            .filter(|f| Field::CRITICALITY.contains(f))
+                            .ok_or_else(|| {
+                                let mut keys = vec!["critical", "critical_devices"];
+                                keys.extend(Field::CRITICALITY.iter().map(|f| f.key()));
+                                unknown_key(e.line, other, "criticality", &keys)
+                            })?;
+                        field.apply(&mut base, &e.value, e.line)?;
+                    }
+                }
+            }
+            if critical_apps.is_empty() {
+                return Err(ScenarioError::new(
+                    crit.line,
+                    "[criticality] must assign at least one CPU application to \
+                     the critical class (`critical = [...]`)",
+                ));
+            }
+            if base.criticality.expect("set above").critical_device_mask == 0 {
+                return Err(ScenarioError::new(
+                    devices_line.unwrap_or(crit.line),
+                    "[criticality] must mark at least one device critical \
+                     (`critical_devices = [...]`)",
+                ));
+            }
+        }
+
         // [run]
         let mut replicas = 1u32;
         let mut expected_rows = None;
@@ -703,6 +832,7 @@ impl Scenario {
                     let keys: Vec<&str> = Field::SYSTEM
                         .iter()
                         .chain(Field::MITIGATION)
+                        .chain(Field::CRITICALITY)
                         .map(|f| f.key())
                         .collect();
                     unknown_key(e.line, &e.key, "sweep", &keys)
@@ -805,6 +935,43 @@ impl Scenario {
             }
         }
 
+        // The critical partition must leave at least one best-effort
+        // core under every swept core count, or `Soc::new` would abort
+        // mid-batch.
+        let crit_cores_oor = |line: usize, what: &str, n: usize| {
+            ScenarioError::new(
+                line,
+                format!(
+                    "{what} reserves {n} critical cores, but the scenario runs \
+                     with as few as {min_cores} cores (at least one best-effort \
+                     core must remain)"
+                ),
+            )
+        };
+        if let Some(c) = &base.criticality {
+            if c.critical_cores >= min_cores {
+                let line = doc
+                    .section("criticality")
+                    .and_then(|s| s.get("critical_cores"))
+                    .map(|e| e.line)
+                    .unwrap_or(0);
+                return Err(crit_cores_oor(line, "`critical_cores`", c.critical_cores));
+            }
+        }
+        for axis in sweeps.iter().filter(|a| a.field == Field::CritCores) {
+            for v in &axis.values {
+                if let Value::Int(i) = v {
+                    if *i as usize >= min_cores {
+                        return Err(crit_cores_oor(
+                            axis.line,
+                            "`critical_cores` sweep value",
+                            *i as usize,
+                        ));
+                    }
+                }
+            }
+        }
+
         // [expect]
         let mut expects = Vec::new();
         if let Some(ex) = doc.section("expect") {
@@ -819,6 +986,7 @@ impl Scenario {
             base,
             workload,
             topology,
+            critical_apps,
             sweeps,
             replicas,
             expected_rows,
@@ -945,6 +1113,82 @@ fn parse_topology(top: &crate::parse::Section) -> Result<Topology, ScenarioError
         line,
         steer_line,
     })
+}
+
+/// Validates `critical = [...]`: a non-empty subset of the workload's
+/// CPU applications.
+fn parse_critical_apps(entry: &Entry, workload: &Workload) -> Result<Vec<String>, ScenarioError> {
+    let Value::List(items) = &entry.value else {
+        return Err(ScenarioError::new(
+            entry.line,
+            format!(
+                "\"critical\" expects a list of CPU application names, got {}",
+                entry.value.type_name()
+            ),
+        ));
+    };
+    let mut out = Vec::with_capacity(items.len());
+    for item in items {
+        let name = expect_str(item, "critical", entry.line)?;
+        if !workload.cpu.iter().any(|n| n == name) {
+            return Err(ScenarioError::new(
+                entry.line,
+                format!(
+                    "critical application {name:?} is not in the [workload] cpu \
+                     list ({})",
+                    workload.cpu.join(", ")
+                ),
+            ));
+        }
+        if out.iter().any(|n| n == name) {
+            return Err(ScenarioError::new(
+                entry.line,
+                format!("application {name:?} listed twice in \"critical\""),
+            ));
+        }
+        out.push(name.to_string());
+    }
+    Ok(out)
+}
+
+/// Validates `critical_devices = [...]` into the device-index bitmask.
+fn parse_critical_devices(
+    entry: &Entry,
+    topology: Option<&Topology>,
+) -> Result<u64, ScenarioError> {
+    let Value::List(items) = &entry.value else {
+        return Err(ScenarioError::new(
+            entry.line,
+            format!(
+                "\"critical_devices\" expects a list of device indices, got {}",
+                entry.value.type_name()
+            ),
+        ));
+    };
+    let mut mask = 0u64;
+    for item in items {
+        let i = expect_int(item, "critical_devices", entry.line, 0, 63)?;
+        if let Some(t) = topology {
+            if i as usize >= t.devices.len() {
+                return Err(ScenarioError::new(
+                    entry.line,
+                    format!(
+                        "critical device index {i} is out of range: [topology] \
+                         declares {} devices",
+                        t.devices.len()
+                    ),
+                ));
+            }
+        }
+        if mask & (1 << i) != 0 {
+            return Err(ScenarioError::new(
+                entry.line,
+                format!("device index {i} listed twice in \"critical_devices\""),
+            ));
+        }
+        mask |= 1 << i;
+    }
+    Ok(mask)
 }
 
 /// Which catalog an application list is checked against.
@@ -1342,5 +1586,119 @@ gpu = ["ubench"]
         // Swept steer_target values are each checked.
         let err = Scenario::from_str(&with("[sweep]\nsteer_target = [0, 5]\n")).unwrap_err();
         assert_eq!(err.code, Some(hiss_lint::Code::SteerTargetOutOfRange));
+    }
+
+    const TWO_APP: &str = r#"
+[scenario]
+name = "mc"
+[workload]
+cpu = ["raytrace", "x264"]
+gpu = ["ubench"]
+"#;
+
+    #[test]
+    fn criticality_section_parses_with_defaults_and_overrides() {
+        let sc = Scenario::from_str(&format!(
+            "{TWO_APP}[criticality]\ncritical = [\"raytrace\"]\ncritical_devices = [0]\n"
+        ))
+        .unwrap();
+        assert_eq!(sc.critical_apps, vec!["raytrace"]);
+        let c = sc.base.criticality.unwrap();
+        assert_eq!(c.critical_device_mask, 0b1);
+        assert!(c.reserve);
+        assert_eq!(c.critical_cores, 1);
+        assert_eq!(c.ppr_quota_percent, 50);
+
+        let sc = Scenario::from_str(&format!(
+            "{TWO_APP}[criticality]\ncritical = [\"raytrace\"]\ncritical_devices = [0]\n\
+             reserve = false\nppr_quota_percent = 80\ncritical_cores = 2\n\
+             critical_window_us = 0\nbest_effort_window_us = 13\n"
+        ))
+        .unwrap();
+        let c = sc.base.criticality.unwrap();
+        assert!(!c.reserve);
+        assert_eq!(c.ppr_quota_percent, 80);
+        assert_eq!(c.critical_cores, 2);
+        assert_eq!(c.critical_window, Ns::ZERO);
+        assert_eq!(c.best_effort_window, Ns::from_micros(13));
+    }
+
+    #[test]
+    fn criticality_validates_apps_devices_and_required_keys() {
+        // Critical app must be in the workload's cpu list.
+        let err = Scenario::from_str(&format!(
+            "{TWO_APP}[criticality]\ncritical = [\"canneal\"]\ncritical_devices = [0]\n"
+        ))
+        .unwrap_err();
+        assert_eq!(err.line, 8);
+        assert!(err.msg.contains("not in the [workload] cpu"), "{}", err.msg);
+
+        // Device indices are range-checked against the topology.
+        let err = Scenario::from_str(&format!(
+            "{TWO_APP}[topology]\ndevices = [\"gpu\", \"nic\"]\n\
+             [criticality]\ncritical = [\"raytrace\"]\ncritical_devices = [2]\n"
+        ))
+        .unwrap_err();
+        assert!(err.msg.contains("out of range"), "{}", err.msg);
+
+        // Both the app list and the device list are required.
+        let err = Scenario::from_str(&format!("{TWO_APP}[criticality]\ncritical_devices = [0]\n"))
+            .unwrap_err();
+        assert!(err.msg.contains("`critical = [...]`"), "{}", err.msg);
+        let err = Scenario::from_str(&format!(
+            "{TWO_APP}[criticality]\ncritical = [\"raytrace\"]\n"
+        ))
+        .unwrap_err();
+        assert!(
+            err.msg.contains("`critical_devices = [...]`"),
+            "{}",
+            err.msg
+        );
+    }
+
+    #[test]
+    fn criticality_knobs_are_fenced_and_core_counts_checked() {
+        // Criticality knobs cannot be swept without the section.
+        let err = Scenario::from_str(&with("[sweep]\nreserve = [true, false]\n")).unwrap_err();
+        assert!(
+            err.msg.contains("requires a [criticality] section"),
+            "{}",
+            err.msg
+        );
+
+        // With the section present the same axis is legal.
+        let sc = Scenario::from_str(&format!(
+            "{TWO_APP}[criticality]\ncritical = [\"raytrace\"]\ncritical_devices = [0]\n\
+             [sweep]\nreserve = [true, false]\n"
+        ))
+        .unwrap();
+        assert_eq!(sc.sweeps.len(), 1);
+        assert_eq!(sc.sweeps[0].field, Field::CritReserve);
+
+        // Reserving every core (under the minimum swept count) is an
+        // error: no best-effort core would remain to take interrupts.
+        let err = Scenario::from_str(&format!(
+            "{TWO_APP}[criticality]\ncritical = [\"raytrace\"]\ncritical_devices = [0]\n\
+             critical_cores = 2\n[sweep]\ncores = [2, 8]\n"
+        ))
+        .unwrap_err();
+        assert!(err.msg.contains("as few as 2 cores"), "{}", err.msg);
+        let err = Scenario::from_str(&format!(
+            "{TWO_APP}[criticality]\ncritical = [\"raytrace\"]\ncritical_devices = [0]\n\
+             [sweep]\ncritical_cores = [1, 4]\n"
+        ))
+        .unwrap_err();
+        assert!(err.msg.contains("sweep value"), "{}", err.msg);
+    }
+
+    #[test]
+    fn critical_p99_band_parses() {
+        let sc = Scenario::from_str(&with("[expect]\nmax_critical_p99_latency_us = [0, 200]\n"))
+            .unwrap();
+        assert_eq!(sc.expects[0].metric, Metric::CriticalP99LatencyUs);
+        assert_eq!(
+            Metric::CriticalP99LatencyUs.registry_key(),
+            Some("qos.class0.p99_latency_us")
+        );
     }
 }

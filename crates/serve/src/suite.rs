@@ -22,7 +22,14 @@ use crate::service::Service;
 
 /// Names of every suite, in execution order: the scenario crate's
 /// suites plus the serving suite.
-pub const SUITES: &[&str] = &["engine", "fig3_quick", "qos_quick", "devices", "serve"];
+pub const SUITES: &[&str] = &[
+    "engine",
+    "fig3_quick",
+    "qos_quick",
+    "devices",
+    "mixed_criticality",
+    "serve",
+];
 
 /// Runs every suite against the repo at `root`, in [`SUITES`] order.
 pub fn run_all(root: &Path) -> Result<Vec<SuiteSnapshot>, String> {
@@ -96,10 +103,17 @@ mod tests {
     fn suite_order_appends_serve() {
         assert_eq!(
             SUITES,
-            &["engine", "fig3_quick", "qos_quick", "devices", "serve"],
+            &[
+                "engine",
+                "fig3_quick",
+                "qos_quick",
+                "devices",
+                "mixed_criticality",
+                "serve"
+            ],
             "baseline file order depends on this"
         );
-        assert_eq!(&SUITES[..4], hiss_scenario::bench_suite::SUITES);
+        assert_eq!(&SUITES[..5], hiss_scenario::bench_suite::SUITES);
     }
 
     /// The serving suite's snapshot conforms to the bench schema and

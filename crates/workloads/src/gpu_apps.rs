@@ -39,6 +39,7 @@ pub fn gpu_suite() -> Vec<GpuAppSpec> {
                 jitter: 0.4,
                 burst_prob: 0.35,
                 kind: SsrKind::SoftPageFault,
+                page_stride: 1,
             },
         },
         GpuAppSpec {
@@ -51,6 +52,7 @@ pub fn gpu_suite() -> Vec<GpuAppSpec> {
                 jitter: 0.4,
                 burst_prob: 0.15,
                 kind: SsrKind::SoftPageFault,
+                page_stride: 1,
             },
         },
         GpuAppSpec {
@@ -63,6 +65,7 @@ pub fn gpu_suite() -> Vec<GpuAppSpec> {
                 jitter: 0.3,
                 burst_prob: 0.25,
                 kind: SsrKind::SoftPageFault,
+                page_stride: 1,
             },
         },
         GpuAppSpec {
@@ -75,6 +78,7 @@ pub fn gpu_suite() -> Vec<GpuAppSpec> {
                 jitter: 0.4,
                 burst_prob: 0.20,
                 kind: SsrKind::SoftPageFault,
+                page_stride: 1,
             },
         },
         GpuAppSpec {
@@ -87,6 +91,7 @@ pub fn gpu_suite() -> Vec<GpuAppSpec> {
                 jitter: 0.5,
                 burst_prob: 0.30,
                 kind: SsrKind::SoftPageFault,
+                page_stride: 1,
             },
         },
         GpuAppSpec {
@@ -99,15 +104,45 @@ pub fn gpu_suite() -> Vec<GpuAppSpec> {
                 jitter: 0.3,
                 burst_prob: 0.45,
                 kind: SsrKind::SoftPageFault,
+                page_stride: 1,
             },
         },
     ]
 }
 
+/// The worst-case SSR contention generator. Not part of the paper's
+/// suite ([`gpu_suite`] stays the six evaluated applications): this is
+/// the adversary the worst-case-memory-contention literature constructs
+/// to bound a critical workload's slowdown. It maximizes SSR pressure
+/// on every axis at once — a fault gap well below ubench's, a high
+/// burst fraction, never blocking (so the generator itself is never
+/// throttled by its own faults), and a 512-page (2 MB) fault stride so
+/// consecutive faults never share upper page-table levels and the
+/// IOMMU's page-walk cache misses on every walk.
+pub fn aggressor() -> GpuAppSpec {
+    GpuAppSpec {
+        name: "aggressor",
+        total_work: Ns::from_millis(16),
+        profile: SsrProfile {
+            mean_gap: Ns::from_micros(8),
+            active_fraction: 1.0,
+            blocking_prob: 0.0,
+            jitter: 0.2,
+            burst_prob: 0.6,
+            kind: SsrKind::SoftPageFault,
+            page_stride: 512,
+        },
+    }
+}
+
 impl GpuAppSpec {
-    /// Looks a benchmark up by name.
+    /// Looks a benchmark up by name (the paper's six applications, plus
+    /// the `aggressor` contention generator).
     pub fn by_name(name: &str) -> Option<GpuAppSpec> {
-        gpu_suite().into_iter().find(|s| s.name == name)
+        gpu_suite()
+            .into_iter()
+            .find(|s| s.name == name)
+            .or_else(|| (name == "aggressor").then(aggressor))
     }
 
     /// The same application with SSRs disabled — the paper's baseline
@@ -188,6 +223,27 @@ mod tests {
             assert_eq!(pinned.total_work, app.total_work);
             assert_eq!(pinned.expected_ssrs(), 0.0);
         }
+    }
+
+    #[test]
+    fn aggressor_outpressures_the_whole_suite() {
+        let agg = GpuAppSpec::by_name("aggressor").unwrap();
+        assert_eq!(agg, aggressor());
+        // Strictly higher fault rate than every suite member, never
+        // blocking, and an anti-coalescing page stride that changes
+        // every page-walk-cache tag (512 pages = 2 MB > the 9-bit
+        // level-1 reach).
+        for app in gpu_suite() {
+            assert!(
+                agg.expected_ssrs() > app.expected_ssrs(),
+                "{} outpressures the aggressor",
+                app.name
+            );
+        }
+        assert_eq!(agg.profile.blocking_prob, 0.0);
+        assert!(agg.profile.page_stride >= 512);
+        // Not a suite member: the paper's figures stay six applications.
+        assert!(gpu_suite().iter().all(|s| s.name != "aggressor"));
     }
 
     #[test]

@@ -8,8 +8,8 @@
 
 use std::sync::OnceLock;
 
-use hiss::{ExperimentBuilder, SystemConfig};
-use hiss_obs::invariants::{audit, invariants_for, Rel, Term};
+use hiss::{CriticalityConfig, ExperimentBuilder, SystemConfig};
+use hiss_obs::invariants::{audit, invariants_for, Invariant, Rel, Term};
 use hiss_obs::schema::{pattern_matches, Scope};
 use hiss_obs::{MetricValue, MetricsRegistry};
 use proptest::prelude::*;
@@ -24,6 +24,29 @@ fn base_snapshot() -> &'static MetricsRegistry {
             .run()
             .metrics
     })
+}
+
+/// A criticality-class run: publishes the `qos.classes` marker, so the
+/// guarded per-class split laws are armed in this corpus.
+fn crit_snapshot() -> &'static MetricsRegistry {
+    static SNAP: OnceLock<MetricsRegistry> = OnceLock::new();
+    SNAP.get_or_init(|| {
+        ExperimentBuilder::new(SystemConfig::a10_7850k())
+            .cpu_app("x264")
+            .gpu_app("ubench")
+            .criticality(CriticalityConfig::default())
+            .run()
+            .metrics
+    })
+}
+
+/// Independent re-implementation of guard applicability (the auditor's
+/// `applies` is deliberately not reused here).
+fn guard_applies(inv: &Invariant, reg: &MetricsRegistry) -> bool {
+    match inv.guard {
+        None => true,
+        Some(g) => reg.iter().any(|(name, _)| pattern_matches(g, name)),
+    }
 }
 
 fn counter_names(reg: &MetricsRegistry) -> Vec<String> {
@@ -57,6 +80,9 @@ fn eval_term(reg: &MetricsRegistry, term: Term) -> u128 {
 fn naive_violations(reg: &MetricsRegistry) -> Vec<&'static str> {
     invariants_for(Scope::Run)
         .filter_map(|inv| {
+            if !guard_applies(inv, reg) {
+                return None;
+            }
             let lhs: u128 = inv.lhs.iter().map(|t| eval_term(reg, *t)).sum();
             let rhs: u128 = inv.rhs.iter().map(|t| eval_term(reg, *t)).sum();
             let holds = match inv.rel {
@@ -95,10 +121,25 @@ fn untouched_snapshot_audits_clean_and_round_trips_byte_for_byte() {
 /// corruption of a conserved quantity goes unnoticed.
 #[test]
 fn every_one_sided_bump_on_an_equality_is_flagged() {
-    let base = base_snapshot();
+    // The default corpus leaves the guarded class laws dormant; the
+    // criticality corpus arms them, so together the sweep covers the
+    // whole equality table.
+    let exercised = one_sided_bump_sweep(base_snapshot());
+    assert!(exercised >= 5, "only {exercised} equality laws exercised");
+    let with_classes = one_sided_bump_sweep(crit_snapshot());
+    assert!(
+        with_classes >= exercised + 6,
+        "class corpus exercised only {with_classes} laws (base {exercised})"
+    );
+}
+
+fn one_sided_bump_sweep(base: &MetricsRegistry) -> usize {
     let names = counter_names(base);
     let mut exercised = 0usize;
     for inv in invariants_for(Scope::Run).filter(|i| i.rel == Rel::Eq) {
+        if !guard_applies(inv, base) {
+            continue; // guarded law whose marker this corpus lacks
+        }
         let Some(name) = names
             .iter()
             .find(|n| in_sums(n, inv.lhs) != in_sums(n, inv.rhs))
@@ -117,7 +158,41 @@ fn every_one_sided_bump_on_an_equality_is_flagged() {
             report.violations
         );
     }
-    assert!(exercised >= 5, "only {exercised} equality laws exercised");
+    exercised
+}
+
+/// The per-class split laws police exactly the runs that carry classes:
+/// dormant (and unfireable) on a default snapshot, armed and tight on a
+/// criticality snapshot.
+#[test]
+fn guarded_class_laws_police_only_runs_that_carry_classes() {
+    let base = base_snapshot();
+    assert!(base.counter_value("qos.classes").is_none());
+    let base_checked = audit(base, Scope::Run).checked;
+
+    let crit = crit_snapshot();
+    let report = audit(crit, Scope::Run);
+    assert!(report.clean(), "{:?}", report.violations);
+    assert!(
+        report.checked >= base_checked + 6,
+        "class marker must arm the guarded laws: {} vs {}",
+        report.checked,
+        base_checked
+    );
+
+    // A single lost best-effort request is caught by the armed split law.
+    let mut reg = crit.clone();
+    let old = reg.counter_value("qos.class1.requests").unwrap();
+    reg.counter("qos.class1.requests".to_string(), old + 1);
+    let broken = audit(&reg, Scope::Run);
+    assert!(
+        broken
+            .violations
+            .iter()
+            .any(|v| v.name == "class_requests_split"),
+        "{:?}",
+        broken.violations
+    );
 }
 
 /// The boundary case of the calendar bound: popped = pushed is legal,
@@ -177,7 +252,7 @@ proptest! {
 
         if new != old {
             for inv in invariants_for(Scope::Run).filter(|i| i.rel == Rel::Eq) {
-                if in_sums(name, inv.lhs) != in_sums(name, inv.rhs) {
+                if guard_applies(inv, &reg) && in_sums(name, inv.lhs) != in_sums(name, inv.rhs) {
                     prop_assert!(
                         got.contains(&inv.name),
                         "mutating `{}` must trip `{}`",

@@ -7,8 +7,8 @@
 
 use hiss::experiments::{fig3, pareto, test_cpu_subset, test_gpu_subset, BaselineCache};
 use hiss::{
-    run_jobs_on, CoreId, DeviceSpec, DmaParams, ExperimentBuilder, Mitigation, NicParams,
-    SystemConfig,
+    run_jobs_on, CoreId, CriticalityConfig, DeviceSpec, DmaParams, ExperimentBuilder, Mitigation,
+    NicParams, SystemConfig,
 };
 
 /// Exact (bit-level) fingerprint of a Fig. 3 grid.
@@ -100,12 +100,36 @@ fn hiss_threads_1_and_8_produce_identical_grids() {
     };
     let devices_serial = device_snapshots("1");
 
+    // Mixed-criticality partitions publish per-class metric families
+    // (`qos.classN.*`) and reroute interrupts off reserved cores; both
+    // must be as thread-invariant as everything else, snapshot
+    // byte-identical across worker counts.
+    let crit_snapshots = |threads: &str| -> Vec<String> {
+        std::env::set_var("HISS_THREADS", threads);
+        let n: usize = threads.parse().expect("numeric HISS_THREADS");
+        run_jobs_on(n, gpu.len(), |i| {
+            ExperimentBuilder::new(cfg)
+                .cpu_app("x264")
+                .gpu_app(gpu[i])
+                .device(DeviceSpec::Nic(NicParams::default()))
+                .criticality(CriticalityConfig {
+                    critical_device_mask: 0b10,
+                    ..CriticalityConfig::default()
+                })
+                .run()
+                .metrics
+                .to_json()
+        })
+    };
+    let crit_serial = crit_snapshots("1");
+
     std::env::set_var("HISS_THREADS", "8");
     BaselineCache::global().clear();
     let fig3_parallel = fig3::fig3_with(&cfg, &cpu, &gpu);
     let pareto_parallel = pareto::pareto_with(&cfg, &cpu, &["ubench"], &combos);
     let counters_parallel = counters("8");
     let devices_parallel = device_snapshots("8");
+    let crit_parallel = crit_snapshots("8");
 
     // And once more against a *warm* cache: memoized baselines must not
     // change any value either.
@@ -119,6 +143,13 @@ fn hiss_threads_1_and_8_produce_identical_grids() {
     assert_eq!(pareto_bits(&pareto_serial), pareto_bits(&pareto_parallel));
     assert_eq!(counters_serial, counters_parallel);
     assert_eq!(devices_serial, devices_parallel);
+    assert_eq!(crit_serial, crit_parallel);
+    for snap in &crit_serial {
+        assert!(
+            snap.contains("\"qos.classes\":2") && snap.contains("\"qos.class0.requests\""),
+            "per-class rows missing from snapshot: {snap}"
+        );
+    }
     for snap in &devices_serial {
         assert!(
             snap.contains("\"dev1.kind\":\"nic\"") && snap.contains("\"dev2.kind\":\"dma\""),
